@@ -1,0 +1,40 @@
+"""A4: bushy vs. left-deep search space (Section 5's Starburst discussion).
+
+"it is possible to restrict the search space to left-deep trees (no
+composite inner), to include all bushy trees" — we measure what each
+space costs to search and what plan quality it buys.
+"""
+
+import pytest
+
+from repro.systemr import SystemROptimizer, SystemROptions
+
+from conftest import run_once
+
+
+@pytest.mark.parametrize("bushy", [True, False], ids=["bushy", "left_deep"])
+def test_enumeration_time(benchmark, spec, generator, bushy):
+    query = generator.generate(6, seed=47)
+    options = SystemROptions(bushy=bushy)
+
+    def optimize():
+        return SystemROptimizer(spec, query.catalog, options).optimize(query.query)
+
+    result = run_once(benchmark, optimize)
+    benchmark.extra_info["joins_costed"] = result.stats.joins_costed
+
+
+def test_left_deep_cost_never_below_bushy(benchmark, spec, generator):
+    query = generator.generate(5, seed=48)
+
+    def both():
+        bushy = SystemROptimizer(
+            spec, query.catalog, SystemROptions(bushy=True)
+        ).optimize(query.query)
+        left_deep = SystemROptimizer(
+            spec, query.catalog, SystemROptions(bushy=False)
+        ).optimize(query.query)
+        return bushy.cost.total(), left_deep.cost.total()
+
+    bushy, left_deep = run_once(benchmark, both)
+    assert left_deep >= bushy * 0.999

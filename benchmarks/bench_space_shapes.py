@@ -1,0 +1,54 @@
+"""A8: join-graph shape vs. search complexity (the paper's reference [13]).
+
+"The increase of Volcano's optimization costs is about exponential […]
+which mirrors exactly the increase in the number of equivalent logical
+algebra expressions [13]" — Ono & Lohman's point that the join graph's
+shape determines that number.  Stars have exponentially more connected
+sub-plans than chains of the same size.
+"""
+
+import pytest
+
+from repro.search import SearchOptions, VolcanoOptimizer
+from repro.search.extract import count_logical_expressions
+from repro.workloads import QueryGenerator, WorkloadOptions
+
+from conftest import run_once
+
+
+def optimize_shaped(spec, shape, size, seed=71):
+    generator = QueryGenerator(WorkloadOptions(shape=shape))
+    query = generator.generate(size, seed=seed)
+    optimizer = VolcanoOptimizer(
+        spec, query.catalog, SearchOptions(check_consistency=False)
+    )
+    return optimizer.optimize(query.query)
+
+
+@pytest.mark.parametrize("shape", ["chain", "star"])
+@pytest.mark.parametrize("size", [5, 7])
+def test_shape_optimization_time(benchmark, spec, shape, size):
+    result = run_once(benchmark, optimize_shaped, spec, shape, size)
+    root = max(
+        result.memo.groups(), key=lambda group: len(group.logical_props.tables)
+    ).id
+    benchmark.extra_info["logical_expressions"] = count_logical_expressions(
+        result.memo, root
+    )
+
+
+def test_star_space_exceeds_chain_space(benchmark, spec):
+    def both():
+        chain = optimize_shaped(spec, "chain", 6)
+        star = optimize_shaped(spec, "star", 6)
+        counts = []
+        for result in (chain, star):
+            root = max(
+                result.memo.groups(),
+                key=lambda group: len(group.logical_props.tables),
+            ).id
+            counts.append(count_logical_expressions(result.memo, root))
+        return counts
+
+    chain_count, star_count = run_once(benchmark, both)
+    assert star_count > chain_count

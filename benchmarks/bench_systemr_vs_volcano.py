@@ -1,0 +1,53 @@
+"""A5: Volcano's top-down directed DP vs. System R's bottom-up DP.
+
+Same cost model, same (bushy) search space: the optimal costs must agree
+(DESIGN.md invariant 6); the interesting measurement is the work each
+strategy performs.
+"""
+
+import pytest
+
+from repro.search import SearchOptions, VolcanoOptimizer
+from repro.systemr import SystemROptimizer, SystemROptions
+
+from conftest import run_once
+
+SIZES = [4, 6]
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_volcano_time(benchmark, spec, generator, size):
+    query = generator.generate(size, seed=49)
+    options = SearchOptions(check_consistency=False)
+
+    def optimize():
+        return VolcanoOptimizer(spec, query.catalog, options).optimize(query.query)
+
+    run_once(benchmark, optimize)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_systemr_time(benchmark, spec, generator, size):
+    query = generator.generate(size, seed=49)
+    options = SystemROptions(bushy=True)
+
+    def optimize():
+        return SystemROptimizer(spec, query.catalog, options).optimize(query.query)
+
+    run_once(benchmark, optimize)
+
+
+def test_costs_agree(benchmark, spec, generator):
+    query = generator.generate(5, seed=50)
+
+    def both():
+        volcano = VolcanoOptimizer(
+            spec, query.catalog, SearchOptions(check_consistency=False)
+        ).optimize(query.query)
+        systemr = SystemROptimizer(
+            spec, query.catalog, SystemROptions(bushy=True)
+        ).optimize(query.query)
+        return volcano.cost.total(), systemr.cost.total()
+
+    volcano, systemr = run_once(benchmark, both)
+    assert volcano == pytest.approx(systemr)

@@ -1,0 +1,40 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark file regenerates one exhibit from DESIGN.md's experiment
+index.  Benchmarks run single-shot per round (optimizations are not
+micro-operations), with enough rounds for a stable median.
+
+Full-scale reproduction (the paper's 50 queries per size, sizes 2–8) is
+the CLI harness: ``python -m repro.bench figure4``.
+"""
+
+import pytest
+
+from repro.models.relational import relational_model
+from repro.workloads import QueryGenerator, WorkloadOptions
+
+
+@pytest.fixture(scope="session")
+def spec():
+    return relational_model()
+
+
+@pytest.fixture(scope="session")
+def generator():
+    return QueryGenerator(WorkloadOptions())
+
+
+@pytest.fixture(scope="session")
+def ordered_generator():
+    return QueryGenerator(
+        WorkloadOptions(
+            order_by_probability=1.0,
+            selectivity_range=(0.5, 1.0),
+            key_fraction_range=(0.2, 0.6),
+        )
+    )
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Benchmark a non-trivial operation: one iteration, few rounds."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=3, iterations=1)

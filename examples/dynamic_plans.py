@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Dynamic plans for incompletely specified queries (paper Section 1).
+
+The optimizer generator "had to support flexible cost models that permit
+generating dynamic plans for incompletely specified queries."  Here a
+query filters on ``r.v <= ?p`` where ``?p`` arrives only at run time:
+the optimizer produces one plan per selectivity regime and a choose-plan
+switch picks at bind time.
+
+With the result required sorted, the strategies genuinely differ:
+
+* selective ``?p``  → tiny intermediate results: hash joins, one final sort;
+* permissive ``?p`` → large intermediates: a merge-join chain whose
+  interesting ordering makes the final sort free.
+
+Run:  python examples/dynamic_plans.py
+"""
+
+from repro import Catalog, eq, get, join, relational_model, select, sorted_on
+from repro.algebra.predicates import Comparison, ComparisonOp, col
+from repro.dynamic import Parameter, optimize_dynamic
+from repro.executor import TableSpec, populate_catalog
+
+
+def main() -> None:
+    catalog = Catalog()
+    populate_catalog(
+        catalog,
+        [
+            TableSpec("r", 4800, key_distinct=1200, value_distinct=1000),
+            TableSpec("s", 4800, key_distinct=1200, value_distinct=1000),
+            TableSpec("t", 4800, key_distinct=1200, value_distinct=1000),
+        ],
+        seed=23,
+    )
+    # ... WHERE r.v <= ?p AND r.k = s.k AND s.k = t.k ORDER BY r.k
+    query = join(
+        join(
+            select(
+                get("r"),
+                Comparison(ComparisonOp.LE, col("r.v"), Parameter("p")),
+            ),
+            get("s"),
+            eq("r.k", "s.k"),
+        ),
+        get("t"),
+        eq("s.k", "t.k"),
+    )
+
+    dynamic = optimize_dynamic(
+        relational_model(), catalog, query, required=sorted_on("r.k")
+    )
+    print(dynamic.describe())
+    print()
+
+    for value in (3, 500, 995):
+        plan, selectivity = dynamic.pick(catalog, {"p": value})
+        rows = dynamic.execute(catalog, {"p": value})
+        keys = [row["r.k"] for row in rows]
+        assert keys == sorted(keys)
+        strategy = (
+            "merge-join chain" if plan.count_algorithm("merge_join") else
+            "hash joins + final sort"
+        )
+        print(
+            f"?p = {value:>3}  → est. selectivity {selectivity:6.3f}, "
+            f"strategy: {strategy:<24} → {len(rows)} sorted rows"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+#!/usr/bin/env python3
+"""A miniature Figure 4: Volcano vs. EXODUS at reduced scale.
+
+The full experiment (50 queries per size, 2–8 relations) is
+``python -m repro.bench figure4``; this example runs a small slice so
+the characteristic shape appears in seconds:
+
+* both curves grow steeply (exponential search spaces);
+* EXODUS's forward chaining falls behind by an order of magnitude;
+* beyond ~5 relations the EXODUS prototype aborts on its budgets.
+
+Run:  python examples/figure4_mini.py
+"""
+
+from repro.bench.figure4 import Figure4Config, render_figure4, run_figure4
+
+
+def main() -> None:
+    config = Figure4Config(sizes=(2, 3, 4, 5, 6), queries_per_size=5, seed=1993)
+    result = run_figure4(config, progress=lambda line: print("  " + line))
+    print()
+    print(render_figure4(result))
+
+
+if __name__ == "__main__":
+    main()

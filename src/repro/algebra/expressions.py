@@ -1,0 +1,129 @@
+"""Immutable logical-algebra expression trees (the optimizer's input).
+
+"The user queries to be optimized by a generated optimizer are specified
+as an algebra expression (tree) of logical operators.  […]  Operators can
+have zero or more inputs; the number of inputs is not restricted."
+(paper, Section 2.2)
+
+Expressions are frozen and hashable; the memo derives its hash-table keys
+from them.  Two special pseudo-operators support the rule machinery:
+
+* ``GROUP_LEAF`` — a leaf that refers to a memo group by id.  Rule rewrite
+  results are expressed over such leaves when matching inside the memo.
+* no other pseudo-operators exist; plain trees never contain leaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Tuple
+
+from repro.errors import AlgebraError
+
+__all__ = ["LogicalExpression", "GROUP_LEAF", "group_leaf", "is_group_leaf"]
+
+GROUP_LEAF = "$group"
+"""Operator name of a leaf referring to a memo group (rule-internal)."""
+
+
+@dataclass(frozen=True)
+class LogicalExpression:
+    """A node of a logical algebra expression tree.
+
+    ``operator``
+        The logical operator's name, as declared in the model
+        specification (e.g. ``"join"``).
+    ``args``
+        Operator arguments as a hashable tuple — e.g. ``(predicate,)``
+        for a select, ``(table_name,)`` for a get.  The framework treats
+        them opaquely, exactly as the paper treats operator arguments.
+    ``inputs``
+        Input expressions; empty for leaves.
+    """
+
+    operator: str
+    args: Tuple = ()
+    inputs: Tuple["LogicalExpression", ...] = ()
+
+    def __post_init__(self):
+        if not self.operator:
+            raise AlgebraError("operator name must be non-empty")
+        if not isinstance(self.args, tuple):
+            object.__setattr__(self, "args", tuple(self.args))
+        if not isinstance(self.inputs, tuple):
+            object.__setattr__(self, "inputs", tuple(self.inputs))
+        for node in self.inputs:
+            if not isinstance(node, LogicalExpression):
+                raise AlgebraError(
+                    f"inputs of {self.operator!r} must be LogicalExpression, "
+                    f"got {type(node).__name__}"
+                )
+
+    @property
+    def arity(self) -> int:
+        return len(self.inputs)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.inputs
+
+    def walk(self) -> Iterator["LogicalExpression"]:
+        """Pre-order traversal of the tree."""
+        yield self
+        for node in self.inputs:
+            yield from node.walk()
+
+    def count_nodes(self) -> int:
+        """Number of nodes in this tree."""
+        return sum(1 for _ in self.walk())
+
+    def depth(self) -> int:
+        """Height of the tree (a leaf has depth 1)."""
+        if not self.inputs:
+            return 1
+        return 1 + max(node.depth() for node in self.inputs)
+
+    def with_inputs(self, inputs: Tuple["LogicalExpression", ...]) -> "LogicalExpression":
+        """This node with the same operator and args over new inputs."""
+        return LogicalExpression(self.operator, self.args, tuple(inputs))
+
+    def map_leaves(
+        self, transform: Callable[["LogicalExpression"], "LogicalExpression"]
+    ) -> "LogicalExpression":
+        """Rebuild the tree with every leaf replaced by ``transform(leaf)``."""
+        if self.is_leaf:
+            return transform(self)
+        return self.with_inputs(tuple(node.map_leaves(transform) for node in self.inputs))
+
+    def to_sexpr(self) -> str:
+        """Compact s-expression rendering, e.g. ``(join [p] (get R) (get S))``."""
+        parts = [self.operator]
+        if self.args:
+            rendered = ", ".join(str(arg) for arg in self.args)
+            parts.append(f"[{rendered}]")
+        parts.extend(node.to_sexpr() for node in self.inputs)
+        return "(" + " ".join(parts) + ")"
+
+    def pretty(self, indent: int = 0) -> str:
+        """Multi-line indented rendering for humans."""
+        pad = "  " * indent
+        line = pad + self.operator
+        if self.args:
+            line += " [" + ", ".join(str(arg) for arg in self.args) + "]"
+        lines = [line]
+        for node in self.inputs:
+            lines.append(node.pretty(indent + 1))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.to_sexpr()
+
+
+def group_leaf(group_id: int) -> LogicalExpression:
+    """A leaf expression referring to memo group ``group_id``."""
+    return LogicalExpression(GROUP_LEAF, (group_id,))
+
+
+def is_group_leaf(expression: LogicalExpression) -> bool:
+    """True when ``expression`` is a memo-group reference leaf."""
+    return expression.operator == GROUP_LEAF

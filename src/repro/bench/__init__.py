@@ -1,0 +1,21 @@
+"""Benchmark harness (S20): Figure 4, ablations, validation."""
+
+from repro.bench.figure4 import (
+    Figure4Config,
+    Figure4Result,
+    Figure4Row,
+    render_figure4,
+    run_figure4,
+)
+from repro.bench.reporting import Table, geometric_mean, render_log_chart
+
+__all__ = [
+    "Figure4Config",
+    "Figure4Result",
+    "Figure4Row",
+    "render_figure4",
+    "run_figure4",
+    "Table",
+    "geometric_mean",
+    "render_log_chart",
+]

@@ -1,0 +1,533 @@
+"""Ablation experiments for the design decisions the paper credits.
+
+Each function isolates one mechanism of Section 3 / Section 6 and
+reports what it buys (experiment ids from DESIGN.md):
+
+* A1  branch-and-bound pruning
+* A2  failure memoization
+* A3  goal-directed physical properties vs. optimize-then-glue
+* A4  bushy vs. left-deep search spaces
+* A5  System R bottom-up DP vs. Volcano top-down
+* A6  multiple alternative input property vectors (set operations)
+* A7  promise-guided move selection
+* A8  join-graph shape vs. search complexity
+* V1  cost-model validation against the executor
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from typing import Sequence
+
+from repro.algebra.properties import ANY_PROPS, PhysProps, sorted_on
+from repro.bench.reporting import Table, geometric_mean
+from repro.model.context import OptimizerContext
+from repro.model.spec import AlgorithmNode
+from repro.models.relational import relational_model
+from repro.models.setops import SetOpsModelOptions, intersect, setops_model
+from repro.models.relational import get
+from repro.search import SearchOptions, VolcanoOptimizer
+from repro.systemr import SystemROptimizer, SystemROptions
+from repro.workloads import QueryGenerator, WorkloadOptions
+
+__all__ = [
+    "run_shape_complexity",
+    "run_pruning_ablation",
+    "run_failure_ablation",
+    "run_glue_ablation",
+    "run_bushy_ablation",
+    "run_systemr_comparison",
+    "run_setops_orders",
+    "run_promise_ablation",
+    "run_executor_validation",
+]
+
+_DEFAULT_SIZES = (3, 5, 7)
+
+
+def _ordered_workload() -> WorkloadOptions:
+    """Queries that all request sorted output (property goals matter).
+
+    Mild selections and low-distinct join keys keep intermediate results
+    large, the regime where interesting orderings decide plan quality.
+    """
+    return WorkloadOptions(
+        order_by_probability=1.0,
+        selectivity_range=(0.5, 1.0),
+        key_fraction_range=(0.2, 0.6),
+    )
+
+
+def _run_variants(sizes, queries_per_size, seed, workload, variants):
+    """Optimize the same queries under several SearchOptions variants.
+
+    Returns ``{variant: {size: (mean_time, geomean_cost, mean_costings)}}``.
+    """
+    generator = QueryGenerator(workload)
+    spec = relational_model()
+    results = {label: {} for label, _ in variants}
+    for size in sizes:
+        batch = generator.generate_batch(size, queries_per_size, seed=seed)
+        for label, options in variants:
+            times, costs, costings = [], [], []
+            for query in batch:
+                optimizer = VolcanoOptimizer(spec, query.catalog, options)
+                started = time.perf_counter()
+                result = optimizer.optimize(query.query, required=query.required)
+                times.append(time.perf_counter() - started)
+                costs.append(result.cost.total())
+                costings.append(
+                    result.stats.algorithm_costings + result.stats.enforcer_costings
+                )
+            results[label][size] = (
+                statistics.mean(times),
+                geometric_mean(costs),
+                statistics.mean(costings),
+            )
+    return results
+
+
+def run_shape_complexity(
+    sizes: Sequence[int] = (4, 6, 8), queries_per_size: int = 5, seed: int = 7
+) -> Table:
+    """A8: join-graph shape vs. search complexity (Ono–Lohman, ref [13]).
+
+    The paper: Volcano's optimization cost "mirrors exactly the increase
+    in the number of equivalent logical algebra expressions [13]" — and
+    that count depends on the join graph's shape.  Stars have
+    exponentially more connected subsets than chains, so the same
+    relation count costs much more to optimize.
+    """
+    from repro.search.extract import count_logical_expressions
+
+    spec = relational_model()
+    table = Table(
+        "A8 — Join-graph shape vs. search complexity",
+        [
+            "relations",
+            "chain ms",
+            "star ms",
+            "chain exprs",
+            "star exprs",
+            "star/chain",
+        ],
+    )
+    for size in sizes:
+        measurements = {}
+        for shape in ("chain", "star"):
+            generator = QueryGenerator(WorkloadOptions(shape=shape))
+            times, counts = [], []
+            for query in generator.generate_batch(size, queries_per_size, seed=seed):
+                optimizer = VolcanoOptimizer(
+                    spec, query.catalog, SearchOptions(check_consistency=False)
+                )
+                started = time.perf_counter()
+                result = optimizer.optimize(query.query)
+                times.append(time.perf_counter() - started)
+                root = max(
+                    result.memo.groups(),
+                    key=lambda group: len(group.logical_props.tables),
+                ).id
+                counts.append(count_logical_expressions(result.memo, root))
+            measurements[shape] = (
+                statistics.mean(times),
+                statistics.mean(counts),
+            )
+        chain_time, chain_count = measurements["chain"]
+        star_time, star_count = measurements["star"]
+        table.add_row(
+            size,
+            chain_time * 1000,
+            star_time * 1000,
+            chain_count,
+            star_count,
+            f"{star_count / chain_count:.2f}x",
+        )
+    table.add_note(
+        "optimization effort follows the logical-space size, which the "
+        "join graph's shape determines"
+    )
+    return table
+
+
+def run_pruning_ablation(
+    sizes: Sequence[int] = _DEFAULT_SIZES, queries_per_size: int = 10, seed: int = 7
+) -> Table:
+    """A1: branch-and-bound changes work, never plans."""
+    variants = [
+        ("pruned", SearchOptions(branch_and_bound=True, check_consistency=False)),
+        ("unpruned", SearchOptions(branch_and_bound=False, check_consistency=False)),
+    ]
+    results = _run_variants(sizes, queries_per_size, seed, _ordered_workload(), variants)
+    table = Table(
+        "A1 — Branch-and-bound pruning",
+        [
+            "relations",
+            "pruned ms",
+            "unpruned ms",
+            "pruned costings",
+            "unpruned costings",
+            "costings ratio",
+            "cost equal",
+        ],
+    )
+    for size in sizes:
+        pruned_time, pruned_cost, pruned_costings = results["pruned"][size]
+        unpruned_time, unpruned_cost, unpruned_costings = results["unpruned"][size]
+        table.add_row(
+            size,
+            pruned_time * 1000,
+            unpruned_time * 1000,
+            pruned_costings,
+            unpruned_costings,
+            f"{unpruned_costings / max(1, pruned_costings):.2f}x",
+            "yes" if abs(pruned_cost - unpruned_cost) < 1e-6 * unpruned_cost else "NO",
+        )
+    table.add_note("identical plan costs prove pruning is lossless (invariant 5)")
+    table.add_note(
+        "limits cut work inside each goal but make failure caching "
+        "limit-sensitive: a goal failed at limit L is re-searched when a "
+        "later consumer offers a higher limit, so total costings can go "
+        "either way — see EXPERIMENTS.md"
+    )
+    return table
+
+
+def run_failure_ablation(
+    sizes: Sequence[int] = _DEFAULT_SIZES, queries_per_size: int = 10, seed: int = 7
+) -> Table:
+    """A2: memoizing failures saves repeated doomed subsearches."""
+    variants = [
+        ("cached", SearchOptions(cache_failures=True, check_consistency=False)),
+        ("uncached", SearchOptions(cache_failures=False, check_consistency=False)),
+    ]
+    results = _run_variants(sizes, queries_per_size, seed, _ordered_workload(), variants)
+    table = Table(
+        "A2 — Failure memoization ('interesting facts' include failures)",
+        ["relations", "cached ms", "uncached ms", "speedup", "cost equal"],
+    )
+    for size in sizes:
+        cached_time, cached_cost, _ = results["cached"][size]
+        uncached_time, uncached_cost, _ = results["uncached"][size]
+        table.add_row(
+            size,
+            cached_time * 1000,
+            uncached_time * 1000,
+            f"{uncached_time / cached_time:.2f}x",
+            "yes" if abs(cached_cost - uncached_cost) < 1e-6 * uncached_cost else "NO",
+        )
+    return table
+
+
+def glue_optimize(spec, catalog, query, required: PhysProps, options=None):
+    """A3 helper: the Starburst-style two-step — optimize ignoring the
+    required properties, then add 'glue' enforcers on top afterwards."""
+    optimizer = VolcanoOptimizer(spec, catalog, options or SearchOptions(check_consistency=False))
+    result = optimizer.optimize(query, required=ANY_PROPS)
+    plan, cost = result.plan, result.cost
+    if plan.properties.covers(required):
+        return plan, cost
+    context = OptimizerContext(spec, catalog)
+    output_props = context.logical_props(query)
+    for enforcer in spec.enforcers.values():
+        for application in enforcer.enforce(context, required, output_props):
+            if not application.delivered.covers(required):
+                continue
+            node = AlgorithmNode(application.args, output_props, (output_props,))
+            enforcer_cost = enforcer.cost(context, node)
+            from repro.algebra.plans import PhysicalPlan
+
+            plan = PhysicalPlan(
+                enforcer.name,
+                application.args,
+                (plan,),
+                properties=application.delivered,
+                cost=cost + enforcer_cost,
+                is_enforcer=True,
+            )
+            return plan, plan.cost
+    raise RuntimeError(f"no glue enforcer delivers [{required}]")
+
+
+def run_glue_ablation(
+    sizes: Sequence[int] = _DEFAULT_SIZES, queries_per_size: int = 10, seed: int = 7
+) -> Table:
+    """A3: property-directed search vs. optimize-then-glue (Starburst)."""
+    generator = QueryGenerator(_ordered_workload())
+    spec = relational_model()
+    table = Table(
+        "A3 — Goal-directed properties vs. glue-afterwards",
+        ["relations", "directed cost", "glued cost", "glue penalty"],
+    )
+    for size in sizes:
+        directed_costs, glued_costs, ratios = [], [], []
+        for query in generator.generate_batch(size, queries_per_size, seed=seed):
+            optimizer = VolcanoOptimizer(
+                spec, query.catalog, SearchOptions(check_consistency=False)
+            )
+            directed = optimizer.optimize(query.query, required=query.required)
+            _, glued_cost = glue_optimize(
+                spec, query.catalog, query.query, query.required
+            )
+            directed_costs.append(directed.cost.total())
+            glued_costs.append(glued_cost.total())
+            ratios.append(glued_cost.total() / directed.cost.total())
+        table.add_row(
+            size,
+            geometric_mean(directed_costs),
+            geometric_mean(glued_costs),
+            f"{statistics.mean(ratios):.2f}x",
+        )
+    table.add_note(
+        "directed search places enforcers inside the plan where they are "
+        "cheap; glue pays full price on the final result"
+    )
+    return table
+
+
+def run_bushy_ablation(
+    sizes: Sequence[int] = _DEFAULT_SIZES, queries_per_size: int = 10, seed: int = 7
+) -> Table:
+    """A4: restricting the space to left-deep trees (System R's choice)."""
+    generator = QueryGenerator(WorkloadOptions())
+    spec = relational_model()
+    table = Table(
+        "A4 — Bushy vs. left-deep search space",
+        ["relations", "bushy cost", "left-deep cost", "left-deep penalty", "bushy joins costed", "left-deep joins costed"],
+    )
+    for size in sizes:
+        bushy_costs, deep_costs, bushy_work, deep_work = [], [], [], []
+        for query in generator.generate_batch(size, queries_per_size, seed=seed):
+            bushy = SystemROptimizer(
+                spec, query.catalog, SystemROptions(bushy=True)
+            ).optimize(query.query)
+            deep = SystemROptimizer(
+                spec, query.catalog, SystemROptions(bushy=False)
+            ).optimize(query.query)
+            bushy_costs.append(bushy.cost.total())
+            deep_costs.append(deep.cost.total())
+            bushy_work.append(bushy.stats.joins_costed)
+            deep_work.append(deep.stats.joins_costed)
+        table.add_row(
+            size,
+            geometric_mean(bushy_costs),
+            geometric_mean(deep_costs),
+            f"{geometric_mean(deep_costs) / geometric_mean(bushy_costs):.3f}x",
+            statistics.mean(bushy_work),
+            statistics.mean(deep_work),
+        )
+    return table
+
+
+def run_systemr_comparison(
+    sizes: Sequence[int] = _DEFAULT_SIZES, queries_per_size: int = 10, seed: int = 7
+) -> Table:
+    """A5: top-down directed DP vs. bottom-up DP, same cost model."""
+    generator = QueryGenerator(WorkloadOptions())
+    spec = relational_model()
+    table = Table(
+        "A5 — Volcano (top-down) vs. System R (bottom-up), bushy spaces",
+        ["relations", "volcano ms", "system r ms", "costs agree"],
+    )
+    for size in sizes:
+        volcano_times, systemr_times, agree = [], [], True
+        for query in generator.generate_batch(size, queries_per_size, seed=seed):
+            volcano = VolcanoOptimizer(
+                spec, query.catalog, SearchOptions(check_consistency=False)
+            )
+            started = time.perf_counter()
+            volcano_result = volcano.optimize(query.query)
+            volcano_times.append(time.perf_counter() - started)
+            systemr = SystemROptimizer(
+                spec, query.catalog, SystemROptions(bushy=True)
+            )
+            started = time.perf_counter()
+            systemr_result = systemr.optimize(query.query)
+            systemr_times.append(time.perf_counter() - started)
+            if (
+                abs(volcano_result.cost.total() - systemr_result.cost.total())
+                > 1e-6 * systemr_result.cost.total()
+            ):
+                agree = False
+        table.add_row(
+            size,
+            statistics.mean(volcano_times) * 1000,
+            statistics.mean(systemr_times) * 1000,
+            "yes" if agree else "NO",
+        )
+    table.add_note("agreement is DESIGN.md invariant 6")
+    return table
+
+
+def run_setops_orders(row_counts: Sequence[int] = (2400, 4800, 7200)) -> Table:
+    """A6: alternative input sort orders for sort-based intersection.
+
+    The goal requires the result sorted on the *second* column.  With
+    ``max_order_permutations=1`` merge-intersection offers only the
+    canonical (first, second) order, so an extra sort of the result is
+    needed; with alternatives enabled the (second, first) order is
+    offered and chosen directly — the paper's Section 3 feature.
+    """
+    from repro.catalog import Catalog, ColumnStatistics, Schema, TableStatistics
+
+    table = Table(
+        "A6 — Alternative input property vectors for intersection",
+        ["rows", "canonical-only cost", "alternatives cost", "saving"],
+    )
+    for rows in row_counts:
+        catalog = Catalog()
+        for name in ("r", "s"):
+            catalog.add_table(
+                name,
+                Schema.of(f"{name}.k", f"{name}.v"),
+                TableStatistics(
+                    rows,
+                    100,
+                    columns={
+                        f"{name}.k": ColumnStatistics(rows, 0, rows - 1),
+                        f"{name}.v": ColumnStatistics(rows, 0, rows - 1),
+                    },
+                ),
+            )
+        query = intersect(get("r"), get("s"))
+        required = sorted_on("r.v")
+        costs = {}
+        for label, permutations in (("canonical", 1), ("alternatives", 3)):
+            spec = setops_model(
+                SetOpsModelOptions(max_order_permutations=permutations)
+            )
+            # Isolate the merge implementation: drop the hash fallback.
+            spec.implementations = [
+                rule
+                for rule in spec.implementations
+                if rule.name != "intersect_to_hash"
+            ]
+            optimizer = VolcanoOptimizer(
+                spec, catalog, SearchOptions(check_consistency=False)
+            )
+            costs[label] = optimizer.optimize(query, required=required).cost.total()
+        table.add_row(
+            rows,
+            costs["canonical"],
+            costs["alternatives"],
+            f"{costs['canonical'] / costs['alternatives']:.2f}x",
+        )
+    table.add_note(
+        "'no earlier query optimizer has provided this feature' (Section 6)"
+    )
+    return table
+
+
+def run_promise_ablation(
+    sizes: Sequence[int] = _DEFAULT_SIZES, queries_per_size: int = 10, seed: int = 7
+) -> Table:
+    """A7: a promise threshold that skips associativity (heuristic mode)."""
+    variants = [
+        ("exhaustive", SearchOptions(check_consistency=False)),
+        ("promise≥0.9", SearchOptions(min_promise=0.9, check_consistency=False)),
+    ]
+    results = _run_variants(sizes, queries_per_size, seed, WorkloadOptions(), variants)
+    table = Table(
+        "A7 — Promise-guided move selection (skip associativity)",
+        [
+            "relations",
+            "exhaustive ms",
+            "heuristic ms",
+            "speedup",
+            "exhaustive cost",
+            "heuristic cost",
+            "quality loss",
+        ],
+    )
+    for size in sizes:
+        full_time, full_cost, _ = results["exhaustive"][size]
+        fast_time, fast_cost, _ = results["promise≥0.9"][size]
+        table.add_row(
+            size,
+            full_time * 1000,
+            fast_time * 1000,
+            f"{full_time / fast_time:.2f}x",
+            full_cost,
+            fast_cost,
+            f"{fast_cost / full_cost:.3f}x",
+        )
+    table.add_note(
+        "the heuristic explores commutations only; quality loss is the "
+        "price of skipping the associativity rule"
+    )
+    return table
+
+
+def run_executor_validation(
+    n_relations: int = 3, queries: int = 5, seed: int = 21
+) -> Table:
+    """V1: estimated vs. actual — cardinalities and scan page counts."""
+    from repro.executor import ExecutionStats, execute_plan, generate_table, TableSpec
+
+    generator = QueryGenerator(
+        WorkloadOptions(min_rows=600, max_rows=1800, selectivity_range=(0.3, 0.8))
+    )
+    spec = relational_model()
+    table = Table(
+        "V1 — Cost model vs. executor",
+        [
+            "query",
+            "est rows",
+            "actual rows",
+            "rows ratio",
+            "est scan io",
+            "actual scan io",
+        ],
+    )
+    for index in range(queries):
+        query = generator.generate(n_relations, seed + index)
+        # Materialize actual rows matching the synthetic statistics.
+        for name in query.table_names:
+            entry = query.catalog.table(name)
+            stats = entry.statistics
+            rows = _rows_for(name, stats, seed + index)
+            entry.rows = rows
+        optimizer = VolcanoOptimizer(
+            spec, query.catalog, SearchOptions(check_consistency=False)
+        )
+        result = optimizer.optimize(query.query)
+        context = OptimizerContext(spec, query.catalog)
+        estimated_rows = context.logical_props(query.query).cardinality
+        execution_stats = ExecutionStats()
+        rows = execute_plan(result.plan, query.catalog, execution_stats)
+        estimated_io = sum(
+            query.catalog.table(name).statistics.pages(query.catalog.page_size)
+            for name in query.table_names
+        )
+        table.add_row(
+            f"q{index}",
+            estimated_rows,
+            len(rows),
+            f"{(estimated_rows / len(rows)):.2f}" if rows else "n/a",
+            estimated_io,
+            execution_stats.pages_read,
+        )
+    table.add_note("scan I/O may exceed the estimate when plans re-scan or sort")
+    return table
+
+
+def _rows_for(name, stats, seed):
+    import random
+
+    rng = random.Random(f"rows:{seed}:{name}")
+    rows = []
+    key_a = stats.column(f"{name}.a")
+    key_b = stats.column(f"{name}.b")
+    value = stats.column(f"{name}.v")
+    pad = "x" * max(1, stats.row_width - 12)
+    for _ in range(int(stats.row_count)):
+        rows.append(
+            {
+                f"{name}.a": rng.randrange(int(key_a.distinct_values)),
+                f"{name}.b": rng.randrange(int(key_b.distinct_values)),
+                f"{name}.v": rng.randrange(1000),
+                f"{name}.pad": pad,
+            }
+        )
+    return rows

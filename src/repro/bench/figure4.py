@@ -1,0 +1,254 @@
+"""Regenerate Figure 4: exhaustive optimization performance.
+
+Paper, Section 4.2: "Figure 4 shows the average optimization effort and
+[…] the estimated execution time of produced plans for queries with 1 to
+7 binary joins, i.e., 2 to 8 input relations, and as many selections as
+input relations.  Solid lines indicate optimization times […].  Dashed
+lines indicate estimated plan execution times.  Note that the y-axis are
+logarithmic.  […]  For each complexity level, we generated and optimized
+50 queries.  For some of the more complex queries, the EXODUS optimizer
+generator aborted due to lack of memory or was aborted because it ran
+much longer than the Volcano optimizer generator.  […]  The data points
+in Figure 4 represent only those queries for which the EXODUS optimizer
+generator completed the optimization."
+
+This harness reproduces all of it: per complexity level it reports the
+average optimization time of both engines, the geometric-mean estimated
+plan cost of the plans they produced, EXODUS abort counts (excluded from
+the averages, as in the paper), and — for the memory discussion in the
+surrounding text — memo vs. MESH footprints.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.exodus import ExodusOptimizer, ExodusOptions
+from repro.models.relational import relational_model
+from repro.search import SearchOptions, VolcanoOptimizer
+from repro.bench.reporting import Table, geometric_mean, render_log_chart
+from repro.workloads import QueryGenerator, WorkloadOptions
+
+__all__ = [
+    "Figure4Config",
+    "Figure4Row",
+    "Figure4Result",
+    "run_figure4",
+    "render_figure4",
+    "figure4_to_csv",
+]
+
+
+@dataclass(frozen=True)
+class Figure4Config:
+    """Experiment parameters (defaults: the paper's setup)."""
+
+    sizes: Sequence[int] = tuple(range(2, 9))
+    queries_per_size: int = 50
+    seed: int = 1993
+    workload: WorkloadOptions = field(default_factory=WorkloadOptions)
+    exodus: ExodusOptions = field(
+        default_factory=lambda: ExodusOptions(
+            node_budget=1500, transformation_budget=1500
+        )
+    )
+    volcano: SearchOptions = field(
+        default_factory=lambda: SearchOptions(check_consistency=False)
+    )
+
+
+@dataclass
+class Figure4Row:
+    """Aggregates for one complexity level (one x position in Figure 4)."""
+
+    n_relations: int
+    queries: int
+    volcano_time: float                 # mean seconds per query
+    exodus_time: Optional[float]        # mean over completed queries
+    volcano_cost: float                 # geometric mean of plan cost
+    exodus_cost: Optional[float]        # geometric mean over completed
+    quality_ratio: Optional[float]      # mean exodus/volcano cost ratio
+    exodus_aborts: int
+    volcano_footprint: float            # memo groups + expressions (mean)
+    exodus_footprint: Optional[float]   # MESH logical+physical (mean)
+
+
+@dataclass
+class Figure4Result:
+    config: Figure4Config
+    rows: List[Figure4Row] = field(default_factory=list)
+
+
+def run_figure4(config: Optional[Figure4Config] = None, progress=None) -> Figure4Result:
+    """Run the experiment; ``progress`` (if given) receives status lines."""
+    config = config or Figure4Config()
+    generator = QueryGenerator(config.workload)
+    spec = relational_model()
+    result = Figure4Result(config=config)
+    for size in config.sizes:
+        volcano_times: List[float] = []
+        volcano_costs: List[float] = []
+        volcano_footprints: List[float] = []
+        exodus_times: List[float] = []
+        exodus_costs: List[float] = []
+        exodus_footprints: List[float] = []
+        ratios: List[float] = []
+        aborts = 0
+        for query in generator.generate_batch(
+            size, config.queries_per_size, seed=config.seed
+        ):
+            volcano = VolcanoOptimizer(spec, query.catalog, config.volcano)
+            started = time.perf_counter()
+            volcano_result = volcano.optimize(query.query, required=query.required)
+            volcano_times.append(time.perf_counter() - started)
+            volcano_costs.append(volcano_result.cost.total())
+            volcano_footprints.append(volcano_result.stats.memo_footprint())
+
+            exodus = ExodusOptimizer(spec, query.catalog, config.exodus)
+            started = time.perf_counter()
+            exodus_result = exodus.optimize(query.query, required=query.required)
+            elapsed = time.perf_counter() - started
+            if exodus_result.aborted:
+                # "The data points in Figure 4 represent only those
+                # queries for which the EXODUS optimizer generator
+                # completed the optimization."
+                aborts += 1
+            else:
+                exodus_times.append(elapsed)
+                exodus_costs.append(exodus_result.cost.total())
+                exodus_footprints.append(exodus_result.stats.mesh_size())
+                ratios.append(
+                    exodus_result.cost.total() / volcano_result.cost.total()
+                )
+        row = Figure4Row(
+            n_relations=size,
+            queries=config.queries_per_size,
+            volcano_time=statistics.mean(volcano_times),
+            exodus_time=statistics.mean(exodus_times) if exodus_times else None,
+            volcano_cost=geometric_mean(volcano_costs),
+            exodus_cost=geometric_mean(exodus_costs) if exodus_costs else None,
+            quality_ratio=statistics.mean(ratios) if ratios else None,
+            exodus_aborts=aborts,
+            volcano_footprint=statistics.mean(volcano_footprints),
+            exodus_footprint=(
+                statistics.mean(exodus_footprints) if exodus_footprints else None
+            ),
+        )
+        result.rows.append(row)
+        if progress is not None:
+            progress(
+                f"n={size}: volcano {row.volcano_time * 1000:.1f} ms, "
+                f"exodus "
+                + (
+                    f"{row.exodus_time * 1000:.1f} ms"
+                    if row.exodus_time is not None
+                    else "all aborted"
+                )
+                + f", aborts {aborts}/{config.queries_per_size}"
+            )
+    return result
+
+
+def render_figure4(result: Figure4Result) -> str:
+    """Tables + log-scale charts mirroring the figure's two line pairs."""
+    table = Table(
+        "Figure 4 — Exhaustive Optimization Performance",
+        [
+            "relations",
+            "volcano ms",
+            "exodus ms",
+            "time ratio",
+            "volcano cost",
+            "exodus cost",
+            "cost ratio",
+            "aborts",
+        ],
+    )
+    for row in result.rows:
+        time_ratio = (
+            row.exodus_time / row.volcano_time if row.exodus_time else None
+        )
+        table.add_row(
+            row.n_relations,
+            row.volcano_time * 1000,
+            row.exodus_time * 1000 if row.exodus_time is not None else "—",
+            f"{time_ratio:.1f}x" if time_ratio else "—",
+            row.volcano_cost,
+            row.exodus_cost if row.exodus_cost is not None else "—",
+            f"{row.quality_ratio:.2f}x" if row.quality_ratio else "—",
+            f"{row.exodus_aborts}/{row.queries}",
+        )
+    table.add_note(
+        "EXODUS columns average only completed optimizations, as in the paper."
+    )
+    memory = Table(
+        "Figure 4 (text) — Memory: memo vs. MESH footprint (nodes)",
+        ["relations", "volcano memo", "exodus MESH", "ratio"],
+    )
+    for row in result.rows:
+        ratio = (
+            row.exodus_footprint / row.volcano_footprint
+            if row.exodus_footprint
+            else None
+        )
+        memory.add_row(
+            row.n_relations,
+            row.volcano_footprint,
+            row.exodus_footprint if row.exodus_footprint is not None else "—",
+            f"{ratio:.1f}x" if ratio else "—",
+        )
+    sizes = [row.n_relations for row in result.rows]
+    time_chart = render_log_chart(
+        "Optimization time per query [ms, log scale] (solid lines in Figure 4)",
+        sizes,
+        [
+            ("volcano", "o", [row.volcano_time * 1000 for row in result.rows]),
+            (
+                "exodus",
+                "#",
+                [
+                    row.exodus_time * 1000 if row.exodus_time is not None else None
+                    for row in result.rows
+                ],
+            ),
+        ],
+    )
+    cost_chart = render_log_chart(
+        "Estimated plan execution cost [log scale] (dashed lines in Figure 4)",
+        sizes,
+        [
+            ("volcano", "o", [row.volcano_cost for row in result.rows]),
+            (
+                "exodus",
+                "#",
+                [row.exodus_cost for row in result.rows],
+            ),
+        ],
+    )
+    return "\n\n".join([table.render(), memory.render(), time_chart, cost_chart])
+
+
+def figure4_to_csv(result: Figure4Result) -> str:
+    """The experiment's rows as CSV (for external plotting tools)."""
+    lines = [
+        "n_relations,queries,volcano_ms,exodus_ms,volcano_cost,exodus_cost,"
+        "quality_ratio,exodus_aborts,volcano_footprint,exodus_footprint"
+    ]
+    for row in result.rows:
+        cells = [
+            row.n_relations,
+            row.queries,
+            round(row.volcano_time * 1000, 4),
+            round(row.exodus_time * 1000, 4) if row.exodus_time is not None else "",
+            round(row.volcano_cost, 2),
+            round(row.exodus_cost, 2) if row.exodus_cost is not None else "",
+            round(row.quality_ratio, 4) if row.quality_ratio is not None else "",
+            row.exodus_aborts,
+            round(row.volcano_footprint, 1),
+            round(row.exodus_footprint, 1) if row.exodus_footprint is not None else "",
+        ]
+        lines.append(",".join(str(cell) for cell in cells))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,127 @@
+"""Tabular reporting for the benchmark harness.
+
+The paper presents Figure 4 as two log-scale series; we regenerate the
+underlying numbers as tables (one row per complexity level) plus a
+simple logarithmic ASCII chart so the shape — who wins, by what factor,
+where the curves bend — is visible in a terminal.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+__all__ = ["Table", "render_log_chart", "geometric_mean"]
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean, the right average for log-scale quantities."""
+    positive = [value for value in values if value > 0]
+    if not positive:
+        return 0.0
+    return math.exp(sum(math.log(value) for value in positive) / len(positive))
+
+
+@dataclass
+class Table:
+    """A titled table with formatted cells."""
+
+    title: str
+    headers: List[str]
+    rows: List[List[object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells) -> None:
+        """Append one row of cells."""
+        self.rows.append(list(cells))
+
+    def add_note(self, note: str) -> None:
+        """Append a footnote below the table."""
+        self.notes.append(note)
+
+    def render(self) -> str:
+        """The table as aligned monospace text."""
+        cells = [[_format(cell) for cell in row] for row in self.rows]
+        widths = [len(header) for header in self.headers]
+        for row in cells:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = [self.title, "=" * len(self.title)]
+        lines.append(
+            "  ".join(header.ljust(width) for header, width in zip(self.headers, widths))
+        )
+        lines.append("  ".join("-" * width for width in widths))
+        for row in cells:
+            lines.append(
+                "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+            )
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _format(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.01:
+            return f"{cell:.3g}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def render_log_chart(
+    title: str,
+    x_values: Sequence[float],
+    series: Sequence[tuple],
+    width: int = 60,
+    height: int = 16,
+) -> str:
+    """A log-y ASCII chart; ``series`` is ``[(label, marker, ys), …]``.
+
+    ``None`` entries in a series are skipped (e.g. aborted EXODUS runs),
+    matching the paper's "data points represent only those queries for
+    which the EXODUS optimizer generator completed".
+    """
+    points = [
+        value
+        for _, _, ys in series
+        for value in ys
+        if value is not None and value > 0
+    ]
+    if not points:
+        return f"{title}\n(no data)"
+    low = math.log10(min(points))
+    high = math.log10(max(points))
+    if high - low < 1e-9:
+        high = low + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    x_low, x_high = min(x_values), max(x_values)
+    span = max(1e-9, x_high - x_low)
+    for _, marker, ys in series:
+        for x, y in zip(x_values, ys):
+            if y is None or y <= 0:
+                continue
+            column = int((x - x_low) / span * (width - 1))
+            row = int((math.log10(y) - low) / (high - low) * (height - 1))
+            grid[height - 1 - row][column] = marker
+    lines = [title]
+    lines.append(f"10^{high:.1f} +" + "-" * width)
+    for row in grid:
+        lines.append("       |" + "".join(row))
+    lines.append(f"10^{low:.1f} +" + "-" * width)
+    axis = "        "
+    labels = {int((x - x_low) / span * (width - 1)): str(x) for x in x_values}
+    rendered = list(" " * (width + 1))
+    for column, label in labels.items():
+        for offset, character in enumerate(label):
+            if column + offset < len(rendered):
+                rendered[column + offset] = character
+    lines.append(axis + "".join(rendered))
+    legend = "  ".join(f"{marker}={label}" for label, marker, _ in series)
+    lines.append(f"       {legend}")
+    return "\n".join(lines)

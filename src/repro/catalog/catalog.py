@@ -1,0 +1,104 @@
+"""The catalog: the registry of stored tables, schemas, and statistics.
+
+A generated optimizer consults the catalog through the logical property
+functions (schema and cardinality derivation) and through the cost
+functions (page counts).  The executor additionally stores the actual
+rows here so plans can run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.catalog.schema import Schema
+from repro.catalog.statistics import DEFAULT_PAGE_SIZE, TableStatistics
+from repro.errors import CatalogError, UnknownTableError
+
+__all__ = ["TableEntry", "Catalog"]
+
+
+@dataclass
+class TableEntry:
+    """One stored table: name, schema, statistics, and (optionally) rows."""
+
+    name: str
+    schema: Schema
+    statistics: TableStatistics
+    rows: Optional[List[dict]] = None
+
+    @property
+    def has_rows(self) -> bool:
+        return self.rows is not None
+
+
+class Catalog:
+    """A mutable registry of tables keyed by name.
+
+    The optimizer only reads from the catalog; workload generators and
+    the data generator write to it.
+    """
+
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE):
+        if page_size <= 0:
+            raise CatalogError("page_size must be positive")
+        self.page_size = page_size
+        self._tables: Dict[str, TableEntry] = {}
+
+    def add_table(
+        self,
+        name: str,
+        schema: Schema,
+        statistics: TableStatistics,
+        rows: Optional[List[dict]] = None,
+    ) -> TableEntry:
+        """Register a table; re-registering an existing name is an error."""
+        if name in self._tables:
+            raise CatalogError(f"table {name!r} already registered")
+        if rows is not None and len(rows) != int(statistics.row_count):
+            raise CatalogError(
+                f"table {name!r}: statistics claim {statistics.row_count} rows "
+                f"but {len(rows)} rows were supplied"
+            )
+        entry = TableEntry(name=name, schema=schema, statistics=statistics, rows=rows)
+        self._tables[name] = entry
+        return entry
+
+    def replace_table(
+        self,
+        name: str,
+        schema: Schema,
+        statistics: TableStatistics,
+        rows: Optional[List[dict]] = None,
+    ) -> TableEntry:
+        """Register a table, replacing any existing entry of the same name."""
+        self._tables.pop(name, None)
+        return self.add_table(name, schema, statistics, rows)
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table; unknown names raise UnknownTableError."""
+        if name not in self._tables:
+            raise UnknownTableError(name)
+        del self._tables[name]
+
+    def table(self, name: str) -> TableEntry:
+        """Look up a table; unknown names raise UnknownTableError."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise UnknownTableError(name) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def table_names(self) -> Tuple[str, ...]:
+        """Registered table names, in registration order."""
+        return tuple(self._tables)
+
+    def tables(self) -> Iterable[TableEntry]:
+        """All registered table entries."""
+        return self._tables.values()
+
+    def pages(self, name: str) -> int:
+        """Page count of a stored table under this catalog's page size."""
+        return self.table(name).statistics.pages(self.page_size)

@@ -1,0 +1,109 @@
+"""Save and load catalogs as JSON.
+
+Lets users bring their own schema/statistics (and optionally data) to
+the optimizer — e.g. ``python -m repro.sql --catalog mydb.json`` — and
+lets experiments pin their inputs to a file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import Column, ColumnType, Schema
+from repro.catalog.statistics import ColumnStatistics, TableStatistics
+from repro.errors import CatalogError
+
+__all__ = ["save_catalog", "load_catalog", "catalog_to_dict", "catalog_from_dict"]
+
+FORMAT_VERSION = 1
+
+
+def catalog_to_dict(catalog: Catalog, include_rows: bool = True) -> dict:
+    """A JSON-serializable snapshot of a catalog."""
+    tables = []
+    for entry in catalog.tables():
+        statistics = entry.statistics
+        table = {
+            "name": entry.name,
+            "schema": [
+                {"name": c.name, "type": c.type.value, "width": c.width}
+                for c in entry.schema
+            ],
+            "statistics": {
+                "row_count": statistics.row_count,
+                "row_width": statistics.row_width,
+                "columns": {
+                    name: {
+                        "distinct_values": cs.distinct_values,
+                        "min_value": cs.min_value,
+                        "max_value": cs.max_value,
+                    }
+                    for name, cs in statistics.columns.items()
+                },
+            },
+        }
+        if include_rows and entry.has_rows:
+            table["rows"] = entry.rows
+        tables.append(table)
+    return {
+        "format": "repro-catalog",
+        "version": FORMAT_VERSION,
+        "page_size": catalog.page_size,
+        "tables": tables,
+    }
+
+
+def catalog_from_dict(data: dict) -> Catalog:
+    """Rebuild a catalog from :func:`catalog_to_dict` output."""
+    if data.get("format") != "repro-catalog":
+        raise CatalogError("not a repro catalog file")
+    if data.get("version") != FORMAT_VERSION:
+        raise CatalogError(
+            f"unsupported catalog format version {data.get('version')!r}"
+        )
+    catalog = Catalog(page_size=data.get("page_size", 4096))
+    for table in data.get("tables", []):
+        schema = Schema(
+            tuple(
+                Column(c["name"], ColumnType(c["type"]), c.get("width"))
+                for c in table["schema"]
+            )
+        )
+        stats_data = table["statistics"]
+        statistics = TableStatistics(
+            row_count=stats_data["row_count"],
+            row_width=stats_data["row_width"],
+            columns={
+                name: ColumnStatistics(
+                    cs["distinct_values"], cs.get("min_value"), cs.get("max_value")
+                )
+                for name, cs in stats_data.get("columns", {}).items()
+            },
+        )
+        catalog.add_table(
+            table["name"], schema, statistics, rows=table.get("rows")
+        )
+    return catalog
+
+
+def save_catalog(
+    catalog: Catalog,
+    path: Union[str, Path],
+    include_rows: bool = True,
+) -> None:
+    """Write a catalog (optionally with stored rows) to a JSON file."""
+    Path(path).write_text(
+        json.dumps(catalog_to_dict(catalog, include_rows=include_rows))
+    )
+
+
+def load_catalog(path: Union[str, Path]) -> Catalog:
+    """Read a catalog from a JSON file produced by :func:`save_catalog`."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise CatalogError(f"cannot load catalog from {path}: {error}") from error
+    return catalog_from_dict(data)

@@ -1,0 +1,129 @@
+"""Selectivity estimation for predicates.
+
+The paper attaches selectivity estimation to the logical property
+functions; this module is the shared implementation the bundled models
+use.  The estimation rules are the classic System R ones (Selinger et
+al. 1979, the paper's reference [15]):
+
+* ``col = literal``       →  1 / distinct(col)
+* ``col = col'`` (join)   →  1 / max(distinct(col), distinct(col'))
+* range comparisons       →  interpolation over [min, max], else 1/3
+* ``col <> literal``      →  1 − 1/distinct(col)
+* AND multiplies, OR adds with the inclusion–exclusion correction,
+  NOT complements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.algebra.predicates import (
+    Comparison,
+    ComparisonOp,
+    Conjunction,
+    Disjunction,
+    Negation,
+    Predicate,
+    TruePredicate,
+)
+from repro.catalog.statistics import ColumnStatistics
+
+__all__ = ["SelectivityDefaults", "SelectivityEstimator"]
+
+
+@dataclass(frozen=True)
+class SelectivityDefaults:
+    """Fallback constants when statistics are missing (System R defaults)."""
+
+    equality: float = 0.1
+    range: float = 1.0 / 3.0
+    inequality: float = 0.9
+    other: float = 0.5
+
+
+class SelectivityEstimator:
+    """Estimates the fraction of rows a predicate keeps.
+
+    Column statistics are supplied per call (they belong to the
+    intermediate result being filtered, not to a base table), as a mapping
+    from column name to :class:`ColumnStatistics`.
+    """
+
+    def __init__(self, defaults: Optional[SelectivityDefaults] = None):
+        self.defaults = defaults or SelectivityDefaults()
+
+    def estimate(
+        self,
+        predicate: Predicate,
+        column_stats: Mapping[str, ColumnStatistics],
+    ) -> float:
+        """Selectivity of ``predicate`` in [0, 1]."""
+        result = self._estimate(predicate, column_stats)
+        return min(1.0, max(0.0, result))
+
+    def _estimate(self, predicate, column_stats) -> float:
+        if isinstance(predicate, TruePredicate):
+            return 1.0
+        if isinstance(predicate, Conjunction):
+            product = 1.0
+            for part in predicate.parts:
+                product *= self._estimate(part, column_stats)
+            return product
+        if isinstance(predicate, Disjunction):
+            # Inclusion–exclusion assuming independence.
+            keep_none = 1.0
+            for part in predicate.parts:
+                keep_none *= 1.0 - self._estimate(part, column_stats)
+            return 1.0 - keep_none
+        if isinstance(predicate, Negation):
+            return 1.0 - self._estimate(predicate.part, column_stats)
+        if isinstance(predicate, Comparison):
+            return self._estimate_comparison(predicate, column_stats)
+        return self.defaults.other
+
+    def _estimate_comparison(self, comparison, column_stats) -> float:
+        column_pair = comparison.column_pair()
+        if column_pair is not None:
+            return self._estimate_column_column(comparison, column_pair, column_stats)
+        column_literal = comparison.column_literal()
+        if column_literal is not None:
+            return self._estimate_column_literal(column_literal, column_stats)
+        return self.defaults.other
+
+    def _estimate_column_column(self, comparison, pair, column_stats) -> float:
+        left_stats = column_stats.get(pair[0])
+        right_stats = column_stats.get(pair[1])
+        if comparison.op is ComparisonOp.EQ:
+            distincts = [
+                stats.distinct_values
+                for stats in (left_stats, right_stats)
+                if stats is not None and stats.distinct_values > 0
+            ]
+            if distincts:
+                return 1.0 / max(distincts)
+            return self.defaults.equality
+        if comparison.op is ComparisonOp.NE:
+            return self.defaults.inequality
+        return self.defaults.range
+
+    def _estimate_column_literal(self, column_literal, column_stats) -> float:
+        name, op, value = column_literal
+        stats = column_stats.get(name)
+        if op is ComparisonOp.EQ:
+            if stats is not None and stats.distinct_values > 0:
+                return 1.0 / stats.distinct_values
+            return self.defaults.equality
+        if op is ComparisonOp.NE:
+            if stats is not None and stats.distinct_values > 0:
+                return 1.0 - 1.0 / stats.distinct_values
+            return self.defaults.inequality
+        # Range comparison: interpolate when the column has a numeric range.
+        if stats is not None:
+            fraction = stats.range_fraction(value)
+            if fraction is not None:
+                if op in (ComparisonOp.LT, ComparisonOp.LE):
+                    return fraction
+                if op in (ComparisonOp.GT, ComparisonOp.GE):
+                    return 1.0 - fraction
+        return self.defaults.range

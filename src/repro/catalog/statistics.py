@@ -1,0 +1,117 @@
+"""Table and column statistics used for cardinality and cost estimation.
+
+The paper's logical property functions "encapsulate selectivity
+estimation"; these statistics are their raw input.  The experiment in
+Section 4.2 used relations of 1,200 to 7,200 records of 100 bytes — the
+synthetic data generator produces statistics in exactly that range.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.errors import CatalogError
+
+__all__ = ["ColumnStatistics", "TableStatistics", "DEFAULT_PAGE_SIZE"]
+
+DEFAULT_PAGE_SIZE = 4096
+"""Bytes per page; 40 records of 100 bytes per page, as a 1993 system would."""
+
+
+@dataclass(frozen=True)
+class ColumnStatistics:
+    """Per-column statistics: distinct count and value range."""
+
+    distinct_values: float
+    min_value: Optional[object] = None
+    max_value: Optional[object] = None
+
+    def __post_init__(self):
+        if self.distinct_values < 0:
+            raise CatalogError("distinct_values must be non-negative")
+
+    def scaled(self, factor: float, row_count: float) -> "ColumnStatistics":
+        """Distinct count after a filter keeping ``factor`` of the rows.
+
+        Distinct values cannot exceed the surviving row count, and a
+        uniform filter keeps roughly ``min(d, factor·rows)`` of them; the
+        standard textbook approximation is ``min(d, rows_out)``.
+        """
+        return ColumnStatistics(
+            distinct_values=max(1.0, min(self.distinct_values, row_count)),
+            min_value=self.min_value,
+            max_value=self.max_value,
+        )
+
+    def range_fraction(self, op_value, low_inclusive: bool = True) -> Optional[float]:
+        """Fraction of the value range below ``op_value`` (for range predicates).
+
+        Returns None when the column has no numeric range statistics and
+        the caller should fall back to a default selectivity constant.
+        """
+        if self.min_value is None or self.max_value is None:
+            return None
+        try:
+            span = float(self.max_value) - float(self.min_value)
+            if span <= 0:
+                return None
+            fraction = (float(op_value) - float(self.min_value)) / span
+        except (TypeError, ValueError):
+            return None
+        return min(1.0, max(0.0, fraction))
+
+
+@dataclass(frozen=True)
+class TableStatistics:
+    """Statistics for one stored table."""
+
+    row_count: float
+    row_width: int
+    columns: Mapping[str, ColumnStatistics] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.row_count < 0:
+            raise CatalogError("row_count must be non-negative")
+        if self.row_width <= 0:
+            raise CatalogError("row_width must be positive")
+        # Freeze the mapping so TableStatistics is safely shareable.
+        object.__setattr__(self, "columns", dict(self.columns))
+
+    def pages(self, page_size: int = DEFAULT_PAGE_SIZE) -> int:
+        """Number of pages the table occupies (at least one)."""
+        rows_per_page = max(1, page_size // self.row_width)
+        return max(1, math.ceil(self.row_count / rows_per_page))
+
+    def column(self, name: str) -> Optional[ColumnStatistics]:
+        """Statistics for ``name``, or None when unknown."""
+        return self.columns.get(name)
+
+    def with_qualified_columns(self, qualifier: str) -> "TableStatistics":
+        """Return statistics whose column keys are qualified by ``qualifier``."""
+        return TableStatistics(
+            row_count=self.row_count,
+            row_width=self.row_width,
+            columns={
+                name if "." in name else f"{qualifier}.{name}": stats
+                for name, stats in self.columns.items()
+            },
+        )
+
+    def with_prefixed_columns(self, prefix: str) -> "TableStatistics":
+        """Statistics with every column key renamed to ``prefix.name``."""
+        return TableStatistics(
+            row_count=self.row_count,
+            row_width=self.row_width,
+            columns={
+                f"{prefix}.{name}": stats for name, stats in self.columns.items()
+            },
+        )
+
+
+def uniform_column(distinct: float, low: float = 0, high: Optional[float] = None) -> ColumnStatistics:
+    """Statistics for a uniformly distributed numeric column."""
+    if high is None:
+        high = low + max(0.0, distinct - 1)
+    return ColumnStatistics(distinct_values=distinct, min_value=low, max_value=high)

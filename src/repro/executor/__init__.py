@@ -1,0 +1,49 @@
+"""Volcano iterator execution engine + synthetic data (S13, S14)."""
+
+from repro.executor.compile import PlanCompiler, execute_plan
+from repro.executor.data import TableSpec, generate_table, populate_catalog
+from repro.executor.iterators import (
+    Exchange,
+    FileScan,
+    Filter,
+    FilterScan,
+    HashAggregate,
+    HashDistinct,
+    HashJoin,
+    MergeExcept,
+    MergeIntersect,
+    MergeJoin,
+    NestedLoopsJoin,
+    Project,
+    Sort,
+    SortedAggregate,
+    UnionAll,
+    VolcanoIterator,
+)
+from repro.executor.runtime import ExecutionContext, ExecutionStats
+
+__all__ = [
+    "PlanCompiler",
+    "execute_plan",
+    "TableSpec",
+    "generate_table",
+    "populate_catalog",
+    "Exchange",
+    "FileScan",
+    "Filter",
+    "FilterScan",
+    "HashAggregate",
+    "HashDistinct",
+    "HashJoin",
+    "MergeExcept",
+    "MergeIntersect",
+    "MergeJoin",
+    "NestedLoopsJoin",
+    "Project",
+    "Sort",
+    "SortedAggregate",
+    "UnionAll",
+    "VolcanoIterator",
+    "ExecutionContext",
+    "ExecutionStats",
+]

@@ -1,0 +1,191 @@
+"""Compile optimized physical plans into runnable iterator trees.
+
+The bridge between the optimizer's output (a :class:`PhysicalPlan`) and
+the execution engine — "the generated code is compiled and linked with
+[…] the query execution engine".  Each physical algorithm and enforcer
+of the bundled models maps to one iterator class.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.algebra.plans import PhysicalPlan
+from repro.algebra.predicates import equi_join_pairs
+from repro.catalog.catalog import Catalog
+from repro.errors import ExecutionError
+from repro.executor.iterators import (
+    Exchange,
+    FileScan,
+    Filter,
+    FilterScan,
+    HashAggregate,
+    HashJoin,
+    MergeJoin,
+    NestedLoopsJoin,
+    Project,
+    Row,
+    Sort,
+    SortedAggregate,
+    VolcanoIterator,
+)
+from repro.executor.runtime import ExecutionContext, ExecutionStats
+
+__all__ = ["PlanCompiler", "execute_plan"]
+
+
+class PlanCompiler:
+    """Turns plans of the bundled models into iterator trees.
+
+    Extensible: ``register(algorithm_name, builder)`` adds support for
+    new physical operators; builders receive
+    ``(compiler, context, plan_node, compiled_inputs)``.
+    """
+
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+        self._builders: Dict[str, Callable] = {
+            "file_scan": _build_file_scan,
+            "filter": _build_filter,
+            "filter_scan": _build_filter_scan,
+            "project": _build_project,
+            "sort": _build_sort,
+            "merge_join": _build_merge_join,
+            "hybrid_hash_join": _build_hash_join,
+            "nested_loops_join": _build_nested_loops,
+            "exchange": _build_exchange,
+            "hash_aggregate": _build_hash_aggregate,
+            "stream_aggregate": _build_stream_aggregate,
+        }
+
+    def register(self, algorithm: str, builder: Callable) -> None:
+        """Add (or replace) the iterator builder for ``algorithm``."""
+        self._builders[algorithm] = builder
+
+    def compile(
+        self, plan: PhysicalPlan, context: Optional[ExecutionContext] = None
+    ) -> VolcanoIterator:
+        """Build the iterator tree for ``plan``."""
+        context = context or ExecutionContext(self.catalog)
+        return self._compile(plan, context)
+
+    def _compile(self, plan: PhysicalPlan, context: ExecutionContext) -> VolcanoIterator:
+        builder = self._builders.get(plan.algorithm)
+        if builder is None:
+            raise ExecutionError(f"no iterator for algorithm {plan.algorithm!r}")
+        inputs = [self._compile(child, context) for child in plan.inputs]
+        return builder(self, context, plan, inputs)
+
+
+def _build_file_scan(compiler, context, plan, inputs):
+    table, alias = plan.args
+    return FileScan(context, table, alias)
+
+
+def _build_filter(compiler, context, plan, inputs):
+    (predicate,) = plan.args
+    return Filter(context, inputs[0], predicate)
+
+
+def _build_filter_scan(compiler, context, plan, inputs):
+    table, alias, predicate = plan.args
+    return FilterScan(context, table, alias, predicate)
+
+
+def _build_project(compiler, context, plan, inputs):
+    (columns,) = plan.args
+    return Project(context, inputs[0], columns)
+
+
+def _resolve_sort_columns(order, available: Tuple[str, ...]) -> List[str]:
+    """Pick one concrete column per (possibly equivalence-set) sort key."""
+    columns = []
+    for key in order:
+        names = key if isinstance(key, frozenset) else frozenset((key,))
+        chosen = next((name for name in available if name in names), None)
+        if chosen is None:
+            raise ExecutionError(
+                f"sort key {set(names)} not available in {available}"
+            )
+        columns.append(chosen)
+    return columns
+
+
+def _build_sort(compiler, context, plan, inputs):
+    (order,) = plan.args
+    source = inputs[0]
+    columns = _resolve_sort_columns(order, source.output_columns)
+    return Sort(context, source, columns)
+
+
+def _join_pairs(plan, left, right):
+    (predicate,) = plan.args
+    pairs = equi_join_pairs(
+        predicate,
+        frozenset(left.output_columns),
+        frozenset(right.output_columns),
+    )
+    if pairs is None:
+        raise ExecutionError(f"not an equi-join predicate: {predicate}")
+    return pairs
+
+
+def _ordered_merge_pairs(plan, left, right, pairs):
+    """Put the key pairs in the order the plan's inputs are sorted by."""
+    left_order = plan.inputs[0].properties.sort_order
+    if not left_order:
+        return pairs
+    ordered = []
+    remaining = list(pairs)
+    for key in left_order:
+        hit = next((pair for pair in remaining if pair[0] in key), None)
+        if hit is None:
+            break
+        ordered.append(hit)
+        remaining.remove(hit)
+    return tuple(ordered + remaining)
+
+
+def _build_merge_join(compiler, context, plan, inputs):
+    pairs = _join_pairs(plan, inputs[0], inputs[1])
+    pairs = _ordered_merge_pairs(plan, inputs[0], inputs[1], pairs)
+    return MergeJoin(context, inputs[0], inputs[1], pairs)
+
+
+def _build_hash_join(compiler, context, plan, inputs):
+    pairs = _join_pairs(plan, inputs[0], inputs[1])
+    return HashJoin(context, inputs[0], inputs[1], pairs)
+
+
+def _build_nested_loops(compiler, context, plan, inputs):
+    (predicate,) = plan.args
+    return NestedLoopsJoin(context, inputs[0], inputs[1], predicate)
+
+
+def _build_exchange(compiler, context, plan, inputs):
+    partitioning = plan.properties.partitioning
+    if partitioning is None:
+        raise ExecutionError("exchange plan node carries no partitioning")
+    columns = _resolve_sort_columns(partitioning.keys, inputs[0].output_columns)
+    return Exchange(context, inputs[0], columns, partitioning.degree)
+
+
+def _build_hash_aggregate(compiler, context, plan, inputs):
+    group_by, aggregates = plan.args
+    return HashAggregate(context, inputs[0], group_by, aggregates)
+
+
+def _build_stream_aggregate(compiler, context, plan, inputs):
+    group_by, aggregates = plan.args
+    return SortedAggregate(context, inputs[0], group_by, aggregates)
+
+
+def execute_plan(
+    plan: PhysicalPlan,
+    catalog: Catalog,
+    stats: Optional[ExecutionStats] = None,
+) -> List[Row]:
+    """Compile and drain a plan; returns its result rows."""
+    context = ExecutionContext(catalog, stats)
+    iterator = PlanCompiler(catalog).compile(plan, context)
+    return iterator.drain()

@@ -1,0 +1,703 @@
+"""Volcano-style iterators: every operator supports open / next / close.
+
+The Volcano execution engine popularized the demand-driven iterator
+protocol ("operators consuming and producing bulk types", with "data
+passed (or pipelined) between them").  Each iterator here:
+
+* ``open()``   — prepares state, opens inputs;
+* ``next()``   — returns the next row (a ``dict``) or ``None`` at end;
+* ``close()``  — releases state, closes inputs.
+
+Rows are dictionaries keyed by (qualified) column names.  Iterators are
+also Python iterables for convenience; ``list(iterator)`` drains a plan.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.algebra.predicates import Predicate
+from repro.errors import ExecutionError
+from repro.executor.runtime import ExecutionContext
+
+__all__ = [
+    "Row",
+    "VolcanoIterator",
+    "FileScan",
+    "Filter",
+    "FilterScan",
+    "Project",
+    "Sort",
+    "MergeJoin",
+    "HashJoin",
+    "NestedLoopsJoin",
+    "HashAggregate",
+    "SortedAggregate",
+    "UnionAll",
+    "HashDistinct",
+    "MergeIntersect",
+    "MergeExcept",
+    "Exchange",
+]
+
+Row = Dict[str, object]
+
+
+class VolcanoIterator:
+    """Base class implementing the open/next/close protocol."""
+
+    def __init__(self, context: ExecutionContext):
+        self.context = context
+        self._opened = False
+
+    # -- protocol ---------------------------------------------------------
+
+    def open(self) -> None:
+        """Prepare state and open inputs; called once before next()."""
+        if self._opened:
+            raise ExecutionError(f"{type(self).__name__} opened twice")
+        self._opened = True
+        self.context.stats.operators_opened += 1
+        self._do_open()
+
+    def next(self) -> Optional[Row]:
+        """The next row, or None when the input is exhausted."""
+        if not self._opened:
+            raise ExecutionError(f"{type(self).__name__} not open")
+        return self._do_next()
+
+    def close(self) -> None:
+        """Release state and close inputs; safe to call when not open."""
+        if not self._opened:
+            return
+        self._opened = False
+        self.context.stats.operators_closed += 1
+        self._do_close()
+
+    # -- subclass hooks -----------------------------------------------------
+
+    def _do_open(self) -> None:
+        raise NotImplementedError
+
+    def _do_next(self) -> Optional[Row]:
+        raise NotImplementedError
+
+    def _do_close(self) -> None:
+        pass
+
+    @property
+    def output_columns(self) -> Tuple[str, ...]:
+        """Column names this iterator emits."""
+        raise NotImplementedError
+
+    # -- conveniences ---------------------------------------------------------
+
+    def __iter__(self):
+        self.open()
+        try:
+            while True:
+                row = self.next()
+                if row is None:
+                    return
+                yield row
+        finally:
+            self.close()
+
+    def drain(self) -> List[Row]:
+        """Open, exhaust, and close; returns all rows."""
+        return list(self)
+
+
+class _UnaryIterator(VolcanoIterator):
+    def __init__(self, context, source: VolcanoIterator):
+        super().__init__(context)
+        self.source = source
+
+    def _do_open(self) -> None:
+        self.source.open()
+
+    def _do_close(self) -> None:
+        self.source.close()
+
+    @property
+    def output_columns(self) -> Tuple[str, ...]:
+        return self.source.output_columns
+
+
+class FileScan(VolcanoIterator):
+    """Scan a stored table, counting page reads honestly."""
+
+    def __init__(self, context, table: str, alias: Optional[str] = None):
+        super().__init__(context)
+        self.table = table
+        self.alias = alias
+        entry = context.catalog.table(table)
+        if not entry.has_rows:
+            raise ExecutionError(f"table {table!r} has no stored rows")
+        self._entry = entry
+        self._rows_per_page = max(
+            1, context.page_size // max(1, entry.statistics.row_width)
+        )
+        self._position = 0
+        base = entry.schema.column_names
+        if alias is not None:
+            self._columns = tuple(f"{alias}.{name}" for name in base)
+        else:
+            self._columns = base
+
+    def _do_open(self) -> None:
+        self._position = 0
+
+    def _do_next(self) -> Optional[Row]:
+        rows = self._entry.rows
+        if self._position >= len(rows):
+            return None
+        if self._position % self._rows_per_page == 0:
+            self.context.stats.pages_read += 1
+        row = rows[self._position]
+        self._position += 1
+        self.context.stats.rows_scanned += 1
+        if self.alias is not None:
+            return {f"{self.alias}.{name}": value for name, value in row.items()}
+        return dict(row)
+
+    @property
+    def output_columns(self) -> Tuple[str, ...]:
+        return self._columns
+
+
+class Filter(_UnaryIterator):
+    """Keep rows satisfying a predicate."""
+
+    def __init__(self, context, source, predicate: Predicate):
+        super().__init__(context, source)
+        self.predicate = predicate
+
+    def _do_next(self) -> Optional[Row]:
+        while True:
+            row = self.source.next()
+            if row is None:
+                return None
+            if self.predicate.evaluate(row):
+                self.context.stats.rows_emitted += 1
+                return row
+
+
+class FilterScan(VolcanoIterator):
+    """Combined scan + filter: the 'complex mapping' physical operator."""
+
+    def __init__(self, context, table, alias, predicate: Predicate):
+        super().__init__(context)
+        self._scan = FileScan(context, table, alias)
+        self.predicate = predicate
+
+    def _do_open(self) -> None:
+        self._scan.open()
+
+    def _do_next(self) -> Optional[Row]:
+        while True:
+            row = self._scan.next()
+            if row is None:
+                return None
+            if self.predicate.evaluate(row):
+                self.context.stats.rows_emitted += 1
+                return row
+
+    def _do_close(self) -> None:
+        self._scan.close()
+
+    @property
+    def output_columns(self) -> Tuple[str, ...]:
+        return self._scan.output_columns
+
+
+class Project(_UnaryIterator):
+    """Keep a subset of columns (no duplicate elimination)."""
+
+    def __init__(self, context, source, columns: Sequence[str]):
+        super().__init__(context, source)
+        self.columns = tuple(columns)
+
+    def _do_next(self) -> Optional[Row]:
+        row = self.source.next()
+        if row is None:
+            return None
+        try:
+            return {name: row[name] for name in self.columns}
+        except KeyError as missing:
+            raise ExecutionError(f"project: missing column {missing}") from None
+
+    @property
+    def output_columns(self) -> Tuple[str, ...]:
+        return self.columns
+
+
+class Sort(_UnaryIterator):
+    """Full sort; materializes its input (a stop point in the pipeline)."""
+
+    def __init__(self, context, source, sort_columns: Sequence[str], row_width: int = 100):
+        super().__init__(context, source)
+        self.sort_columns = tuple(sort_columns)
+        self.row_width = row_width
+        self._buffer: List[Row] = []
+        self._position = 0
+
+    def _do_open(self) -> None:
+        super()._do_open()
+        self._buffer = []
+        while True:
+            row = self.source.next()
+            if row is None:
+                break
+            self._buffer.append(row)
+        try:
+            self._buffer.sort(key=lambda row: tuple(row[c] for c in self.sort_columns))
+        except KeyError as missing:
+            raise ExecutionError(f"sort: missing column {missing}") from None
+        self._position = 0
+        stats = self.context.stats
+        stats.rows_sorted += len(self._buffer)
+        # Single-level merge accounting: write runs once, read them back.
+        pages = self.context.pages_for(len(self._buffer), self.row_width)
+        stats.pages_written += pages
+        stats.pages_read += pages
+
+    def _do_next(self) -> Optional[Row]:
+        if self._position >= len(self._buffer):
+            return None
+        row = self._buffer[self._position]
+        self._position += 1
+        return row
+
+    def _do_close(self) -> None:
+        self._buffer = []
+        super()._do_close()
+
+
+class _BinaryIterator(VolcanoIterator):
+    def __init__(self, context, left: VolcanoIterator, right: VolcanoIterator):
+        super().__init__(context)
+        self.left = left
+        self.right = right
+
+    def _do_open(self) -> None:
+        self.left.open()
+        self.right.open()
+
+    def _do_close(self) -> None:
+        self.left.close()
+        self.right.close()
+
+    @property
+    def output_columns(self) -> Tuple[str, ...]:
+        return self.left.output_columns + self.right.output_columns
+
+
+class MergeJoin(_BinaryIterator):
+    """Join two inputs sorted on the join keys; handles duplicate groups."""
+
+    def __init__(self, context, left, right, key_pairs: Sequence[Tuple[str, str]]):
+        super().__init__(context, left, right)
+        if not key_pairs:
+            raise ExecutionError("merge join requires at least one key pair")
+        self.key_pairs = tuple(key_pairs)
+        self._left_row: Optional[Row] = None
+        self._right_group: List[Row] = []
+        self._right_next: Optional[Row] = None
+        self._group_key = None
+        self._group_index = 0
+
+    def _left_key(self, row):
+        return tuple(row[left] for left, _ in self.key_pairs)
+
+    def _right_key(self, row):
+        return tuple(row[right] for _, right in self.key_pairs)
+
+    def _do_open(self) -> None:
+        super()._do_open()
+        self._left_row = self.left.next()
+        self._right_next = self.right.next()
+        self._right_group = []
+        self._group_key = None
+        self._group_index = 0
+
+    def _advance_right_group(self, key) -> None:
+        """Load the group of right rows whose key equals ``key``."""
+        self._right_group = []
+        self._group_key = key
+        while self._right_next is not None:
+            right_key = self._right_key(self._right_next)
+            self.context.stats.comparisons += 1
+            if right_key < key:
+                self._right_next = self.right.next()
+            elif right_key == key:
+                self._right_group.append(self._right_next)
+                self._right_next = self.right.next()
+            else:
+                break
+
+    def _do_next(self) -> Optional[Row]:
+        stats = self.context.stats
+        while self._left_row is not None:
+            key = self._left_key(self._left_row)
+            if self._group_key != key:
+                self._advance_right_group(key)
+                self._group_index = 0
+            if self._group_index < len(self._right_group):
+                right_row = self._right_group[self._group_index]
+                self._group_index += 1
+                combined = {**self._left_row, **right_row}
+                stats.rows_emitted += 1
+                return combined
+            self._left_row = self.left.next()
+            self._group_index = 0
+            # Keep the group: the next left row may share the key.
+        return None
+
+
+class HashJoin(_BinaryIterator):
+    """Build a hash table on the left input, probe with the right."""
+
+    def __init__(self, context, left, right, key_pairs: Sequence[Tuple[str, str]]):
+        super().__init__(context, left, right)
+        if not key_pairs:
+            raise ExecutionError("hash join requires at least one key pair")
+        self.key_pairs = tuple(key_pairs)
+        self._table: Dict[Tuple, List[Row]] = {}
+        self._matches: List[Row] = []
+        self._match_index = 0
+        self._probe_row: Optional[Row] = None
+
+    def _do_open(self) -> None:
+        super()._do_open()
+        self._table = {}
+        stats = self.context.stats
+        while True:
+            row = self.left.next()
+            if row is None:
+                break
+            key = tuple(row[left] for left, _ in self.key_pairs)
+            self._table.setdefault(key, []).append(row)
+            stats.hash_build_rows += 1
+        self._matches, self._match_index, self._probe_row = [], 0, None
+
+    def _do_next(self) -> Optional[Row]:
+        stats = self.context.stats
+        while True:
+            if self._match_index < len(self._matches):
+                left_row = self._matches[self._match_index]
+                self._match_index += 1
+                stats.rows_emitted += 1
+                return {**left_row, **self._probe_row}
+            self._probe_row = self.right.next()
+            if self._probe_row is None:
+                return None
+            stats.hash_probe_rows += 1
+            key = tuple(self._probe_row[right] for _, right in self.key_pairs)
+            self._matches = self._table.get(key, [])
+            self._match_index = 0
+
+
+class NestedLoopsJoin(_BinaryIterator):
+    """Arbitrary-predicate join; materializes the right (inner) input."""
+
+    def __init__(self, context, left, right, predicate: Predicate):
+        super().__init__(context, left, right)
+        self.predicate = predicate
+        self._inner: List[Row] = []
+        self._outer_row: Optional[Row] = None
+        self._inner_index = 0
+
+    def _do_open(self) -> None:
+        super()._do_open()
+        self._inner = []
+        while True:
+            row = self.right.next()
+            if row is None:
+                break
+            self._inner.append(row)
+        self._outer_row = self.left.next()
+        self._inner_index = 0
+
+    def _do_next(self) -> Optional[Row]:
+        stats = self.context.stats
+        while self._outer_row is not None:
+            while self._inner_index < len(self._inner):
+                inner_row = self._inner[self._inner_index]
+                self._inner_index += 1
+                combined = {**self._outer_row, **inner_row}
+                stats.comparisons += 1
+                if self.predicate.evaluate(combined):
+                    stats.rows_emitted += 1
+                    return combined
+            self._outer_row = self.left.next()
+            self._inner_index = 0
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Aggregation
+# ---------------------------------------------------------------------------
+
+
+_AGGREGATES: Dict[str, Callable[[List[object]], object]] = {
+    "count": len,
+    "sum": sum,
+    "min": min,
+    "max": max,
+    "avg": lambda values: sum(values) / len(values) if values else None,
+}
+
+
+class _AggregateBase(_UnaryIterator):
+    """Shared grouping/aggregation logic.
+
+    ``aggregates`` are ``(output_name, function_name, input_column)``
+    triples; ``count`` ignores its input column.
+    """
+
+    def __init__(self, context, source, group_columns, aggregates):
+        super().__init__(context, source)
+        self.group_columns = tuple(group_columns)
+        self.aggregates = tuple(aggregates)
+        for _, function_name, _ in self.aggregates:
+            if function_name not in _AGGREGATES:
+                raise ExecutionError(f"unknown aggregate {function_name!r}")
+
+    def _finish_group(self, key, rows: List[Row]) -> Row:
+        result: Row = dict(zip(self.group_columns, key))
+        for output_name, function_name, column in self.aggregates:
+            if function_name == "count":
+                result[output_name] = len(rows)
+            else:
+                values = [row[column] for row in rows]
+                result[output_name] = _AGGREGATES[function_name](values)
+        self.context.stats.rows_emitted += 1
+        return result
+
+    @property
+    def output_columns(self) -> Tuple[str, ...]:
+        return self.group_columns + tuple(name for name, _, _ in self.aggregates)
+
+
+class HashAggregate(_AggregateBase):
+    """Group by hashing; materializes all groups on open."""
+
+    def _do_open(self) -> None:
+        super()._do_open()
+        groups: Dict[Tuple, List[Row]] = {}
+        order: List[Tuple] = []
+        while True:
+            row = self.source.next()
+            if row is None:
+                break
+            key = tuple(row[c] for c in self.group_columns)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(row)
+        self._results = [self._finish_group(key, groups[key]) for key in order]
+        self._position = 0
+
+    def _do_next(self) -> Optional[Row]:
+        if self._position >= len(self._results):
+            return None
+        row = self._results[self._position]
+        self._position += 1
+        return row
+
+
+class SortedAggregate(_AggregateBase):
+    """Group a sorted stream; pipelined, one group buffered at a time."""
+
+    def _do_open(self) -> None:
+        super()._do_open()
+        self._pending = self.source.next()
+
+    def _do_next(self) -> Optional[Row]:
+        if self._pending is None:
+            return None
+        key = tuple(self._pending[c] for c in self.group_columns)
+        rows = [self._pending]
+        while True:
+            row = self.source.next()
+            if row is None:
+                self._pending = None
+                break
+            next_key = tuple(row[c] for c in self.group_columns)
+            self.context.stats.comparisons += 1
+            if next_key != key:
+                self._pending = row
+                break
+            rows.append(row)
+        return self._finish_group(key, rows)
+
+
+# ---------------------------------------------------------------------------
+# Set operations
+# ---------------------------------------------------------------------------
+
+
+class UnionAll(VolcanoIterator):
+    """Concatenate inputs (bag union)."""
+
+    def __init__(self, context, sources: Sequence[VolcanoIterator]):
+        super().__init__(context)
+        if not sources:
+            raise ExecutionError("union needs at least one input")
+        self.sources = list(sources)
+        self._index = 0
+
+    def _do_open(self) -> None:
+        for source in self.sources:
+            source.open()
+        self._index = 0
+
+    def _do_next(self) -> Optional[Row]:
+        while self._index < len(self.sources):
+            row = self.sources[self._index].next()
+            if row is not None:
+                self.context.stats.rows_emitted += 1
+                return row
+            self._index += 1
+        return None
+
+    def _do_close(self) -> None:
+        for source in self.sources:
+            source.close()
+
+    @property
+    def output_columns(self) -> Tuple[str, ...]:
+        return self.sources[0].output_columns
+
+
+class HashDistinct(_UnaryIterator):
+    """Duplicate elimination by hashing."""
+
+    def _do_open(self) -> None:
+        super()._do_open()
+        self._seen = set()
+
+    def _do_next(self) -> Optional[Row]:
+        while True:
+            row = self.source.next()
+            if row is None:
+                return None
+            key = tuple(sorted(row.items()))
+            if key in self._seen:
+                continue
+            self._seen.add(key)
+            self.context.stats.rows_emitted += 1
+            return row
+
+
+class _MergeSetOperation(_BinaryIterator):
+    """Base for sort-based intersection/difference on equally sorted inputs.
+
+    The key columns are positional: ``pairs`` maps the left column to the
+    equivalent right column, as in the paper's intersection example where
+    any matching sort order of the two inputs will do.
+    """
+
+    def __init__(self, context, left, right, pairs: Sequence[Tuple[str, str]]):
+        super().__init__(context, left, right)
+        self.pairs = tuple(pairs)
+
+    def _do_open(self) -> None:
+        super()._do_open()
+        self._left_row = self.left.next()
+        self._right_row = self.right.next()
+
+    def _left_key(self, row):
+        return tuple(row[left] for left, _ in self.pairs)
+
+    def _right_key(self, row):
+        return tuple(row[right] for _, right in self.pairs)
+
+
+class MergeIntersect(_MergeSetOperation):
+    """Sorted intersection (distinct semantics)."""
+
+    def _do_next(self) -> Optional[Row]:
+        stats = self.context.stats
+        while self._left_row is not None and self._right_row is not None:
+            left_key = self._left_key(self._left_row)
+            right_key = self._right_key(self._right_row)
+            stats.comparisons += 1
+            if left_key < right_key:
+                self._left_row = self.left.next()
+            elif right_key < left_key:
+                self._right_row = self.right.next()
+            else:
+                result = self._left_row
+                # Skip duplicates on both sides (set semantics).
+                while self._left_row is not None and self._left_key(self._left_row) == left_key:
+                    self._left_row = self.left.next()
+                while self._right_row is not None and self._right_key(self._right_row) == right_key:
+                    self._right_row = self.right.next()
+                stats.rows_emitted += 1
+                return result
+        return None
+
+
+class MergeExcept(_MergeSetOperation):
+    """Sorted difference: left rows whose key is absent on the right."""
+
+    def _do_next(self) -> Optional[Row]:
+        stats = self.context.stats
+        while self._left_row is not None:
+            left_key = self._left_key(self._left_row)
+            while self._right_row is not None and self._right_key(self._right_row) < left_key:
+                self._right_row = self.right.next()
+            stats.comparisons += 1
+            if self._right_row is not None and self._right_key(self._right_row) == left_key:
+                while (
+                    self._left_row is not None
+                    and self._left_key(self._left_row) == left_key
+                ):
+                    self._left_row = self.left.next()
+                continue
+            result = self._left_row
+            while self._left_row is not None and self._left_key(self._left_row) == left_key:
+                self._left_row = self.left.next()
+            stats.rows_emitted += 1
+            return result
+        return None
+
+
+class Exchange(_UnaryIterator):
+    """Volcano's exchange operator, simulated serially.
+
+    Partitions its input into ``degree`` buckets by hashing the
+    partitioning columns, then replays the buckets in partition order —
+    the data movement a parallel system would perform, with every
+    transferred row counted.  It enforces the *partitioning* physical
+    property of the parallel model.
+    """
+
+    def __init__(self, context, source, partition_columns: Sequence[str], degree: int):
+        super().__init__(context, source)
+        if degree < 1:
+            raise ExecutionError("exchange degree must be at least 1")
+        self.partition_columns = tuple(partition_columns)
+        self.degree = degree
+
+    def _do_open(self) -> None:
+        super()._do_open()
+        buckets: List[List[Row]] = [[] for _ in range(self.degree)]
+        while True:
+            row = self.source.next()
+            if row is None:
+                break
+            key = tuple(row[c] for c in self.partition_columns)
+            buckets[hash(key) % self.degree].append(row)
+            self.context.stats.exchanges += 1
+        self._rows = [row for bucket in buckets for row in bucket]
+        self._position = 0
+
+    def _do_next(self) -> Optional[Row]:
+        if self._position >= len(self._rows):
+            return None
+        row = self._rows[self._position]
+        self._position += 1
+        return row

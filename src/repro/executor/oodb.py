@@ -1,0 +1,190 @@
+"""Executor support for the OODB model: navigation and assembly.
+
+Follows object references at run time so ``materialize`` plans execute.
+Reference convention (matching :mod:`repro.models.oodb`): the input row
+holds a reference value in the column whose unqualified name is the
+``materialize`` attribute, and it identifies the row of ``ref_table``
+whose ``<ref_table>.id`` equals it.
+
+* :class:`PointerChase` resolves references one at a time, charging one
+  page read per navigation — random I/O, like the real thing.
+* :class:`AssembledNavigate` requires the referenced extent to be
+  resident; :class:`Assembly` (the enforcer) makes it so by scanning the
+  extent once into an in-memory index that travels with the rows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ExecutionError
+from repro.executor.iterators import Row, _UnaryIterator
+from repro.executor.runtime import ExecutionContext
+
+__all__ = ["PointerChase", "Assembly", "AssembledNavigate", "register_oodb"]
+
+_RESIDENT_KEY = "__resident__"
+"""Hidden row key carrying assembled extent indexes downstream."""
+
+
+def _reference_column(row: Row, attribute: str) -> str:
+    for name in row:
+        if name == attribute or name.endswith(f".{attribute}"):
+            return name
+    raise ExecutionError(f"no reference column {attribute!r} in row")
+
+
+def _extent_index(context: ExecutionContext, ref_table: str) -> Dict:
+    entry = context.catalog.table(ref_table)
+    if not entry.has_rows:
+        raise ExecutionError(f"extent {ref_table!r} has no stored objects")
+    id_column = f"{ref_table}.id"
+    index = {}
+    for row in entry.rows:
+        if id_column not in row:
+            raise ExecutionError(f"extent {ref_table!r} rows lack {id_column!r}")
+        index[row[id_column]] = row
+    return index
+
+
+class PointerChase(_UnaryIterator):
+    """Follow each row's reference with one random page read."""
+
+    def __init__(self, context, source, attribute: str, ref_table: str):
+        super().__init__(context, source)
+        self.attribute = attribute
+        self.ref_table = ref_table
+        self._index: Optional[Dict] = None
+
+    def _do_open(self) -> None:
+        super()._do_open()
+        # The index stands in for the storage manager's record lookup;
+        # I/O is still charged per navigation below.
+        self._index = _extent_index(self.context, self.ref_table)
+
+    def _do_next(self) -> Optional[Row]:
+        while True:
+            row = self.source.next()
+            if row is None:
+                return None
+            reference = row[_reference_column(row, self.attribute)]
+            target = self._index.get(reference)
+            if target is None:
+                continue  # dangling reference: skip the object
+            # One random page read per navigated object.
+            self.context.stats.pages_read += 1
+            self.context.stats.rows_emitted += 1
+            combined = {**row, **target}
+            combined.pop(_RESIDENT_KEY, None)
+            return combined
+
+    @property
+    def output_columns(self) -> Tuple[str, ...]:
+        ref_schema = self.context.catalog.table(self.ref_table).schema
+        return self.source.output_columns + ref_schema.column_names
+
+
+class Assembly(_UnaryIterator):
+    """The assembly enforcer: batch-read an extent into memory.
+
+    Charges one sequential scan of the extent (its page count) once,
+    then annotates every passing row with the resident index so a
+    downstream :class:`AssembledNavigate` can follow references for
+    free.
+    """
+
+    def __init__(self, context, source, ref_table: str):
+        super().__init__(context, source)
+        self.ref_table = ref_table
+        self._index: Optional[Dict] = None
+
+    def _do_open(self) -> None:
+        super()._do_open()
+        self._index = _extent_index(self.context, self.ref_table)
+        entry = self.context.catalog.table(self.ref_table)
+        self.context.stats.pages_read += entry.statistics.pages(
+            self.context.page_size
+        )
+
+    def _do_next(self) -> Optional[Row]:
+        row = self.source.next()
+        if row is None:
+            return None
+        resident = dict(row.get(_RESIDENT_KEY) or {})
+        resident[self.ref_table] = self._index
+        annotated = dict(row)
+        annotated[_RESIDENT_KEY] = resident
+        return annotated
+
+
+class AssembledNavigate(_UnaryIterator):
+    """Follow references through the resident index — no I/O."""
+
+    def __init__(self, context, source, attribute: str, ref_table: str):
+        super().__init__(context, source)
+        self.attribute = attribute
+        self.ref_table = ref_table
+
+    def _do_next(self) -> Optional[Row]:
+        while True:
+            row = self.source.next()
+            if row is None:
+                return None
+            resident = row.get(_RESIDENT_KEY) or {}
+            index = resident.get(self.ref_table)
+            if index is None:
+                raise ExecutionError(
+                    f"extent {self.ref_table!r} is not assembled; the plan "
+                    f"is missing an assembly enforcer"
+                )
+            reference = row[_reference_column(row, self.attribute)]
+            target = index.get(reference)
+            if target is None:
+                continue
+            self.context.stats.rows_emitted += 1
+            combined = {**row, **target}
+            combined[_RESIDENT_KEY] = resident
+            return combined
+
+    @property
+    def output_columns(self) -> Tuple[str, ...]:
+        ref_schema = self.context.catalog.table(self.ref_table).schema
+        return self.source.output_columns + ref_schema.column_names
+
+
+def _strip_resident(rows):
+    for row in rows:
+        row.pop(_RESIDENT_KEY, None)
+    return rows
+
+
+def execute_oodb_plan(plan, catalog, stats=None):
+    """Compile (with the OODB builders) and drain an OODB plan."""
+    from repro.executor.compile import PlanCompiler
+    from repro.executor.runtime import ExecutionContext
+
+    context = ExecutionContext(catalog, stats)
+    compiler = PlanCompiler(catalog)
+    register_oodb(compiler)
+    iterator = compiler.compile(plan, context)
+    return _strip_resident(iterator.drain())
+
+
+def register_oodb(compiler) -> None:
+    """Register the OODB builders on a :class:`PlanCompiler`."""
+
+    def build_pointer_chase(compiler, context, plan, inputs):
+        attribute, ref_table = plan.args
+        return PointerChase(context, inputs[0], attribute, ref_table)
+
+    def build_navigate(compiler, context, plan, inputs):
+        attribute, ref_table = plan.args
+        return AssembledNavigate(context, inputs[0], attribute, ref_table)
+
+    def build_assembly(compiler, context, plan, inputs):
+        (ref_table,) = plan.args
+        return Assembly(context, inputs[0], ref_table)
+
+    compiler.register("pointer_chase", build_pointer_chase)
+    compiler.register("assembled_navigate", build_navigate)
+    compiler.register("assembly", build_assembly)

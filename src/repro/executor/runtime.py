@@ -1,0 +1,64 @@
+"""Execution runtime: per-query statistics and context.
+
+The executor exists so optimized plans actually run — the Volcano
+project's query execution engine is the substrate the optimizer
+generator was built for ("compiled and linked with the other DBMS
+software such as the query execution engine").  The statistics let the
+benchmarks validate the cost model's inputs against reality (DESIGN.md
+invariant 8): page counts for scans are exact, row counts compare
+against cardinality estimates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.catalog.catalog import Catalog
+
+__all__ = ["ExecutionStats", "ExecutionContext"]
+
+
+@dataclass
+class ExecutionStats:
+    """Counters accumulated while a plan runs."""
+
+    pages_read: int = 0
+    pages_written: int = 0
+    rows_scanned: int = 0
+    rows_emitted: int = 0
+    rows_sorted: int = 0
+    hash_build_rows: int = 0
+    hash_probe_rows: int = 0
+    comparisons: int = 0
+    exchanges: int = 0
+    operators_opened: int = 0
+    operators_closed: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for name in vars(self):
+            setattr(self, name, 0)
+
+    def __str__(self) -> str:
+        return (
+            f"io={self.pages_read}r/{self.pages_written}w "
+            f"rows={self.rows_scanned}scan/{self.rows_emitted}out "
+            f"sorted={self.rows_sorted} hash={self.hash_build_rows}b/"
+            f"{self.hash_probe_rows}p"
+        )
+
+
+class ExecutionContext:
+    """Shared state for one plan execution."""
+
+    def __init__(self, catalog: Catalog, stats: Optional[ExecutionStats] = None):
+        self.catalog = catalog
+        self.page_size = catalog.page_size
+        self.stats = stats if stats is not None else ExecutionStats()
+
+    def pages_for(self, row_count: int, row_width: int) -> int:
+        """Page count for ``row_count`` rows of ``row_width`` bytes."""
+        rows_per_page = max(1, self.page_size // max(1, row_width))
+        return max(1, math.ceil(row_count / rows_per_page)) if row_count else 0

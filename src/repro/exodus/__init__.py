@@ -1,0 +1,14 @@
+"""The EXODUS optimizer generator baseline (S11)."""
+
+from repro.exodus.engine import ExodusOptimizer, ExodusOptions, ExodusResult
+from repro.exodus.mesh import Mesh, MeshNode, MeshStats, PhysicalChoice
+
+__all__ = [
+    "ExodusOptimizer",
+    "ExodusOptions",
+    "ExodusResult",
+    "Mesh",
+    "MeshNode",
+    "MeshStats",
+    "PhysicalChoice",
+]

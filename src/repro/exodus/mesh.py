@@ -1,0 +1,208 @@
+"""MESH: the EXODUS optimizer generator's central data structure.
+
+Reconstructed from the paper's Section 4 description of the EXODUS
+prototype (and its references [2, 3]):
+
+* "only one type of node existed in the hash table called MESH, which
+  contained both a logical operator such as join and a physical algorithm
+  such as hybrid hash join.  To retain equivalent plans using merge-join
+  and hybrid hash join, the logical expression (or at least one node) had
+  to be kept twice, resulting in a large number of nodes in MESH."
+* "the organization of the MESH data structure […] was extremely
+  cumbersome, both in its time and space complexities."
+
+Our MESH keeps one node per *derived expression over specific child
+nodes* (so equivalent expressions over equivalent-but-distinct children
+duplicate nodes, as in EXODUS), and per node one retained physical choice
+per applicable algorithm (the "kept twice" bookkeeping).  Equivalence
+sets connect alternative derivations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.algebra.expressions import GROUP_LEAF, LogicalExpression
+from repro.algebra.properties import LogicalProperties, PhysProps
+from repro.errors import MemoryLimitExceededError
+from repro.model.cost import Cost
+
+__all__ = ["PhysicalChoice", "MeshNode", "Mesh", "MeshStats"]
+
+
+@dataclass
+class MeshStats:
+    """Work and memory counters of one EXODUS optimization."""
+
+    nodes_created: int = 0
+    physical_choices: int = 0
+    analyses: int = 0
+    reanalyses: int = 0
+    transformations_applied: int = 0
+    queue_pushes: int = 0
+    queue_stale_pops: int = 0
+    equivalence_merges: int = 0
+    elapsed_seconds: float = 0.0
+
+    def mesh_size(self) -> int:
+        """The paper's memory complaint: logical + physical node count."""
+        return self.nodes_created + self.physical_choices
+
+    def __str__(self) -> str:
+        return (
+            f"nodes={self.nodes_created} physical={self.physical_choices} "
+            f"analyses={self.analyses} reanalyses={self.reanalyses} "
+            f"transforms={self.transformations_applied} "
+            f"merges={self.equivalence_merges} time={self.elapsed_seconds:.4f}s"
+        )
+
+
+@dataclass
+class PhysicalChoice:
+    """One retained (node, algorithm) combination with its cost analysis.
+
+    ``input_requirements`` holds the sort order each input had to satisfy;
+    ``implicit_sorts`` flags the inputs for which the child did not happen
+    to deliver that order, so the cost includes an embedded sort — "the
+    cost of enforcers had to be included in the cost function of other
+    algorithms such as merge-join".
+    """
+
+    algorithm: str
+    args: Tuple
+    local_cost: Cost
+    total_cost: Cost
+    delivered: PhysProps
+    input_nodes: Tuple[int, ...]
+    input_requirements: Tuple[PhysProps, ...]
+    implicit_sorts: Tuple[bool, ...]
+
+
+class MeshNode:
+    """One expression node of MESH (logical + attached physical choices)."""
+
+    __slots__ = (
+        "id",
+        "operator",
+        "args",
+        "inputs",
+        "props",
+        "physical",
+        "best",
+        "eq",
+        "parents",
+    )
+
+    def __init__(self, node_id, operator, args, inputs, props):
+        self.id = node_id
+        self.operator: str = operator
+        self.args: Tuple = args
+        self.inputs: Tuple[int, ...] = inputs
+        self.props: LogicalProperties = props
+        # Retained physical alternatives, one per algorithm (+ variant).
+        self.physical: Dict[str, PhysicalChoice] = {}
+        self.best: Optional[PhysicalChoice] = None
+        self.eq: int = node_id  # equivalence set id (union-find root)
+        self.parents: Set[int] = set()
+
+    def __repr__(self) -> str:
+        return f"MeshNode({self.id}, {self.operator})"
+
+
+class Mesh:
+    """The hash table of MESH nodes plus equivalence bookkeeping."""
+
+    def __init__(self, stats: Optional[MeshStats] = None, node_budget: Optional[int] = None):
+        self.stats = stats if stats is not None else MeshStats()
+        self.node_budget = node_budget
+        self.nodes: Dict[int, MeshNode] = {}
+        self._table: Dict[Tuple, int] = {}
+        self._eq_parent: Dict[int, int] = {}
+        self._eq_members: Dict[int, List[int]] = {}
+        self._next_id = 0
+
+    # -- equivalence sets -----------------------------------------------------
+
+    def eq_root(self, eq_id: int) -> int:
+        """Representative id of an equivalence set (with path compression)."""
+        root = eq_id
+        while self._eq_parent.get(root, root) != root:
+            root = self._eq_parent[root]
+        while self._eq_parent.get(eq_id, eq_id) != eq_id:
+            self._eq_parent[eq_id], eq_id = root, self._eq_parent[eq_id]
+        return root
+
+    def eq_members(self, eq_id: int) -> List[int]:
+        """Node ids of every member of the equivalence set."""
+        return self._eq_members[self.eq_root(eq_id)]
+
+    def merge_eq(self, a: int, b: int) -> int:
+        """Union two equivalence sets; returns the surviving root."""
+        a, b = self.eq_root(a), self.eq_root(b)
+        if a == b:
+            return a
+        if len(self._eq_members[a]) < len(self._eq_members[b]):
+            a, b = b, a
+        self._eq_parent[b] = a
+        self._eq_members[a].extend(self._eq_members[b])
+        del self._eq_members[b]
+        self.stats.equivalence_merges += 1
+        return a
+
+    def eq_best_node(self, eq_id: int) -> MeshNode:
+        """The cheapest analyzed member of an equivalence set."""
+        best_node = None
+        for member in self.eq_members(eq_id):
+            node = self.nodes[member]
+            if node.best is None:
+                continue
+            if best_node is None or node.best.total_cost < best_node.best.total_cost:
+                best_node = node
+        if best_node is None:
+            raise RuntimeError(f"equivalence set {eq_id} has no analyzed member")
+        return best_node
+
+    def eq_parents(self, eq_id: int) -> Set[int]:
+        """Ids of all nodes consuming any member of the set."""
+        parents: Set[int] = set()
+        for member in self.eq_members(eq_id):
+            parents |= self.nodes[member].parents
+        return parents
+
+    # -- node creation ----------------------------------------------------------
+
+    def intern(self, operator, args, inputs, props) -> Tuple[MeshNode, bool]:
+        """Find or create the node for (operator, args, input node ids)."""
+        key = (operator, args, inputs)
+        existing = self._table.get(key)
+        if existing is not None:
+            return self.nodes[existing], False
+        if self.node_budget is not None and len(self.nodes) >= self.node_budget:
+            raise MemoryLimitExceededError(len(self.nodes), self.node_budget)
+        node = MeshNode(self._next_id, operator, args, inputs, props)
+        self._next_id += 1
+        self.nodes[node.id] = node
+        self._table[key] = node.id
+        self._eq_parent[node.id] = node.id
+        self._eq_members[node.id] = [node.id]
+        for input_id in inputs:
+            self.nodes[input_id].parents.add(node.id)
+        self.stats.nodes_created += 1
+        return node, True
+
+    def insert_tree(self, expression: LogicalExpression, derive_props) -> MeshNode:
+        """Insert an expression tree; ``GROUP_LEAF`` leaves reference nodes."""
+        if expression.operator == GROUP_LEAF:
+            return self.nodes[expression.args[0]]
+        children = tuple(
+            self.insert_tree(node, derive_props).id for node in expression.inputs
+        )
+        input_props = tuple(self.nodes[child].props for child in children)
+        props = derive_props(expression.operator, expression.args, input_props)
+        node, _ = self.intern(expression.operator, expression.args, children, props)
+        return node
+
+    def size(self) -> int:
+        """Number of MESH nodes currently held."""
+        return len(self.nodes)

@@ -1,0 +1,96 @@
+"""EXPLAIN-style reports for optimized plans.
+
+Renders what a DBA would want from the optimizer's output: per-operator
+estimated rows, delivered physical properties, local vs. cumulative
+cost, plus the search statistics of the optimization that produced the
+plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.algebra.plans import PhysicalPlan
+from repro.search.engine import OptimizationResult
+
+__all__ = ["ExplainLine", "explain_plan", "explain"]
+
+
+@dataclass
+class ExplainLine:
+    """One rendered operator of the plan."""
+
+    depth: int
+    algorithm: str
+    args: str
+    properties: str
+    cumulative: float
+    local: Optional[float]
+
+    def render(self, width: int) -> str:
+        """One aligned output line for this operator."""
+        name = "  " * self.depth + self.algorithm
+        if self.args:
+            name += f" [{self.args}]"
+        local = f"{self.local:>12.1f}" if self.local is not None else " " * 12
+        properties = self.properties or "-"
+        return (
+            f"{name:<{width}}  {self.cumulative:>12.1f}  {local}  {properties}"
+        )
+
+
+def _local_costs(plan: PhysicalPlan) -> Optional[float]:
+    """Local cost of a node: cumulative minus its inputs' cumulative."""
+    if plan.cost is None:
+        return None
+    total = plan.cost.total()
+    for child in plan.inputs:
+        if child.cost is None:
+            return None
+        total -= child.cost.total()
+    return total
+
+
+def explain_plan(plan: PhysicalPlan) -> str:
+    """A table of the plan: operator, cumulative cost, local cost, props."""
+    lines: List[ExplainLine] = []
+
+    def visit(node: PhysicalPlan, depth: int) -> None:
+        lines.append(
+            ExplainLine(
+                depth=depth,
+                algorithm=node.algorithm + (" (enforcer)" if node.is_enforcer else ""),
+                args=", ".join(str(a) for a in node.args),
+                properties=str(node.properties) if not node.properties.is_any else "",
+                cumulative=node.cost.total() if node.cost is not None else 0.0,
+                local=_local_costs(node),
+            )
+        )
+        for child in node.inputs:
+            visit(child, depth + 1)
+
+    visit(plan, 0)
+    width = max(
+        len("operator"),
+        max(
+            len("  " * line.depth + line.algorithm)
+            + (len(line.args) + 3 if line.args else 0)
+            for line in lines
+        ),
+    )
+    header = f"{'operator':<{width}}  {'cum. cost':>12}  {'local cost':>12}  properties"
+    rule = "-" * len(header)
+    return "\n".join([header, rule] + [line.render(width) for line in lines])
+
+
+def explain(result: OptimizationResult) -> str:
+    """Explain an optimization result: the plan plus search statistics."""
+    parts = [
+        f"goal: [{result.required}]   total cost: {result.cost}",
+        "",
+        explain_plan(result.plan),
+        "",
+        f"search: {result.stats}",
+    ]
+    return "\n".join(parts)

@@ -1,0 +1,11 @@
+"""The optimizer generator: spec validation, linking, source emission (S8)."""
+
+from repro.generator.codegen import compile_and_load, generate_source
+from repro.generator.generate import generate_optimizer, lint_specification
+
+__all__ = [
+    "compile_and_load",
+    "generate_source",
+    "generate_optimizer",
+    "lint_specification",
+]

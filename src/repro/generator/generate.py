@@ -1,0 +1,76 @@
+"""The optimizer generator: model specification → query optimizer.
+
+"When the DBMS software is being built, a model specification is
+translated into optimizer source code, which is then compiled and linked
+with the other DBMS software such as the query execution engine."
+(paper, Figure 1)
+
+Two entry points mirror the two halves of the paradigm:
+
+* :func:`generate_optimizer` — validate a specification and link it with
+  the search engine directly, producing a ready-to-use optimizer in
+  process (the common case for a Python host).
+* :mod:`repro.generator.codegen` — emit an *optimizer source module* from
+  the specification, to be imported ("compiled and linked") later; see
+  that module for the faithful Figure 1 pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.selectivity import SelectivityEstimator
+from repro.model.spec import ModelSpecification
+from repro.search.engine import SearchOptions, VolcanoOptimizer
+
+__all__ = ["generate_optimizer", "lint_specification"]
+
+
+def generate_optimizer(
+    spec: ModelSpecification,
+    catalog: Catalog,
+    options: Optional[SearchOptions] = None,
+    estimator: Optional[SelectivityEstimator] = None,
+) -> VolcanoOptimizer:
+    """Validate ``spec`` and link it with the search engine.
+
+    Raises :class:`~repro.errors.ModelSpecError` when the specification
+    is incomplete (missing operators, rules, or support functions).
+    """
+    spec.validate()
+    return VolcanoOptimizer(spec, catalog, options=options, estimator=estimator)
+
+
+def lint_specification(spec: ModelSpecification) -> List[str]:
+    """Non-fatal quality warnings about a model specification.
+
+    Complements :meth:`ModelSpecification.validate` (which raises on hard
+    errors) with advisory findings an optimizer implementor should review.
+    """
+    warnings: List[str] = []
+    transformed = {rule.top_operator for rule in spec.transformations}
+    for name, operator in spec.operators.items():
+        if operator.arity == 0:
+            continue
+        if name not in transformed:
+            warnings.append(
+                f"operator {name!r} has no transformation rule: only its "
+                f"syntactic form will be considered"
+            )
+    used_algorithms = {rule.algorithm for rule in spec.implementations}
+    for name in spec.algorithms:
+        if name not in used_algorithms:
+            warnings.append(
+                f"algorithm {name!r} is not the target of any implementation "
+                f"rule and can never appear in a plan"
+            )
+    if not spec.enforcers:
+        warnings.append(
+            "no enforcers declared: required physical properties can only "
+            "be satisfied by algorithms that deliver them directly"
+        )
+    for rule in spec.transformations:
+        if rule.promise < 0:
+            warnings.append(f"transformation rule {rule.name!r} has negative promise")
+    return warnings

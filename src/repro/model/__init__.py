@@ -1,0 +1,45 @@
+"""Model layer: cost ADT, patterns, rules, and the model specification (S5–S7)."""
+
+from repro.model.context import OptimizerContext
+from repro.model.cost import (
+    INFINITE_COST,
+    Cost,
+    CpuIoCost,
+    InfiniteCost,
+    ResourceCost,
+    ScalarCost,
+)
+from repro.model.patterns import AnyPattern, Binding, OpPattern, Pattern
+from repro.model.rules import ImplementationRule, TransformationRule
+from repro.model.spec import (
+    VARIADIC,
+    AlgorithmDef,
+    AlgorithmNode,
+    EnforcerApplication,
+    EnforcerDef,
+    LogicalOperatorDef,
+    ModelSpecification,
+)
+
+__all__ = [
+    "OptimizerContext",
+    "INFINITE_COST",
+    "Cost",
+    "CpuIoCost",
+    "InfiniteCost",
+    "ResourceCost",
+    "ScalarCost",
+    "AnyPattern",
+    "Binding",
+    "OpPattern",
+    "Pattern",
+    "ImplementationRule",
+    "TransformationRule",
+    "VARIADIC",
+    "AlgorithmDef",
+    "AlgorithmNode",
+    "EnforcerApplication",
+    "EnforcerDef",
+    "LogicalOperatorDef",
+    "ModelSpecification",
+]

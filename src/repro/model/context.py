@@ -1,0 +1,82 @@
+"""The optimizer context: what rule conditions and support functions see.
+
+One context is created per optimization and threaded through every rule
+condition, rewrite, applicability, cost, and property function.  It owns
+logical-property derivation (with caching) for plain expression trees and
+— when a memo is attached — for group-leaf references, so the same rule
+code runs unchanged in the Volcano engine, the EXODUS baseline, and unit
+tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.algebra.expressions import GROUP_LEAF, LogicalExpression
+from repro.algebra.properties import LogicalProperties
+from repro.catalog.catalog import Catalog
+from repro.catalog.selectivity import SelectivityEstimator
+from repro.errors import SearchError
+from repro.model.spec import ModelSpecification
+
+__all__ = ["OptimizerContext"]
+
+
+class OptimizerContext:
+    """Shared state for one optimization run."""
+
+    def __init__(
+        self,
+        spec: ModelSpecification,
+        catalog: Catalog,
+        estimator: Optional[SelectivityEstimator] = None,
+    ):
+        self.spec = spec
+        self.catalog = catalog
+        self.estimator = estimator or SelectivityEstimator()
+        # Installed by the search engine so that group leaves resolve to
+        # their group's logical properties during pattern matching.
+        self.group_props_resolver: Optional[Callable[[int], LogicalProperties]] = None
+        self._props_cache: Dict[LogicalExpression, LogicalProperties] = {}
+
+    # -- logical property derivation ---------------------------------------
+
+    def derive_logical_props(
+        self,
+        operator: str,
+        args: Tuple,
+        input_props: Tuple[LogicalProperties, ...],
+    ) -> LogicalProperties:
+        """Apply the operator's property function (paper item 10)."""
+        return self.spec.operator(operator).derive_props(self, args, input_props)
+
+    def logical_props(self, expression: LogicalExpression) -> LogicalProperties:
+        """Logical properties of an expression tree (cached).
+
+        Group leaves are resolved through the search engine's resolver;
+        using one outside an engine run is an internal error.
+        """
+        cached = self._props_cache.get(expression)
+        if cached is not None:
+            return cached
+        if expression.operator == GROUP_LEAF:
+            if self.group_props_resolver is None:
+                raise SearchError(
+                    "group leaf encountered outside a search engine run"
+                )
+            props = self.group_props_resolver(expression.args[0])
+        else:
+            input_props = tuple(
+                self.logical_props(node) for node in expression.inputs
+            )
+            props = self.derive_logical_props(
+                expression.operator, expression.args, input_props
+            )
+        self._props_cache[expression] = props
+        return props
+
+    # -- selectivity --------------------------------------------------------
+
+    def selectivity(self, predicate, column_stats) -> float:
+        """Estimate a predicate's selectivity against column statistics."""
+        return self.estimator.estimate(predicate, column_stats)

@@ -1,0 +1,204 @@
+"""Tree patterns for transformation and implementation rules.
+
+A pattern is a small tree of :class:`OpPattern` nodes (which must match a
+specific logical operator) and :class:`AnyPattern` leaves (which match any
+subexpression and bind it to a name).  Matching works in two contexts:
+
+* against a plain :class:`LogicalExpression` tree (used by the EXODUS
+  baseline and by tests) — each ``AnyPattern`` binds the actual subtree;
+* against the memo — the top node is matched against a group expression
+  and nested ``OpPattern`` nodes are matched against *every* expression of
+  the corresponding input group, yielding one binding per combination
+  (this is how the paper's rule "Figure 3: associativity" sees through
+  equivalence classes).  ``AnyPattern`` leaves bind ``group_leaf`` markers.
+
+``OpPattern.args_as`` binds the matched node's argument tuple, making it
+available to condition code and rewrite functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+from repro.algebra.expressions import LogicalExpression, group_leaf
+from repro.errors import PatternError
+
+__all__ = [
+    "Pattern",
+    "OpPattern",
+    "AnyPattern",
+    "Binding",
+    "match_tree",
+    "match_memo",
+    "pattern_leaves",
+    "validate_pattern",
+]
+
+
+Binding = Dict[str, object]
+"""Maps ``AnyPattern`` names to expressions and ``args_as`` names to tuples."""
+
+
+class Pattern:
+    """Base class for pattern nodes."""
+
+
+@dataclass(frozen=True)
+class AnyPattern(Pattern):
+    """Matches any subexpression and binds it under ``name``."""
+
+    name: str
+
+    def __post_init__(self):
+        if not self.name:
+            raise PatternError("AnyPattern needs a non-empty name")
+
+    def __str__(self) -> str:
+        return f"?{self.name}"
+
+
+@dataclass(frozen=True)
+class OpPattern(Pattern):
+    """Matches a node with a specific logical operator.
+
+    ``args_as`` optionally binds the matched node's args tuple.
+    """
+
+    operator: str
+    inputs: Tuple[Pattern, ...] = ()
+    args_as: Optional[str] = None
+
+    def __post_init__(self):
+        if not self.operator:
+            raise PatternError("OpPattern needs an operator name")
+        if not isinstance(self.inputs, tuple):
+            object.__setattr__(self, "inputs", tuple(self.inputs))
+
+    def __str__(self) -> str:
+        parts = [self.operator]
+        if self.args_as:
+            parts.append(f"[?{self.args_as}]")
+        parts.extend(str(p) for p in self.inputs)
+        return "(" + " ".join(parts) + ")"
+
+
+def pattern_leaves(pattern: Pattern) -> Tuple[str, ...]:
+    """Names of the ``AnyPattern`` leaves in left-to-right order."""
+    if isinstance(pattern, AnyPattern):
+        return (pattern.name,)
+    names: Tuple[str, ...] = ()
+    for sub in pattern.inputs:
+        names += pattern_leaves(sub)
+    return names
+
+
+def validate_pattern(pattern: Pattern) -> None:
+    """Reject duplicate binding names and non-Pattern nodes."""
+    seen = set()
+
+    def visit(node):
+        if isinstance(node, AnyPattern):
+            if node.name in seen:
+                raise PatternError(f"duplicate pattern binding name: {node.name!r}")
+            seen.add(node.name)
+            return
+        if not isinstance(node, OpPattern):
+            raise PatternError(f"not a pattern node: {node!r}")
+        if node.args_as is not None:
+            if node.args_as in seen:
+                raise PatternError(f"duplicate pattern binding name: {node.args_as!r}")
+            seen.add(node.args_as)
+        for sub in node.inputs:
+            visit(sub)
+
+    visit(pattern)
+
+
+# ---------------------------------------------------------------------------
+# Matching against a plain expression tree
+# ---------------------------------------------------------------------------
+
+
+def match_tree(pattern: Pattern, expression: LogicalExpression) -> Optional[Binding]:
+    """Match a pattern against a plain tree; returns one binding or None."""
+    binding: Binding = {}
+    if _match_tree_into(pattern, expression, binding):
+        return binding
+    return None
+
+
+def _match_tree_into(pattern, expression, binding) -> bool:
+    if isinstance(pattern, AnyPattern):
+        binding[pattern.name] = expression
+        return True
+    if pattern.operator != expression.operator:
+        return False
+    if len(pattern.inputs) != len(expression.inputs):
+        return False
+    if pattern.args_as is not None:
+        binding[pattern.args_as] = expression.args
+    return all(
+        _match_tree_into(sub, node, binding)
+        for sub, node in zip(pattern.inputs, expression.inputs)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Matching inside the memo
+# ---------------------------------------------------------------------------
+
+
+def match_memo(
+    pattern: OpPattern,
+    operator: str,
+    args: Tuple,
+    input_groups: Tuple[int, ...],
+    expressions_of: Callable[[int], Iterator],
+) -> Iterator[Binding]:
+    """Match a pattern against a memo group expression.
+
+    ``expressions_of(group_id)`` must yield the group's expressions as
+    ``(operator, args, input_groups)`` triples.  Each yielded binding maps
+    leaf names to ``group_leaf`` expressions and ``args_as`` names to
+    argument tuples.  The caller (the search engine) is responsible for
+    exploring input groups before matching, so that every equivalent
+    expression is visible to nested pattern nodes.
+    """
+    if pattern.operator != operator or len(pattern.inputs) != len(input_groups):
+        return
+    base: Binding = {}
+    if pattern.args_as is not None:
+        base[pattern.args_as] = args
+    yield from _match_inputs(pattern.inputs, input_groups, base, expressions_of)
+
+
+def _match_inputs(patterns, groups, binding, expressions_of) -> Iterator[Binding]:
+    if not patterns:
+        yield dict(binding)
+        return
+    head, rest_patterns = patterns[0], patterns[1:]
+    head_group, rest_groups = groups[0], groups[1:]
+    if isinstance(head, AnyPattern):
+        binding[head.name] = group_leaf(head_group)
+        yield from _match_inputs(rest_patterns, rest_groups, binding, expressions_of)
+        del binding[head.name]
+        return
+    # OpPattern one level down: try every expression of the input group.
+    for operator, args, input_groups in expressions_of(head_group):
+        if head.operator != operator or len(head.inputs) != len(input_groups):
+            continue
+        added = []
+        if head.args_as is not None:
+            binding[head.args_as] = args
+            added.append(head.args_as)
+        # Patterns nested deeper than two levels recurse the same way.
+        for sub_binding in _match_inputs(
+            head.inputs, input_groups, binding, expressions_of
+        ):
+            # sub_binding is a fresh copy holding everything in ``binding``.
+            yield from _match_inputs(
+                rest_patterns, rest_groups, sub_binding, expressions_of
+            )
+        for name in added:
+            del binding[name]

@@ -1,0 +1,56 @@
+"""Bundled model specifications (S10, S17, S18, S19)."""
+
+from repro.models.aggregates import (
+    AGGREGATE_FUNCTIONS,
+    add_aggregation,
+    aggregate,
+    aggregate_model,
+)
+from repro.models.oodb import OodbModelOptions, assembled, materialize, oodb_model
+from repro.models.parallel import (
+    ParallelModelOptions,
+    parallel_relational_model,
+    partitioned_on,
+)
+from repro.models.relational import (
+    CostConstants,
+    RelationalModelOptions,
+    get,
+    join,
+    project,
+    relational_model,
+    select,
+)
+from repro.models.setops import (
+    SetOpsModelOptions,
+    except_,
+    intersect,
+    setops_model,
+    union,
+)
+
+__all__ = [
+    "AGGREGATE_FUNCTIONS",
+    "add_aggregation",
+    "aggregate",
+    "aggregate_model",
+    "OodbModelOptions",
+    "assembled",
+    "materialize",
+    "oodb_model",
+    "ParallelModelOptions",
+    "parallel_relational_model",
+    "partitioned_on",
+    "CostConstants",
+    "RelationalModelOptions",
+    "get",
+    "join",
+    "project",
+    "relational_model",
+    "select",
+    "SetOpsModelOptions",
+    "except_",
+    "intersect",
+    "setops_model",
+    "union",
+]

@@ -1,0 +1,219 @@
+"""Grouping and aggregation for the relational model.
+
+Not part of the paper's measured test model, but squarely within its
+program: "operators consuming and producing bulk types" with a cost-based
+choice among implementations.  Aggregation adds a second textbook case of
+property-driven algorithm selection, next to merge join vs. hash join:
+
+``hash_aggregate``
+    Groups by hashing; accepts any input, delivers unsorted output.
+``stream_aggregate``
+    Groups a stream already sorted on the grouping columns — one group
+    in memory at a time, pipelined, *and its output is sorted*.  Its
+    applicability function demands input sorted on any permutation of
+    the grouping columns (alternative property vectors again), so the
+    optimizer can feed it from a merge join's interesting ordering for
+    free.
+
+The executor's :class:`~repro.executor.iterators.HashAggregate` and
+:class:`~repro.executor.iterators.SortedAggregate` run these plans.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Sequence, Tuple
+
+from repro.algebra.expressions import LogicalExpression
+from repro.algebra.properties import ANY_PROPS, LogicalProperties, PhysProps
+from repro.catalog.schema import Column, ColumnType, Schema
+from repro.catalog.statistics import ColumnStatistics
+from repro.errors import ModelSpecError
+from repro.model.patterns import AnyPattern, OpPattern
+from repro.model.rules import ImplementationRule
+from repro.model.spec import AlgorithmDef, LogicalOperatorDef, ModelSpecification
+from repro.models.relational import RelationalModelOptions, relational_model
+
+__all__ = ["aggregate", "AGGREGATE_FUNCTIONS", "add_aggregation", "aggregate_model"]
+
+AGGREGATE_FUNCTIONS = ("count", "sum", "min", "max", "avg")
+
+# (output name, function, input column or None for count)
+AggregateSpec = Tuple[str, str, Optional[str]]
+
+
+def aggregate(
+    input_expression: LogicalExpression,
+    group_by: Sequence[str],
+    aggregates: Sequence[AggregateSpec],
+) -> LogicalExpression:
+    """Group ``input_expression`` by ``group_by`` and compute aggregates.
+
+    ``aggregates`` are ``(output_name, function, column)`` triples; the
+    column is ignored for ``count``.  An empty ``group_by`` produces the
+    single-row grand total.
+    """
+    for _, function, _ in aggregates:
+        if function not in AGGREGATE_FUNCTIONS:
+            raise ModelSpecError(f"unknown aggregate function {function!r}")
+    return LogicalExpression(
+        "aggregate",
+        (tuple(group_by), tuple(tuple(item) for item in aggregates)),
+        (input_expression,),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Logical properties
+# ---------------------------------------------------------------------------
+
+
+def _output_column(source_schema: Schema, name: str, function: str, column) -> Column:
+    if function == "count":
+        return Column(name, ColumnType.INTEGER)
+    if function == "avg":
+        return Column(name, ColumnType.FLOAT)
+    return Column(name, source_schema.column(column).type)
+
+
+def _aggregate_props(context, args, input_props) -> LogicalProperties:
+    group_by, aggregates = args
+    source = input_props[0]
+    columns = [source.schema.column(name) for name in group_by]
+    columns += [
+        _output_column(source.schema, name, function, column)
+        for name, function, column in aggregates
+    ]
+    # Output cardinality: the number of distinct grouping combinations,
+    # assuming independence, capped by the input size.
+    groups = 1.0
+    for name in group_by:
+        stats = source.column_stat(name)
+        groups *= stats.distinct_values if stats is not None else 10.0
+    cardinality = max(1.0, min(source.cardinality, groups))
+    column_stats = {
+        name: source.column_stats[name]
+        for name in group_by
+        if name in source.column_stats
+    }
+    for name, function, _ in aggregates:
+        column_stats[name] = ColumnStatistics(cardinality)
+    return LogicalProperties(
+        schema=Schema(tuple(columns)),
+        cardinality=cardinality,
+        column_stats=column_stats,
+        tables=source.tables,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Algorithms
+# ---------------------------------------------------------------------------
+
+
+def _hash_aggregate_algorithm(constants) -> AlgorithmDef:
+    def applicability(context, node, required):
+        if not ANY_PROPS.covers(required):
+            return []
+        return [(ANY_PROPS,)]
+
+    def cost(context, node):
+        source = node.inputs[0]
+        cpu = (
+            source.cardinality * constants.cpu_build
+            + node.output.cardinality * constants.cpu_output
+        )
+        return constants.make(cpu=cpu)
+
+    def derive_props(context, node, input_props):
+        return ANY_PROPS
+
+    return AlgorithmDef("hash_aggregate", applicability, cost, derive_props)
+
+
+def _stream_aggregate_algorithm(constants, max_permutations: int) -> AlgorithmDef:
+    def applicability(context, node, required):
+        group_by, _ = node.args
+        if not group_by:
+            # A grand total has one row: trivially "sorted".
+            return [(ANY_PROPS,)] if ANY_PROPS.covers(required) else []
+        columns = tuple(group_by)
+        if len(columns) <= max_permutations:
+            orders = itertools.permutations(columns)
+        else:
+            orders = [columns]
+        alternatives = []
+        for order in orders:
+            delivered = PhysProps(sort_order=tuple(order))
+            if not delivered.covers(required):
+                continue
+            alternatives.append((PhysProps(sort_order=tuple(order)),))
+        return alternatives
+
+    def cost(context, node):
+        source = node.inputs[0]
+        cpu = (
+            source.cardinality * constants.cpu_merge
+            + node.output.cardinality * constants.cpu_output
+        )
+        return constants.make(cpu=cpu)
+
+    def derive_props(context, node, input_props):
+        group_by, _ = node.args
+        surviving = frozenset(group_by)
+        order = []
+        for key in input_props[0].sort_order:
+            kept = key & surviving
+            if not kept:
+                break
+            order.append(kept)
+        return PhysProps(sort_order=tuple(order))
+
+    return AlgorithmDef("stream_aggregate", applicability, cost, derive_props)
+
+
+# ---------------------------------------------------------------------------
+# Wiring
+# ---------------------------------------------------------------------------
+
+
+def add_aggregation(
+    spec: ModelSpecification,
+    constants,
+    max_permutations: int = 3,
+) -> ModelSpecification:
+    """Add the aggregate operator and its two algorithms to ``spec``."""
+    spec.add_operator(LogicalOperatorDef("aggregate", 1, _aggregate_props))
+    spec.add_algorithm(_hash_aggregate_algorithm(constants))
+    spec.add_algorithm(_stream_aggregate_algorithm(constants, max_permutations))
+    pattern = OpPattern("aggregate", (AnyPattern("x"),), args_as="a")
+    spec.add_implementation(
+        ImplementationRule(
+            "aggregate_to_hash",
+            pattern,
+            "hash_aggregate",
+            build_args=lambda binding, context: binding["a"],
+            promise=1.5,
+        )
+    )
+    spec.add_implementation(
+        ImplementationRule(
+            "aggregate_to_stream",
+            pattern,
+            "stream_aggregate",
+            build_args=lambda binding, context: binding["a"],
+        )
+    )
+    return spec
+
+
+def aggregate_model(
+    options: Optional[RelationalModelOptions] = None,
+) -> ModelSpecification:
+    """The relational model plus grouping/aggregation."""
+    options = options or RelationalModelOptions()
+    spec = relational_model(options)
+    spec.name = "relational_aggregates"
+    add_aggregation(spec, options.cost, options.max_merge_key_permutations)
+    spec.validate()
+    return spec

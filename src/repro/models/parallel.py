@@ -1,0 +1,165 @@
+"""Parallel extension of the relational model: partitioning + exchange.
+
+"Location and partitioning in parallel and distributed systems can be
+enforced with a network and parallelism operator such as Volcano's
+exchange operator."  (paper, Section 4.1)
+
+This model adds to the relational specification:
+
+* *partitioning* as a component of the physical property vector;
+* the **exchange** enforcer, which repartitions its input across
+  ``degree`` nodes (cost: every row crosses the interconnect);
+* parallel join algorithms whose inputs must be *compatibly* partitioned
+  on the join keys ("any partitioning of join inputs across multiple
+  processing nodes is acceptable if both inputs are partitioned using
+  compatible partitioning rules") and whose CPU cost divides by the
+  degree of parallelism.
+
+The optimizer thus faces the classic parallel trade-off: pay exchanges
+to unlock divided join work, or stay serial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.algebra.predicates import equi_join_pairs
+from repro.algebra.properties import ANY_PROPS, Partitioning, PhysProps
+from repro.model.patterns import AnyPattern, OpPattern
+from repro.model.rules import ImplementationRule
+from repro.model.spec import (
+    AlgorithmDef,
+    EnforcerApplication,
+    EnforcerDef,
+    ModelSpecification,
+)
+from repro.models.relational import RelationalModelOptions, relational_model
+
+__all__ = ["ParallelModelOptions", "parallel_relational_model", "partitioned_on"]
+
+
+@dataclass(frozen=True)
+class ParallelModelOptions:
+    """Parallel model knobs on top of the relational options."""
+
+    degree: int = 4
+    cpu_transfer: float = 0.8   # shipping one row through the exchange
+    startup: float = 500.0      # per-exchange setup cost (processes, ports)
+    relational: RelationalModelOptions = field(
+        default_factory=RelationalModelOptions
+    )
+
+
+def partitioned_on(columns, degree: int) -> PhysProps:
+    """Requirement: hash-partitioned on ``columns`` across ``degree`` nodes."""
+    return PhysProps(partitioning=Partitioning("hash", tuple(columns), degree))
+
+
+def _exchange_enforcer(options: ParallelModelOptions) -> EnforcerDef:
+    constants = options.relational.cost
+
+    def enforce(context, required, output_props):
+        if required.partitioning is None:
+            return []
+        return [
+            EnforcerApplication(
+                args=(required.partitioning,),
+                delivered=required,
+                relaxed=required.without_partitioning(),
+                excluded=PhysProps(partitioning=required.partitioning),
+            )
+        ]
+
+    def cost(context, node):
+        source = node.inputs[0]
+        cpu = source.cardinality * options.cpu_transfer + options.startup
+        return constants.make(cpu=cpu)
+
+    return EnforcerDef("exchange", enforce, cost)
+
+
+def _parallel_hash_join(options: ParallelModelOptions) -> AlgorithmDef:
+    constants = options.relational.cost
+    degree = options.degree
+
+    def applicability(context, node, required):
+        (predicate,) = node.args
+        left, right = node.inputs
+        pairs = equi_join_pairs(predicate, left.column_names, right.column_names)
+        if not pairs:
+            return []
+        alternatives = []
+        for left_key, right_key in pairs:
+            delivered = PhysProps(
+                partitioning=Partitioning(
+                    "hash", (frozenset({left_key, right_key}),), degree
+                )
+            )
+            if not delivered.covers(required):
+                continue
+            alternatives.append(
+                (
+                    partitioned_on([left_key], degree),
+                    partitioned_on([right_key], degree),
+                )
+            )
+        return alternatives
+
+    def cost(context, node):
+        left, right = node.inputs
+        cpu = (
+            left.cardinality * constants.cpu_build
+            + right.cardinality * constants.cpu_probe
+            + node.output.cardinality * constants.cpu_output
+        ) / degree
+        return constants.make(cpu=cpu)
+
+    def derive_props(context, node, input_props):
+        (predicate,) = node.args
+        left, right = node.inputs
+        pairs = equi_join_pairs(predicate, left.column_names, right.column_names)
+        left_partitioning = input_props[0].partitioning
+        if left_partitioning is None:
+            return ANY_PROPS
+        # Annex the equivalent right-side key names, as merge join does
+        # for sort orders.
+        lookup = {}
+        for left_key, right_key in pairs or ():
+            lookup.setdefault(left_key, set()).update((left_key, right_key))
+            lookup.setdefault(right_key, set()).update((left_key, right_key))
+        keys = []
+        for key in left_partitioning.keys:
+            merged = set(key)
+            for name in key:
+                merged |= lookup.get(name, set())
+            keys.append(frozenset(merged))
+        return PhysProps(
+            partitioning=Partitioning(
+                left_partitioning.scheme, tuple(keys), left_partitioning.degree
+            )
+        )
+
+    return AlgorithmDef("parallel_hash_join", applicability, cost, derive_props)
+
+
+def parallel_relational_model(
+    options: Optional[ParallelModelOptions] = None,
+) -> ModelSpecification:
+    """The relational model plus partitioning, exchange, and parallel joins."""
+    options = options or ParallelModelOptions()
+    spec = relational_model(options.relational)
+    spec.name = "parallel_relational"
+    spec.add_enforcer(_exchange_enforcer(options))
+    spec.add_algorithm(_parallel_hash_join(options))
+    spec.add_implementation(
+        ImplementationRule(
+            "join_to_parallel_hash_join",
+            OpPattern("join", (AnyPattern("l"), AnyPattern("r")), args_as="p"),
+            "parallel_hash_join",
+            build_args=lambda binding, context: binding["p"],
+            promise=1.2,
+        )
+    )
+    spec.validate()
+    return spec

@@ -1,0 +1,358 @@
+"""Set-operation extension: union, intersection, difference.
+
+This model exists for two reasons the paper states explicitly:
+
+* **Multiple alternative property vectors** (Sections 3 and 6): "for a
+  sort-based implementation of intersection, i.e., an algorithm very
+  similar to merge-join, any sort order of the two inputs will suffice
+  as long as the two inputs are sorted in the same way.  […]  for the
+  intersection of two inputs R and S with attributes A, B, and C where
+  R is sorted on (A,B,C) and S is sorted on (B,A,C), both these sort
+  orders can be specified by the optimizer implementor and will be
+  optimized by the generated optimizer."  The merge-intersection's
+  applicability function returns one alternative per candidate column
+  order.
+* **Cost-based set operations** (Section 5): the paper criticizes
+  Starburst for optimizing union/intersection "using query rewrite
+  heuristics and commutativity only" although "optimizing the union or
+  intersection of N sets is very similar to optimizing a join of N
+  relations"; here they run through the same cost-based search as joins.
+
+Columns of the two inputs correspond positionally (union compatibility
+is checked by rule condition code — the paper's "many-sorted algebra"
+type check).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.algebra.expressions import LogicalExpression
+from repro.algebra.properties import ANY_PROPS, LogicalProperties, PhysProps
+from repro.model.patterns import AnyPattern, OpPattern
+from repro.model.rules import ImplementationRule
+from repro.model.spec import AlgorithmDef, LogicalOperatorDef, ModelSpecification
+from repro.models.relational import (
+    RelationalModelOptions,
+    relational_model,
+)
+
+__all__ = [
+    "SetOpsModelOptions",
+    "setops_model",
+    "union",
+    "intersect",
+    "except_",
+]
+
+
+def union(left, right, all: bool = False) -> LogicalExpression:
+    """Bag (``all=True``) or set union of two union-compatible inputs."""
+    return LogicalExpression("union", (all,), (left, right))
+
+
+def intersect(left, right) -> LogicalExpression:
+    """Set intersection of two union-compatible inputs."""
+    return LogicalExpression("intersect", (), (left, right))
+
+
+def except_(left, right) -> LogicalExpression:
+    """Set difference (rows of left absent from right)."""
+    return LogicalExpression("except", (), (left, right))
+
+
+@dataclass(frozen=True)
+class SetOpsModelOptions:
+    """Options; estimation factors are the usual textbook heuristics."""
+
+    intersect_fraction: float = 0.3   # |R ∩ S| ≈ fraction × min(|R|, |S|)
+    except_fraction: float = 0.5      # |R − S| ≈ fraction × |R|
+    max_order_permutations: int = 3   # alternative sort orders offered
+    relational: RelationalModelOptions = field(
+        default_factory=RelationalModelOptions
+    )
+
+
+# -- logical property functions -------------------------------------------------
+
+
+def _union_props(context, args, input_props) -> LogicalProperties:
+    (all_flag,) = args
+    left, right = input_props
+    cardinality = left.cardinality + right.cardinality
+    if not all_flag:
+        # Distinct union: bounded by the sum, floored by the larger side.
+        cardinality = max(left.cardinality, right.cardinality, cardinality * 0.7)
+    return LogicalProperties(
+        schema=left.schema,
+        cardinality=cardinality,
+        column_stats=dict(left.column_stats),
+        tables=left.tables | right.tables,
+    )
+
+
+def _make_intersect_props(fraction):
+    def props(context, args, input_props):
+        left, right = input_props
+        return LogicalProperties(
+            schema=left.schema,
+            cardinality=fraction * min(left.cardinality, right.cardinality),
+            column_stats=dict(left.column_stats),
+            tables=left.tables | right.tables,
+        )
+
+    return props
+
+
+def _make_except_props(fraction):
+    def props(context, args, input_props):
+        left, right = input_props
+        return LogicalProperties(
+            schema=left.schema,
+            cardinality=fraction * left.cardinality,
+            column_stats=dict(left.column_stats),
+            tables=left.tables | right.tables,
+        )
+
+    return props
+
+
+# -- condition code: union compatibility ------------------------------------------
+
+
+def _union_compatible(binding, context) -> bool:
+    left = context.logical_props(binding["l"]).schema
+    right = context.logical_props(binding["r"]).schema
+    return left.is_union_compatible(right)
+
+
+# -- algorithms ---------------------------------------------------------------------
+
+
+def _column_orders(left_schema, right_schema, limit: int):
+    """Candidate positional column orders (the alternative sort orders)."""
+    positions = tuple(range(len(left_schema)))
+    if len(positions) <= limit:
+        return list(itertools.permutations(positions))
+    return [positions]
+
+
+def _merge_set_algorithm(name, constants, limit, output_factor):
+    """Sort-based intersection/difference: 'very similar to merge-join'."""
+
+    def applicability(context, node, required):
+        left, right = node.inputs
+        alternatives = []
+        for order in _column_orders(left.schema, right.schema, limit):
+            left_names = [left.schema.columns[i].name for i in order]
+            right_names = [right.schema.columns[i].name for i in order]
+            delivered = PhysProps(
+                sort_order=tuple(
+                    frozenset({l, r}) for l, r in zip(left_names, right_names)
+                )
+            )
+            if not delivered.covers(required):
+                continue
+            alternatives.append(
+                (
+                    PhysProps(sort_order=tuple(left_names)),
+                    PhysProps(sort_order=tuple(right_names)),
+                )
+            )
+        return alternatives
+
+    def cost(context, node):
+        left, right = node.inputs
+        cpu = (
+            (left.cardinality + right.cardinality) * constants.cpu_merge
+            + node.output.cardinality * constants.cpu_output
+        )
+        return constants.make(cpu=cpu)
+
+    def derive_props(context, node, input_props):
+        left, right = node.inputs
+        order = []
+        right_by_position = {
+            left.schema.columns[i].name: right.schema.columns[i].name
+            for i in range(len(left.schema))
+        }
+        for key in input_props[0].sort_order:
+            merged = set(key)
+            for name in key:
+                if name in right_by_position:
+                    merged.add(right_by_position[name])
+            order.append(frozenset(merged))
+        return PhysProps(sort_order=tuple(order))
+
+    return AlgorithmDef(name, applicability, cost, derive_props)
+
+
+def _hash_set_algorithm(name, constants):
+    """Hash-based intersection/difference: unsorted output."""
+
+    def applicability(context, node, required):
+        if not ANY_PROPS.covers(required):
+            return []
+        return [(ANY_PROPS, ANY_PROPS)]
+
+    def cost(context, node):
+        left, right = node.inputs
+        cpu = (
+            left.cardinality * constants.cpu_build
+            + right.cardinality * constants.cpu_probe
+            + node.output.cardinality * constants.cpu_output
+        )
+        return constants.make(cpu=cpu)
+
+    def derive_props(context, node, input_props):
+        return ANY_PROPS
+
+    return AlgorithmDef(name, applicability, cost, derive_props)
+
+
+def _union_all_algorithm(constants):
+    def applicability(context, node, required):
+        if not ANY_PROPS.covers(required):
+            return []
+        return [(ANY_PROPS, ANY_PROPS)]
+
+    def cost(context, node):
+        return constants.make(
+            cpu=node.output.cardinality * constants.cpu_tuple * 0.25
+        )
+
+    def derive_props(context, node, input_props):
+        return ANY_PROPS
+
+    return AlgorithmDef("union_all_concat", applicability, cost, derive_props)
+
+
+def _hash_union_algorithm(constants):
+    def applicability(context, node, required):
+        if not ANY_PROPS.covers(required):
+            return []
+        return [(ANY_PROPS, ANY_PROPS)]
+
+    def cost(context, node):
+        left, right = node.inputs
+        cpu = (left.cardinality + right.cardinality) * constants.cpu_build
+        return constants.make(cpu=cpu)
+
+    def derive_props(context, node, input_props):
+        return ANY_PROPS
+
+    return AlgorithmDef("hash_union", applicability, cost, derive_props)
+
+
+# -- transformations -----------------------------------------------------------------
+#
+# Deliberately none: commutativity of union/intersection is *not*
+# equivalence-preserving under named-column semantics (the output schema
+# takes the left operand's column names, so swapping the operands renames
+# the result).  The engine's consistency check — the paper's "one of many
+# consistency checks" — rejects such a rule at run time, which is exactly
+# the kind of model bug it exists to catch; see
+# tests/models/test_setops.py::test_commutativity_rejected_by_consistency_check.
+# The cost-based content of the paper's set-operation discussion — the
+# merge/hash choice and the alternative input sort orders — lives in the
+# applicability functions above.
+
+
+# -- the model -------------------------------------------------------------------------
+
+
+def setops_model(options: Optional[SetOpsModelOptions] = None) -> ModelSpecification:
+    """The relational model extended with cost-based set operations."""
+    options = options or SetOpsModelOptions()
+    constants = options.relational.cost
+    spec = relational_model(options.relational)
+    spec.name = "relational_setops"
+
+    spec.add_operator(LogicalOperatorDef("union", 2, _union_props))
+    spec.add_operator(
+        LogicalOperatorDef(
+            "intersect", 2, _make_intersect_props(options.intersect_fraction)
+        )
+    )
+    spec.add_operator(
+        LogicalOperatorDef("except", 2, _make_except_props(options.except_fraction))
+    )
+
+    spec.add_algorithm(_union_all_algorithm(constants))
+    spec.add_algorithm(_hash_union_algorithm(constants))
+    spec.add_algorithm(
+        _merge_set_algorithm(
+            "merge_intersect", constants, options.max_order_permutations, 1.0
+        )
+    )
+    spec.add_algorithm(_hash_set_algorithm("hash_intersect", constants))
+    spec.add_algorithm(
+        _merge_set_algorithm(
+            "merge_except", constants, options.max_order_permutations, 1.0
+        )
+    )
+    spec.add_algorithm(_hash_set_algorithm("hash_except", constants))
+
+    def args_of(name):
+        return lambda binding, context: binding[name]
+
+    binary = lambda op: OpPattern(op, (AnyPattern("l"), AnyPattern("r")), args_as="a")
+    spec.add_implementation(
+        ImplementationRule(
+            "union_to_concat",
+            binary("union"),
+            "union_all_concat",
+            condition=lambda binding, context: binding["a"] == (True,)
+            and _union_compatible(binding, context),
+            build_args=args_of("a"),
+        )
+    )
+    spec.add_implementation(
+        ImplementationRule(
+            "union_to_hash",
+            binary("union"),
+            "hash_union",
+            condition=_union_compatible,
+            build_args=args_of("a"),
+        )
+    )
+    spec.add_implementation(
+        ImplementationRule(
+            "intersect_to_merge",
+            binary("intersect"),
+            "merge_intersect",
+            condition=_union_compatible,
+            build_args=args_of("a"),
+        )
+    )
+    spec.add_implementation(
+        ImplementationRule(
+            "intersect_to_hash",
+            binary("intersect"),
+            "hash_intersect",
+            condition=_union_compatible,
+            build_args=args_of("a"),
+        )
+    )
+    spec.add_implementation(
+        ImplementationRule(
+            "except_to_merge",
+            binary("except"),
+            "merge_except",
+            condition=_union_compatible,
+            build_args=args_of("a"),
+        )
+    )
+    spec.add_implementation(
+        ImplementationRule(
+            "except_to_hash",
+            binary("except"),
+            "hash_except",
+            condition=_union_compatible,
+            build_args=args_of("a"),
+        )
+    )
+    spec.validate()
+    return spec

@@ -1,0 +1,26 @@
+"""The Volcano search engine: memo + directed dynamic programming (S9)."""
+
+from repro.search.engine import (
+    OptimizationResult,
+    PreoptimizedPlan,
+    SearchOptions,
+    VolcanoOptimizer,
+)
+from repro.search.tasks import TaskBasedOptimizer, lifo_scheduler
+from repro.search.memo import Group, GroupExpression, Memo, Winner
+from repro.search.tracing import SearchStats, Tracer
+
+__all__ = [
+    "TaskBasedOptimizer",
+    "lifo_scheduler",
+    "OptimizationResult",
+    "PreoptimizedPlan",
+    "SearchOptions",
+    "VolcanoOptimizer",
+    "Group",
+    "GroupExpression",
+    "Memo",
+    "Winner",
+    "SearchStats",
+    "Tracer",
+]

@@ -1,0 +1,649 @@
+"""The Volcano search engine: directed dynamic programming.
+
+This implements the paper's Figure 2 (``FindBestPlan``) over the memo:
+
+* a *goal* is a pair of equivalence class and physical property vector,
+  searched under a cost limit;
+* winners and failures are memoized per goal;
+* moves are (1) transformations, (2) algorithms that can deliver the
+  required properties, (3) enforcers for required properties — ordered by
+  promise, all pursued under exhaustive search;
+* cost limits are passed down to inputs (branch-and-bound pruning, the
+  paper's ``while TotalCost < Limit``);
+* enforcer inputs are optimized with a *relaxed* property vector and an
+  *excluding* property vector so algorithms that could have satisfied the
+  enforced property directly are not considered redundantly.
+
+Logical exploration (transformations) runs to closure over the reachable
+memo before costing starts: under exhaustive search every reachable
+equivalence class participates in some candidate plan, so this performs
+exactly the work Figure 2 performs, while guaranteeing that group merges
+(which invalidate cached winners) never interleave with costing.  The
+goal-*directed* part of "directed dynamic programming" — optimizing only
+the (class, property) pairs that larger plans actually request — is
+preserved untouched and is where the efficiency against EXODUS comes
+from.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.algebra.expressions import LogicalExpression
+from repro.algebra.plans import PhysicalPlan
+from repro.algebra.properties import ANY_PROPS, PhysProps
+from repro.catalog.catalog import Catalog
+from repro.catalog.selectivity import SelectivityEstimator
+from repro.errors import (
+    OptimizationFailedError,
+    PlanValidationError,
+    SearchError,
+)
+from repro.model.context import OptimizerContext
+from repro.model.cost import Cost, INFINITE_COST
+from repro.model.patterns import match_memo
+from repro.model.rules import ImplementationRule, TransformationRule
+from repro.model.spec import AlgorithmNode, EnforcerApplication, ModelSpecification
+from repro.search.memo import GoalKey, Group, Memo, Winner
+from repro.search.tracing import SearchStats, Tracer
+
+__all__ = [
+    "SearchOptions",
+    "OptimizationResult",
+    "PreoptimizedPlan",
+    "VolcanoOptimizer",
+]
+
+
+@dataclass(frozen=True)
+class SearchOptions:
+    """Knobs of the search engine.
+
+    The defaults give the paper's exhaustive directed dynamic
+    programming; the ablation benchmarks flip individual flags.
+
+    ``branch_and_bound``
+        Pass cost limits down and prune moves that exceed them
+        (Section 3: "cost limits are passed down in the optimization of
+        subexpressions, and tight upper bounds also speed their
+        optimization").
+    ``cache_failures``
+        Memoize optimization failures per goal ("failures that can save
+        future optimization effort").
+    ``min_promise``
+        Transformation rules with promise strictly below this threshold
+        are skipped — the paper's hook for heuristic guidance ("Pursuing
+        all moves or only a selected few is a major heuristic placed
+        into the hands of the optimizer implementor").  The default of
+        ``None`` pursues everything (exhaustive search).  Implementation
+        and enforcer moves are never skipped: pruning them could make
+        feasible goals unsatisfiable, so heuristics shape the *logical*
+        search space only.
+    ``check_consistency``
+        Run the paper's consistency checks (logical property agreement in
+        every class; final plan satisfies the requested properties).
+    ``max_groups``
+        Memory budget expressed in equivalence classes; exceeding it
+        raises :class:`~repro.errors.SearchError`.
+    ``trace``
+        Record a human-readable search trace (slow; for debugging).
+    """
+
+    branch_and_bound: bool = True
+    cache_failures: bool = True
+    min_promise: Optional[float] = None
+    check_consistency: bool = True
+    max_groups: Optional[int] = None
+    trace: bool = False
+
+
+@dataclass
+class OptimizationResult:
+    """What :meth:`VolcanoOptimizer.optimize` returns."""
+
+    plan: PhysicalPlan
+    cost: Cost
+    required: PhysProps
+    stats: SearchStats
+    memo: Memo
+    trace: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f"plan cost {self.cost}\n{self.plan.pretty()}"
+
+    def harvest(
+        self,
+        subexpression: LogicalExpression,
+        required: Optional[PhysProps] = None,
+    ) -> "PreoptimizedPlan":
+        """Extract a memoized subplan for reuse in a later optimization.
+
+        The paper's Section 6 lists "preoptimized subplans" among the
+        search-strategy directions ("We are considering research into
+        longer-lived partial results"); this is the harvesting half.
+        ``subexpression`` must be a logical expression this run explored
+        (any member of its equivalence class works — the hash table
+        resolves syntactic variants the rules derived); ``required``
+        selects which property goal's winner to take (default: any).
+
+        Raises :class:`~repro.errors.SearchError` when the class or the
+        goal was never optimized in this run.
+        """
+        required = required if required is not None else ANY_PROPS
+        gid = self.memo.insert_expression(subexpression)
+        group = self.memo.group(gid)
+        winner = group.winners.get((required, None))
+        if winner is None:
+            raise SearchError(
+                f"no memoized winner for [{required}] on that subexpression; "
+                f"available goals: {sorted(str(k[0]) for k in group.winners)}"
+            )
+        return PreoptimizedPlan(
+            expression=subexpression,
+            plan=winner.plan,
+            cost=winner.cost,
+            required=required,
+        )
+
+
+@dataclass(frozen=True)
+class PreoptimizedPlan:
+    """A trusted, reusable subplan for :meth:`VolcanoOptimizer.optimize`.
+
+    Seeding declares the plan *optimal* for its (expression, required)
+    goal under the current catalog and cost model — the caller vouches
+    for it (typically by harvesting it from a previous exhaustive run
+    over the same catalog).  Matching is syntactic up to the rule set:
+    a seed helps whenever exploration derives the seed expression's
+    exact form (the memo's hash table then lands the winner in the
+    right equivalence class, including rule-derived variants such as
+    commuted joins).
+    """
+
+    expression: LogicalExpression
+    plan: PhysicalPlan
+    cost: Cost
+    required: PhysProps = ANY_PROPS
+
+
+@dataclass(frozen=True)
+class _AlgorithmMove:
+    """One costed candidate source: an implementation rule binding."""
+
+    rule: ImplementationRule
+    args: Tuple
+    input_groups: Tuple[int, ...]
+    promise: float
+
+
+class VolcanoOptimizer:
+    """A generated optimizer: model-specific tables + the shared engine.
+
+    Instances are produced by :func:`repro.generator.generate_optimizer`
+    (or constructed directly); one instance can optimize many queries.
+    Per the paper, the memo of partial results "is reinitialized for each
+    query being optimized".
+    """
+
+    def __init__(
+        self,
+        spec: ModelSpecification,
+        catalog: Catalog,
+        options: Optional[SearchOptions] = None,
+        estimator: Optional[SelectivityEstimator] = None,
+    ):
+        spec.validate()
+        self.spec = spec
+        self.catalog = catalog
+        self.options = options or SearchOptions()
+        self.estimator = estimator
+        # Compiled dispatch tables (the generator's "very fast pattern
+        # matching"): rules indexed by their pattern's top operator.
+        self._transformations: Dict[str, List[TransformationRule]] = {}
+        for rule in spec.transformations:
+            self._transformations.setdefault(rule.top_operator, []).append(rule)
+        self._implementations: Dict[str, List[ImplementationRule]] = {}
+        for rule in spec.implementations:
+            self._implementations.setdefault(rule.top_operator, []).append(rule)
+        # Per-run state, rebound by optimize().
+        self._memo: Optional[Memo] = None
+        self._context: Optional[OptimizerContext] = None
+        self._stats: Optional[SearchStats] = None
+        self._tracer: Optional[Tracer] = None
+
+    # ------------------------------------------------------------------
+    # Public entry point
+    # ------------------------------------------------------------------
+
+    def optimize(
+        self,
+        query: LogicalExpression,
+        required: Optional[PhysProps] = None,
+        limit: Cost = INFINITE_COST,
+        preoptimized: Sequence["PreoptimizedPlan"] = (),
+    ) -> OptimizationResult:
+        """Find the cheapest plan for ``query`` delivering ``required``.
+
+        ``limit`` is the user-supplied cost limit of Figure 2 — "typically
+        infinity for a user query, but the user interface may permit users
+        to set their own limits to 'catch' unreasonable queries".
+
+        ``preoptimized`` seeds the memo with trusted subplans (harvested
+        via :meth:`OptimizationResult.harvest`) before costing begins —
+        the Section 6 "longer-lived partial results" direction.  The
+        memo itself is still "reinitialized for each query being
+        optimized", exactly as the paper says; only what the caller
+        explicitly hands over survives.
+
+        Raises :class:`OptimizationFailedError` when no plan satisfying
+        the goal exists within the limit.
+        """
+        required = required if required is not None else self.spec.any_props
+        started = time.perf_counter()
+        stats = SearchStats()
+        tracer = Tracer(enabled=self.options.trace)
+        context = OptimizerContext(self.spec, self.catalog, self.estimator)
+        memo = Memo(
+            context,
+            stats=stats,
+            check_consistency=self.options.check_consistency,
+            max_groups=self.options.max_groups,
+        )
+        context.group_props_resolver = lambda gid: memo.logical_props(gid)
+        self._memo, self._context = memo, context
+        self._stats, self._tracer = stats, tracer
+        try:
+            root = memo.insert_expression(query)
+            self._explore_closure(root)
+            if preoptimized:
+                self._plant_preoptimized(root, preoptimized)
+            winner = self._find_best_plan(root, required, limit, excluded=None, depth=0)
+            stats.elapsed_seconds = time.perf_counter() - started
+            if winner is None:
+                raise OptimizationFailedError(
+                    f"no plan for goal [{required}] within limit {limit}"
+                )
+            if self.options.check_consistency and not self.spec.props_cover(
+                winner.plan.properties, required
+            ):
+                raise PlanValidationError(
+                    f"chosen plan delivers [{winner.plan.properties}] which does "
+                    f"not satisfy the goal [{required}]"
+                )
+            return OptimizationResult(
+                plan=winner.plan,
+                cost=winner.cost,
+                required=required,
+                stats=stats,
+                memo=memo,
+                trace=tracer.render() if tracer.enabled else None,
+            )
+        finally:
+            self._memo = self._context = None
+            self._stats = self._tracer = None
+
+    def _plant_preoptimized(self, root, preoptimized) -> None:
+        """Seed trusted winners into the memo (after logical closure).
+
+        Inserting a seed expression may add new logical content; closure
+        is re-run so any merges settle *before* the winners are planted
+        (merges clear cached winners, so planting must come last).
+        """
+        memo = self._memo
+        for seed in preoptimized:
+            memo.insert_expression(seed.expression)
+        self._explore_closure(root)
+        for seed in preoptimized:
+            gid = memo.insert_expression(seed.expression)
+            memo.group(gid).winners[(seed.required, None)] = Winner(
+                seed.plan, seed.cost
+            )
+
+    # ------------------------------------------------------------------
+    # Logical exploration (transformation moves)
+    # ------------------------------------------------------------------
+
+    def _explore_closure(self, root: int) -> None:
+        """Apply transformation rules to fixpoint over the reachable memo."""
+        memo, stats = self._memo, self._stats
+        changed = True
+        while changed:
+            changed = False
+            stats.exploration_passes += 1
+            for gid in memo.reachable(root):
+                changed |= self._explore_group(gid)
+
+    def _explore_group(self, gid: int) -> bool:
+        """One pass of rule application over a group; True when it changed."""
+        memo, stats, context = self._memo, self._stats, self._context
+        gid = memo.canonical(gid)
+        if memo.group(gid).explored:
+            return False
+        changed = False
+        index = 0
+        # The expression list can grow (and the group object change via a
+        # merge) while we iterate, so re-fetch by canonical id each step.
+        while index < len(memo.group(gid).expressions):
+            gid = memo.canonical(gid)
+            group = memo.group(gid)
+            mexpr = group.expressions[index]
+            index += 1
+            for rule in self._transformations.get(mexpr.operator, ()):
+                if (
+                    self.options.min_promise is not None
+                    and rule.promise < self.options.min_promise
+                ):
+                    stats.moves_pruned += 1
+                    continue
+                for binding in match_memo(
+                    rule.pattern,
+                    mexpr.operator,
+                    mexpr.args,
+                    mexpr.input_groups,
+                    self._expressions_of,
+                ):
+                    fingerprint = (
+                        rule.name,
+                        mexpr,
+                        frozenset(binding.items()),
+                    )
+                    if fingerprint in group.applied:
+                        continue
+                    group.applied.add(fingerprint)
+                    stats.rule_bindings_tried += 1
+                    if not rule.applies(binding, context):
+                        continue
+                    results = rule.rewrite(binding, context)
+                    if results is None:
+                        continue
+                    if isinstance(results, LogicalExpression):
+                        results = [results]
+                    for new_expression in results:
+                        stats.rules_fired += 1
+                        if memo.add_expression_to_group(new_expression, gid):
+                            changed = True
+                        gid = memo.canonical(gid)
+                        group = memo.group(gid)
+        memo.group(gid).explored = True
+        return changed
+
+    def _expressions_of(self, gid: int):
+        """Pattern-matching callback: a group's expressions as triples."""
+        for mexpr in self._memo.group(gid).expressions:
+            yield mexpr.operator, mexpr.args, mexpr.input_groups
+
+    # ------------------------------------------------------------------
+    # FindBestPlan (Figure 2)
+    # ------------------------------------------------------------------
+
+    def _find_best_plan(
+        self,
+        gid: int,
+        required: PhysProps,
+        limit: Cost,
+        excluded: Optional[PhysProps],
+        depth: int,
+    ) -> Optional[Winner]:
+        memo, stats = self._memo, self._stats
+        gid = memo.canonical(gid)
+        group = memo.group(gid)
+        key: GoalKey = (required, excluded)
+        stats.find_best_plan_calls += 1
+        self._trace("goal", f"g{gid} [{required}] limit={limit}", depth)
+
+        # "if the pair LogExpr and PhysProp is in the look-up table"
+        winner = group.winners.get(key)
+        if winner is not None:
+            stats.winner_hits += 1
+            if winner.cost <= limit:
+                return winner
+            return None
+        if self.options.cache_failures:
+            failed_at = group.failures.get(key)
+            if failed_at is not None and limit <= failed_at:
+                stats.failure_hits += 1
+                return None
+        if group.is_in_progress(key):
+            # A cycle through equivalent goals (e.g. mutually inverse
+            # rules): the outer invocation will produce the plan.
+            return None
+
+        group.mark_in_progress(key)
+        try:
+            best = self._optimize_goal(gid, required, limit, excluded, depth)
+        finally:
+            memo.group(gid).unmark_in_progress(key)
+
+        group = memo.group(gid)
+        if best is not None:
+            group.winners[key] = best
+            self._trace("winner", f"g{gid} [{required}] cost={best.cost}", depth)
+            return best
+        if self.options.cache_failures:
+            previous = group.failures.get(key)
+            if previous is None or previous < limit:
+                group.failures[key] = limit
+        self._trace("failure", f"g{gid} [{required}] limit={limit}", depth)
+        return None
+
+    def _optimize_goal(
+        self,
+        gid: int,
+        required: PhysProps,
+        limit: Cost,
+        excluded: Optional[PhysProps],
+        depth: int,
+    ) -> Optional[Winner]:
+        """Generate, order, and pursue moves for one goal."""
+        memo = self._memo
+        group = memo.group(gid)
+        moves = self._algorithm_moves(group)
+        # "order the set of moves by promise"
+        moves.sort(key=lambda move: -move.promise)
+
+        best: Optional[Winner] = None
+        bound = limit if self.options.branch_and_bound else INFINITE_COST
+        for move in moves:
+            candidate = self._pursue_algorithm(
+                group, move, required, bound, excluded, depth
+            )
+            if candidate is None:
+                continue
+            if best is None or candidate.cost < best.cost:
+                best = candidate
+                if self.options.branch_and_bound and candidate.cost < bound:
+                    bound = candidate.cost
+        # Enforcer moves: "enforcers for required PhysProp".
+        if not required.is_any:
+            for enforcer_name, enforcer in self.spec.enforcers.items():
+                for application in enforcer.enforce(
+                    self._context, required, group.logical_props
+                ):
+                    candidate = self._pursue_enforcer(
+                        gid, enforcer_name, application, required, bound, excluded, depth
+                    )
+                    if candidate is None:
+                        continue
+                    if best is None or candidate.cost < best.cost:
+                        best = candidate
+                        if self.options.branch_and_bound and candidate.cost < bound:
+                            bound = candidate.cost
+        if best is not None and not best.cost <= limit:
+            return None
+        return best
+
+    def _algorithm_moves(self, group: Group) -> List[_AlgorithmMove]:
+        """Implementation-rule bindings over every expression of a group."""
+        context = self._context
+        moves: List[_AlgorithmMove] = []
+        seen = set()
+        for mexpr in group.expressions:
+            for rule in self._implementations.get(mexpr.operator, ()):
+                for binding in match_memo(
+                    rule.pattern,
+                    mexpr.operator,
+                    mexpr.args,
+                    mexpr.input_groups,
+                    self._expressions_of,
+                ):
+                    self._stats.rule_bindings_tried += 1
+                    if not rule.applies(binding, context):
+                        continue
+                    if rule.build_args is not None:
+                        args = tuple(rule.build_args(binding, context))
+                    else:
+                        args = mexpr.args
+                    input_groups = tuple(
+                        self._memo.canonical(binding[name].args[0])
+                        for name in rule.input_names
+                    )
+                    fingerprint = (rule.algorithm, args, input_groups)
+                    if fingerprint in seen:
+                        continue
+                    seen.add(fingerprint)
+                    moves.append(
+                        _AlgorithmMove(rule, args, input_groups, rule.promise)
+                    )
+        return moves
+
+    def _pursue_algorithm(
+        self,
+        group: Group,
+        move: _AlgorithmMove,
+        required: PhysProps,
+        bound: Cost,
+        excluded: Optional[PhysProps],
+        depth: int,
+    ) -> Optional[Winner]:
+        memo, context, stats = self._memo, self._context, self._stats
+        algorithm = self.spec.algorithm(move.rule.algorithm)
+        node = AlgorithmNode(
+            move.args,
+            group.logical_props,
+            tuple(memo.logical_props(gid) for gid in move.input_groups),
+        )
+        alternatives = algorithm.applicability(context, node, required)
+        if not alternatives:
+            return None
+        best: Optional[Winner] = None
+        for input_requirements in alternatives:
+            if len(input_requirements) != len(move.input_groups):
+                raise SearchError(
+                    f"algorithm {algorithm.name!r} returned "
+                    f"{len(input_requirements)} input requirements for "
+                    f"{len(move.input_groups)} inputs"
+                )
+            stats.algorithm_costings += 1
+            # "TotalCost := cost of the algorithm"
+            total = algorithm.cost(context, node)
+            if self.options.branch_and_bound and bound < total:
+                stats.moves_pruned += 1
+                continue
+            # "for each input I while TotalCost < Limit …"
+            input_winners: List[Winner] = []
+            abandoned = False
+            for input_gid, input_required in zip(
+                move.input_groups, input_requirements
+            ):
+                sub = self._find_best_plan(
+                    input_gid, input_required, bound - total, None, depth + 1
+                )
+                if sub is None:
+                    stats.inputs_abandoned += 1
+                    abandoned = True
+                    break
+                total = total + sub.cost
+                input_winners.append(sub)
+                if self.options.branch_and_bound and bound < total:
+                    stats.inputs_abandoned += 1
+                    abandoned = True
+                    break
+            if abandoned:
+                continue
+            delivered = algorithm.derive_props(
+                context,
+                node,
+                tuple(winner.plan.properties for winner in input_winners),
+            )
+            if not self.spec.props_cover(delivered, required):
+                # The applicability function over-promised; skip (a
+                # stricter model could raise here).
+                continue
+            if excluded is not None and self.spec.props_cover(delivered, excluded):
+                # "since merge-join is able to satisfy the excluding
+                # properties, it would not be considered a suitable
+                # algorithm for the sort input."
+                stats.moves_pruned += 1
+                continue
+            plan = PhysicalPlan(
+                algorithm.name,
+                move.args,
+                tuple(winner.plan for winner in input_winners),
+                properties=delivered,
+                cost=total,
+            )
+            candidate = Winner(plan, total)
+            if best is None or candidate.cost < best.cost:
+                best = candidate
+        return best
+
+    def _pursue_enforcer(
+        self,
+        gid: int,
+        enforcer_name: str,
+        application: EnforcerApplication,
+        required: PhysProps,
+        bound: Cost,
+        excluded: Optional[PhysProps],
+        depth: int,
+    ) -> Optional[Winner]:
+        memo, context, stats = self._memo, self._context, self._stats
+        enforcer = self.spec.enforcer(enforcer_name)
+        if application.relaxed == required:
+            raise SearchError(
+                f"enforcer {enforcer_name!r} did not relax the goal [{required}]"
+            )
+        if excluded is not None and self.spec.props_cover(
+            application.delivered, excluded
+        ):
+            stats.moves_pruned += 1
+            return None
+        group = memo.group(gid)
+        node = AlgorithmNode(
+            application.args, group.logical_props, (group.logical_props,)
+        )
+        stats.enforcer_costings += 1
+        # "TotalCost := cost of the enforcer" …
+        total = enforcer.cost(context, node)
+        if self.options.branch_and_bound and bound < total:
+            stats.moves_pruned += 1
+            return None
+        # … "call FindBestPlan for LogExpr with new [relaxed] PhysProp",
+        # excluding algorithms that could satisfy the enforced property.
+        sub = self._find_best_plan(
+            gid, application.relaxed, bound - total, application.excluded, depth + 1
+        )
+        if sub is None:
+            return None
+        total = total + sub.cost
+        if self.options.branch_and_bound and bound < total:
+            return None
+        if not self.spec.props_cover(application.delivered, required):
+            return None
+        plan = PhysicalPlan(
+            enforcer_name,
+            application.args,
+            (sub.plan,),
+            properties=application.delivered,
+            cost=total,
+            is_enforcer=True,
+        )
+        return Winner(plan, total)
+
+    # ------------------------------------------------------------------
+
+    def _trace(self, kind: str, detail: str, depth: int) -> None:
+        if self._tracer is not None and self._tracer.enabled:
+            self._tracer.emit(kind, detail, depth)

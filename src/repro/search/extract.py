@@ -1,0 +1,143 @@
+"""Extract alternative plans from a solved memo.
+
+After an optimization run the memo holds not just the winner but the
+whole explored space.  These utilities enumerate alternative plans of an
+equivalence class — useful for debugging cost models, teaching, and for
+tests that check every memoized plan computes the same result.
+
+Enumeration is *logical-space complete* but physically one-level: for
+each expression of the class it builds each applicable algorithm over
+the recorded per-goal winners of the input classes.  (Enumerating every
+combination of sub-alternatives would be exponential; for full
+exhaustive costing see ``tests/helpers.BruteForceOracle``.)
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.algebra.plans import PhysicalPlan
+from repro.algebra.properties import PhysProps
+from repro.model.context import OptimizerContext
+from repro.model.patterns import match_memo
+from repro.model.spec import AlgorithmNode, ModelSpecification
+from repro.search.engine import OptimizationResult
+from repro.search.memo import Memo
+
+__all__ = ["alternative_plans", "count_logical_expressions"]
+
+
+def count_logical_expressions(memo: Memo, root: int) -> int:
+    """Number of logical expressions reachable from ``root``.
+
+    The paper observes Volcano's optimization cost "mirrors exactly the
+    increase in the number of equivalent logical algebra expressions";
+    this is that number.
+    """
+    return sum(
+        len(memo.group(gid).expressions) for gid in memo.reachable(root)
+    )
+
+
+def alternative_plans(
+    result: OptimizationResult,
+    spec: ModelSpecification,
+    catalog,
+    required: Optional[PhysProps] = None,
+    limit: int = 100,
+) -> List[PhysicalPlan]:
+    """Alternative plans for the optimized query's root class.
+
+    Returns up to ``limit`` plans (the winner among them), each satisfying
+    ``required`` (the result's goal by default), costed consistently with
+    the engine.
+    """
+    memo = result.memo
+    required = required if required is not None else result.required
+    context = OptimizerContext(spec, catalog)
+    context.group_props_resolver = memo.logical_props
+    root = _root_group(memo)
+    plans: List[PhysicalPlan] = []
+    transformations = {}
+    for rule in spec.implementations:
+        transformations.setdefault(rule.top_operator, []).append(rule)
+
+    def expressions_of(gid):
+        for mexpr in memo.group(gid).expressions:
+            yield mexpr.operator, mexpr.args, mexpr.input_groups
+
+    group = memo.group(root)
+    for mexpr in group.expressions:
+        for rule in transformations.get(mexpr.operator, ()):
+            for binding in match_memo(
+                rule.pattern, mexpr.operator, mexpr.args, mexpr.input_groups,
+                expressions_of,
+            ):
+                if not rule.applies(binding, context):
+                    continue
+                args = (
+                    tuple(rule.build_args(binding, context))
+                    if rule.build_args is not None
+                    else mexpr.args
+                )
+                input_groups = tuple(
+                    memo.canonical(binding[name].args[0])
+                    for name in rule.input_names
+                )
+                algorithm = spec.algorithm(rule.algorithm)
+                node = AlgorithmNode(
+                    args,
+                    group.logical_props,
+                    tuple(memo.logical_props(gid) for gid in input_groups),
+                )
+                for requirements in algorithm.applicability(
+                    context, node, required
+                ) or ():
+                    input_plans = []
+                    feasible = True
+                    total = algorithm.cost(context, node)
+                    for input_gid, input_required in zip(
+                        input_groups, requirements
+                    ):
+                        winner = memo.group(input_gid).winners.get(
+                            (input_required, None)
+                        )
+                        if winner is None:
+                            feasible = False
+                            break
+                        input_plans.append(winner.plan)
+                        total = total + winner.cost
+                    if not feasible:
+                        continue
+                    delivered = algorithm.derive_props(
+                        context,
+                        node,
+                        tuple(plan.properties for plan in input_plans),
+                    )
+                    if not spec.props_cover(delivered, required):
+                        continue
+                    plans.append(
+                        PhysicalPlan(
+                            algorithm.name,
+                            args,
+                            tuple(input_plans),
+                            properties=delivered,
+                            cost=total,
+                        )
+                    )
+                    if len(plans) >= limit:
+                        return plans
+    return plans
+
+
+def _root_group(memo: Memo) -> int:
+    """The class with the most base tables: the whole query."""
+    best = None
+    for group in memo.groups():
+        if best is None or len(group.logical_props.tables) > len(
+            best.logical_props.tables
+        ):
+            best = group
+    if best is None:
+        raise ValueError("empty memo")
+    return best.id

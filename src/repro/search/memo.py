@@ -1,0 +1,455 @@
+"""The memo: a hash table of expressions and equivalence classes.
+
+"In order to prevent redundant optimization effort by detecting redundant
+(i.e., multiple equivalent) derivations of the same logical expressions
+and plans during optimization, expressions and plans are captured in a
+hash table of expressions and equivalence classes.  An equivalence class
+represents two collections, one of equivalent logical and one of physical
+expressions (plans).  […]  For each combination of physical properties
+for which an equivalence class has already been optimized, e.g.,
+unsorted, sorted on A, and sorted on B, the best plan found is kept."
+(paper, Section 3)
+
+Groups additionally memoize *failures* ("'Interesting' is defined with
+respect to possible future use, which includes both plans optimal for
+given physical properties as well as failures that can save future
+optimization effort").
+
+When a transformation derives an expression that already exists in a
+*different* group, the two groups are provably equivalent and are merged
+(the flip side of Figure 3, where associativity *creates* a new class).
+Merging invalidates cached winners and failures of the merged class, so
+the engine performs all logical exploration before any costing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.algebra.expressions import GROUP_LEAF, LogicalExpression
+from repro.algebra.plans import PhysicalPlan
+from repro.algebra.properties import LogicalProperties, PhysProps
+from repro.errors import SearchError
+from repro.model.context import OptimizerContext
+from repro.model.cost import Cost
+from repro.search.tracing import SearchStats
+
+__all__ = ["GroupExpression", "Winner", "Group", "Memo"]
+
+
+@dataclass(frozen=True)
+class GroupExpression:
+    """A logical expression whose inputs are equivalence classes."""
+
+    operator: str
+    args: Tuple
+    input_groups: Tuple[int, ...] = ()
+
+    def __str__(self) -> str:
+        inputs = " ".join(f"g{gid}" for gid in self.input_groups)
+        args = ", ".join(str(arg) for arg in self.args)
+        body = " ".join(part for part in (f"[{args}]" if args else "", inputs) if part)
+        return f"({self.operator} {body})" if body else f"({self.operator})"
+
+
+@dataclass(frozen=True)
+class Winner:
+    """The best plan found for one (group, physical properties) goal."""
+
+    plan: PhysicalPlan
+    cost: Cost
+
+
+# A goal key: required properties plus the excluding vector (None outside
+# enforcer inputs).  Winners and failures are memoized per goal key, so a
+# plan found under an excluding vector never leaks into ordinary lookups.
+GoalKey = Tuple[PhysProps, Optional[PhysProps]]
+
+
+class Group:
+    """One equivalence class."""
+
+    __slots__ = (
+        "id",
+        "expressions",
+        "expression_set",
+        "logical_props",
+        "winners",
+        "failures",
+        "applied",
+        "explored",
+        "exploring",
+        "in_progress",
+        "merged_into",
+    )
+
+    def __init__(self, group_id: int, logical_props: LogicalProperties):
+        self.id = group_id
+        self.expressions: List[GroupExpression] = []
+        self.expression_set: Set[GroupExpression] = set()
+        self.logical_props = logical_props
+        self.winners: Dict[GoalKey, Winner] = {}
+        self.failures: Dict[GoalKey, Cost] = {}
+        # Fingerprints of rule applications already performed, so that a
+        # rule never fires twice on the same binding (this also detects
+        # inverse rule pairs: re-deriving an existing expression is a
+        # no-op thanks to the hash table).
+        self.applied: Set = set()
+        self.explored = False
+        self.exploring = False
+        # Goal keys currently on the search stack (reference counted);
+        # the paper marks goals "in progress" to break cycles.
+        self.in_progress: Dict[GoalKey, int] = {}
+        self.merged_into: Optional[int] = None
+
+    def mark_in_progress(self, key: GoalKey) -> None:
+        """Push an in-progress mark for a goal (reference counted)."""
+        self.in_progress[key] = self.in_progress.get(key, 0) + 1
+
+    def unmark_in_progress(self, key: GoalKey) -> None:
+        """Pop one in-progress mark for a goal."""
+        count = self.in_progress.get(key, 0)
+        if count <= 1:
+            self.in_progress.pop(key, None)
+        else:
+            self.in_progress[key] = count - 1
+
+    def is_in_progress(self, key: GoalKey) -> bool:
+        """True while the goal is on the search stack."""
+        return self.in_progress.get(key, 0) > 0
+
+    def __repr__(self) -> str:
+        return f"Group({self.id}, {len(self.expressions)} exprs)"
+
+
+class Memo:
+    """The hash table of expressions and equivalence classes."""
+
+    def __init__(
+        self,
+        context: OptimizerContext,
+        stats: Optional[SearchStats] = None,
+        check_consistency: bool = True,
+        max_groups: Optional[int] = None,
+    ):
+        self.context = context
+        self.stats = stats if stats is not None else SearchStats()
+        self.check_consistency = check_consistency
+        self.max_groups = max_groups
+        self._groups: Dict[int, Group] = {}
+        self._table: Dict[GroupExpression, int] = {}
+        # Reverse index: group id → expressions that reference it as an
+        # input, needed to rewrite the table when groups merge.
+        self._parents: Dict[int, Set[GroupExpression]] = {}
+        self._next_id = 0
+
+    # -- basic access --------------------------------------------------------
+
+    def canonical(self, group_id: int) -> int:
+        """Resolve a (possibly merged-away) group id to its representative."""
+        seen = []
+        while True:
+            group = self._groups[group_id]
+            if group.merged_into is None:
+                break
+            seen.append(group_id)
+            group_id = group.merged_into
+        for stale in seen:  # path compression
+            self._groups[stale].merged_into = group_id
+        return group_id
+
+    def group(self, group_id: int) -> Group:
+        """The live group for an id (following merges)."""
+        return self._groups[self.canonical(group_id)]
+
+    def group_count(self) -> int:
+        """Number of live (unmerged) groups."""
+        return sum(1 for group in self._groups.values() if group.merged_into is None)
+
+    def expression_count(self) -> int:
+        """Total expressions across live groups."""
+        return sum(
+            len(group.expressions)
+            for group in self._groups.values()
+            if group.merged_into is None
+        )
+
+    def groups(self) -> Iterator[Group]:
+        """All live (unmerged) groups."""
+        for group in self._groups.values():
+            if group.merged_into is None:
+                yield group
+
+    def logical_props(self, group_id: int) -> LogicalProperties:
+        """The logical properties of a group."""
+        return self.group(group_id).logical_props
+
+    def reachable(self, root: int) -> List[int]:
+        """Canonical ids of all groups reachable from ``root`` (pre-order)."""
+        root = self.canonical(root)
+        seen: List[int] = []
+        seen_set: Set[int] = set()
+        stack = [root]
+        while stack:
+            gid = self.canonical(stack.pop())
+            if gid in seen_set:
+                continue
+            seen_set.add(gid)
+            seen.append(gid)
+            for mexpr in self.group(gid).expressions:
+                for input_gid in mexpr.input_groups:
+                    stack.append(input_gid)
+        return seen
+
+    # -- insertion -----------------------------------------------------------
+
+    def insert_expression(self, expression: LogicalExpression) -> int:
+        """Intern a logical expression tree; returns its group's id.
+
+        Group leaves resolve to their (canonical) group.  Identical
+        subexpressions share groups through the hash table.
+        """
+        if expression.operator == GROUP_LEAF:
+            return self.canonical(expression.args[0])
+        input_groups = tuple(
+            self.insert_expression(node) for node in expression.inputs
+        )
+        mexpr = GroupExpression(expression.operator, expression.args, input_groups)
+        group_id, _ = self._intern(mexpr, target_group=None)
+        return group_id
+
+    def add_expression_to_group(
+        self, expression: LogicalExpression, group_id: int
+    ) -> bool:
+        """Integrate a (rewritten) expression as a member of ``group_id``.
+
+        Used when a transformation rule proves ``expression`` equivalent
+        to the group.  Returns True when the memo changed (a new
+        expression appeared or groups merged).
+        """
+        group_id = self.canonical(group_id)
+        if expression.operator == GROUP_LEAF:
+            # The rewrite returned a bare input: the whole group is
+            # equivalent to one of its subexpressions' groups.
+            other = self.canonical(expression.args[0])
+            if other == group_id:
+                return False
+            self._merge(group_id, other)
+            return True
+        input_groups = tuple(
+            self.insert_expression(node) for node in expression.inputs
+        )
+        mexpr = GroupExpression(expression.operator, expression.args, input_groups)
+        _, changed = self._intern(mexpr, target_group=group_id)
+        return changed
+
+    def _intern(
+        self, mexpr: GroupExpression, target_group: Optional[int]
+    ) -> Tuple[int, bool]:
+        """Intern one group expression; returns ``(group_id, changed)``."""
+        mexpr = self._canonical_mexpr(mexpr)
+        existing = self._table.get(mexpr)
+        if existing is not None:
+            existing = self.canonical(existing)
+            if target_group is not None and existing != target_group:
+                # Two derivations of the same expression in different
+                # classes: the classes are equivalent — merge them.
+                self._merge(target_group, existing)
+                return self.canonical(target_group), True
+            return existing, False
+        if target_group is None:
+            group = self._new_group(mexpr)
+        else:
+            group = self.group(target_group)
+            if self.check_consistency:
+                self._check_consistency(group, mexpr)
+        self._attach(mexpr, group)
+        return group.id, True
+
+    def _new_group(self, mexpr: GroupExpression) -> Group:
+        if self.max_groups is not None and len(self._groups) >= self.max_groups:
+            raise SearchError(
+                f"memo exceeded the configured limit of {self.max_groups} groups"
+            )
+        props = self._derive_props(mexpr)
+        group = Group(self._next_id, props)
+        self._next_id += 1
+        self._groups[group.id] = group
+        self.stats.groups_created += 1
+        return group
+
+    def _attach(self, mexpr: GroupExpression, group: Group) -> None:
+        group.expressions.append(mexpr)
+        group.expression_set.add(mexpr)
+        self._table[mexpr] = group.id
+        for input_gid in set(mexpr.input_groups):
+            self._parents.setdefault(input_gid, set()).add(mexpr)
+        self.stats.expressions_created += 1
+        # New logical knowledge: the group may support new rule bindings —
+        # and so may every group whose rule patterns can reach into this
+        # one (nested patterns match against input groups' expressions).
+        group.explored = False
+        self._invalidate_ancestors(group.id)
+
+    def _invalidate_ancestors(self, gid: int) -> None:
+        """Clear the ``explored`` flag of every group reachable upward."""
+        stack = [gid]
+        seen = set()
+        while stack:
+            current = self.canonical(stack.pop())
+            if current in seen:
+                continue
+            seen.add(current)
+            for mexpr in self._parents.get(current, ()):
+                owner = self._table.get(mexpr)
+                if owner is None:
+                    continue  # the expression was rewritten away by a merge
+                owner_group = self.group(owner)
+                owner_group.explored = False
+                stack.append(owner_group.id)
+
+    def _canonical_mexpr(self, mexpr: GroupExpression) -> GroupExpression:
+        canonical_inputs = tuple(self.canonical(gid) for gid in mexpr.input_groups)
+        if canonical_inputs == mexpr.input_groups:
+            return mexpr
+        return GroupExpression(mexpr.operator, mexpr.args, canonical_inputs)
+
+    def _derive_props(self, mexpr: GroupExpression) -> LogicalProperties:
+        input_props = tuple(
+            self.group(gid).logical_props for gid in mexpr.input_groups
+        )
+        return self.context.derive_logical_props(mexpr.operator, mexpr.args, input_props)
+
+    def _check_consistency(self, group: Group, mexpr: GroupExpression) -> None:
+        """Paper's consistency check: all class members agree on properties."""
+        self.stats.consistency_checks += 1
+        derived = self._derive_props(mexpr)
+        if not derived.consistent_with(group.logical_props):
+            raise SearchError(
+                f"inconsistent logical properties in group {group.id}: "
+                f"group has [{group.logical_props}] but {mexpr} derives "
+                f"[{derived}] — a transformation rule is not equivalence-"
+                f"preserving"
+            )
+
+    # -- merging ---------------------------------------------------------------
+
+    def _merge(self, a: int, b: int) -> int:
+        """Merge two equivalent groups; returns the surviving id."""
+        worklist = [(a, b)]
+        result = self.canonical(a)
+        while worklist:
+            left, right = worklist.pop()
+            left, right = self.canonical(left), self.canonical(right)
+            if left == right:
+                continue
+            keeper, dead = self._choose_keeper(left, right)
+            self.stats.group_merges += 1
+            self._merge_into(keeper, dead, worklist)
+            result = keeper.id
+        return result
+
+    def _choose_keeper(self, left: int, right: int) -> Tuple[Group, Group]:
+        left_group, right_group = self._groups[left], self._groups[right]
+        # Prefer a group that is currently being worked on so live loops
+        # keep observing the surviving object; otherwise the older group.
+        left_busy = bool(left_group.in_progress) or left_group.exploring
+        right_busy = bool(right_group.in_progress) or right_group.exploring
+        if right_busy and not left_busy:
+            return right_group, left_group
+        if left_busy or left < right:
+            return left_group, right_group
+        return right_group, left_group
+
+    def _merge_into(self, keeper: Group, dead: Group, worklist: List) -> None:
+        if self.check_consistency and not dead.logical_props.consistent_with(
+            keeper.logical_props
+        ):
+            raise SearchError(
+                f"merge of groups {keeper.id} and {dead.id} with inconsistent "
+                f"properties: [{keeper.logical_props}] vs [{dead.logical_props}]"
+            )
+        dead.merged_into = keeper.id
+        # Move the expressions across.
+        for mexpr in dead.expressions:
+            self._table.pop(mexpr, None)
+            canonical = self._canonical_mexpr(mexpr)
+            clash = self._table.get(canonical)
+            if clash is not None and self.canonical(clash) != keeper.id:
+                # Canonicalizing revealed that this expression already
+                # exists in yet another group: that group is equivalent
+                # too — schedule a further merge.
+                worklist.append((keeper.id, clash))
+            if canonical not in keeper.expression_set:
+                keeper.expressions.append(canonical)
+                keeper.expression_set.add(canonical)
+            self._table[canonical] = keeper.id
+            for input_gid in set(canonical.input_groups):
+                self._parents.setdefault(input_gid, set()).add(canonical)
+        dead.expressions.clear()
+        dead.expression_set.clear()
+        # Cached plans and failures may no longer be optimal or valid for
+        # the enlarged class — drop them (the engine explores the whole
+        # logical space before costing, so this only discards pre-merge
+        # state, never mid-costing results).
+        keeper.winners.clear()
+        keeper.failures.clear()
+        dead.winners.clear()
+        dead.failures.clear()
+        keeper.applied |= dead.applied
+        keeper.explored = False
+        for key, count in dead.in_progress.items():
+            keeper.in_progress[key] = keeper.in_progress.get(key, 0) + count
+        dead.in_progress.clear()
+        keeper.exploring = keeper.exploring or dead.exploring
+        # Re-home expressions in *other* groups that referenced the dead
+        # group as an input: their table keys change, which may reveal
+        # further equalities (recursive merges).
+        for parent in list(self._parents.pop(dead.id, ())):
+            owner = self._table.pop(parent, None)
+            if owner is None:
+                continue  # already rewritten via another path
+            owner = self.canonical(owner)
+            owner_group = self._groups[owner]
+            rewritten = self._canonical_mexpr(parent)
+            if parent in owner_group.expression_set:
+                owner_group.expression_set.discard(parent)
+                owner_group.expressions = [
+                    m for m in owner_group.expressions if m != parent
+                ]
+            clash = self._table.get(rewritten)
+            if clash is not None and self.canonical(clash) != owner:
+                worklist.append((owner, clash))
+                # The rewritten expression already lives in the clashing
+                # group; owner and clash merge, no need to re-attach.
+                continue
+            if rewritten not in owner_group.expression_set:
+                owner_group.expressions.append(rewritten)
+                owner_group.expression_set.add(rewritten)
+            self._table[rewritten] = owner
+            for input_gid in set(rewritten.input_groups):
+                self._parents.setdefault(input_gid, set()).add(rewritten)
+            owner_group.explored = False
+            self._invalidate_ancestors(owner)
+
+    # -- extraction -------------------------------------------------------------
+
+    def render(self, root: Optional[int] = None) -> str:
+        """Human-readable dump of (reachable) groups, for debugging."""
+        gids = self.reachable(root) if root is not None else [
+            group.id for group in self.groups()
+        ]
+        lines = []
+        for gid in gids:
+            group = self.group(gid)
+            lines.append(f"group {gid}: {group.logical_props}")
+            for mexpr in group.expressions:
+                lines.append(f"    {mexpr}")
+            for (props, excluded), winner in group.winners.items():
+                suffix = f" excluding {excluded}" if excluded is not None else ""
+                lines.append(
+                    f"    winner[{props}{suffix}] cost={winner.cost}: "
+                    f"{winner.plan.to_sexpr()}"
+                )
+        return "\n".join(lines)

@@ -1,0 +1,413 @@
+"""A task-based (Cascades-style) driver for the same memo and rules.
+
+The paper closes with: "the internal structure for equivalence classes
+is sufficiently modular and extensible to support alternative search
+strategies […] We are exploring several directions with respect to the
+search strategy, namely […] an alternative, even more parameterized
+search algorithm that can be 'switched' to different existing
+algorithms."  (Section 6)
+
+This module is that alternative strategy: instead of recursive
+``FindBestPlan`` invocations, optimization goals become explicit *task*
+objects on a scheduler-controlled agenda — the architecture Graefe later
+published as **Cascades** (1995).  It shares the memo, the rule tables,
+the exploration logic, and all support functions with the recursive
+engine, and must produce *identical* plans and costs (tested); only the
+control flow differs:
+
+* ``_GoalState`` holds one goal's branch-and-bound state;
+* ``_BeginGoal`` expands a goal into move-evaluation tasks;
+* ``_CostAlternative`` is a resumable state machine that optimizes a
+  move's inputs one at a time, suspending itself behind the subgoal's
+  tasks instead of recursing;
+* ``_FinishGoal`` memoizes the winner or the failure.
+
+The *scheduler* is the parameterization hook: LIFO reproduces the
+recursive engine's order exactly; a priority scheduler can reorder
+sibling moves globally by promise.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.algebra.plans import PhysicalPlan
+from repro.errors import SearchError
+from repro.model.cost import Cost, INFINITE_COST
+from repro.model.spec import AlgorithmNode, EnforcerApplication
+from repro.search.engine import VolcanoOptimizer, _AlgorithmMove
+from repro.search.memo import GoalKey, Winner
+
+__all__ = ["TaskBasedOptimizer", "lifo_scheduler"]
+
+
+class _GoalState:
+    """Shared branch-and-bound state of one (group, properties) goal."""
+
+    __slots__ = (
+        "gid",
+        "required",
+        "excluded",
+        "limit",
+        "bound",
+        "best",
+        "finished",
+    )
+
+    def __init__(self, gid, required, excluded, limit, branch_and_bound):
+        self.gid = gid
+        self.required = required
+        self.excluded = excluded
+        self.limit = limit
+        self.bound = limit if branch_and_bound else INFINITE_COST
+        self.best: Optional[Winner] = None
+        self.finished = False
+
+    @property
+    def key(self) -> GoalKey:
+        return (self.required, self.excluded)
+
+    def offer(self, candidate: Winner, branch_and_bound: bool) -> None:
+        if self.best is None or candidate.cost < self.best.cost:
+            self.best = candidate
+            if branch_and_bound and candidate.cost < self.bound:
+                self.bound = candidate.cost
+
+
+class _Task:
+    """Base task; ``run`` may push follow-up tasks onto the agenda."""
+
+    __slots__ = ()
+
+    def run(self, engine: "TaskBasedOptimizer") -> None:
+        raise NotImplementedError
+
+
+class _BeginGoal(_Task):
+    __slots__ = ("state",)
+
+    def __init__(self, state: _GoalState):
+        self.state = state
+
+    def run(self, engine) -> None:
+        state = self.state
+        memo = engine._memo
+        group = memo.group(state.gid)
+        key = state.key
+        winner = group.winners.get(key)
+        if winner is not None:
+            engine._stats.winner_hits += 1
+            if winner.cost <= state.limit:
+                state.best = winner
+            state.finished = True
+            return
+        if engine.options.cache_failures:
+            failed_at = group.failures.get(key)
+            if failed_at is not None and state.limit <= failed_at:
+                engine._stats.failure_hits += 1
+                state.finished = True
+                return
+        if group.is_in_progress(key):
+            # A cycle: the outer task will finish this goal.
+            state.finished = True
+            return
+        group.mark_in_progress(key)
+        engine._stats.find_best_plan_calls += 1
+        # Finish runs after every move task (stack discipline: push first).
+        engine._push(_FinishGoal(state))
+        # Enforcer moves.
+        if not state.required.is_any:
+            for name, enforcer in engine.spec.enforcers.items():
+                for application in enforcer.enforce(
+                    engine._context, state.required, group.logical_props
+                ):
+                    engine._push(_CostEnforcer(state, name, application))
+        # Algorithm moves, highest promise on top of the stack.
+        moves = engine._algorithm_moves(group)
+        moves.sort(key=lambda move: move.promise)
+        for move in moves:
+            engine._push(_ExpandMove(state, move))
+
+
+class _ExpandMove(_Task):
+    """Turn one implementation-rule binding into per-alternative tasks."""
+
+    __slots__ = ("state", "move")
+
+    def __init__(self, state: _GoalState, move: _AlgorithmMove):
+        self.state = state
+        self.move = move
+
+    def run(self, engine) -> None:
+        state, move = self.state, self.move
+        memo = engine._memo
+        group = memo.group(state.gid)
+        algorithm = engine.spec.algorithm(move.rule.algorithm)
+        node = AlgorithmNode(
+            move.args,
+            group.logical_props,
+            tuple(memo.logical_props(gid) for gid in move.input_groups),
+        )
+        alternatives = algorithm.applicability(
+            engine._context, node, state.required
+        )
+        for requirements in alternatives or ():
+            if len(requirements) != len(move.input_groups):
+                raise SearchError(
+                    f"algorithm {algorithm.name!r} returned "
+                    f"{len(requirements)} input requirements for "
+                    f"{len(move.input_groups)} inputs"
+                )
+            engine._stats.algorithm_costings += 1
+            local = algorithm.cost(engine._context, node)
+            engine._push(
+                _CostAlternative(
+                    state, move, node, tuple(requirements), local, (), 0
+                )
+            )
+
+
+class _CostAlternative(_Task):
+    """Resumable input costing: one input per activation, no recursion."""
+
+    __slots__ = (
+        "state",
+        "move",
+        "node",
+        "requirements",
+        "total",
+        "plans",
+        "index",
+        "started",
+    )
+
+    def __init__(self, state, move, node, requirements, total, plans, index):
+        self.state = state
+        self.move = move
+        self.node = node
+        self.requirements = requirements
+        self.total = total
+        self.plans: Tuple[PhysicalPlan, ...] = plans
+        self.index = index
+        self.started = False
+
+    def run(self, engine) -> None:
+        state = self.state
+        if engine.options.branch_and_bound and state.bound < self.total:
+            engine._stats.moves_pruned += 1
+            return
+        if self.index == len(self.requirements):
+            self._finalize(engine)
+            return
+        input_gid = self.move.input_groups[self.index]
+        required = self.requirements[self.index]
+        winner = engine._lookup(input_gid, required, None)
+        if winner is not None:
+            if not winner.cost <= state.bound - self.total:
+                engine._stats.inputs_abandoned += 1
+                return
+            engine._push(
+                _CostAlternative(
+                    state,
+                    self.move,
+                    self.node,
+                    self.requirements,
+                    self.total + winner.cost,
+                    self.plans + (winner.plan,),
+                    self.index + 1,
+                )
+            )
+            return
+        if self.started or engine._known_failure(
+            input_gid, required, None, state.bound - self.total
+        ):
+            # The subgoal already ran (or a cached failure applies).
+            engine._stats.inputs_abandoned += 1
+            return
+        # The input goal is unsolved: suspend behind its tasks.
+        subgoal = _GoalState(
+            input_gid,
+            required,
+            None,
+            state.bound - self.total,
+            engine.options.branch_and_bound,
+        )
+        self.started = True
+        engine._push(self)  # resume afterwards (winner will be memoized)
+        engine._push(_BeginGoal(subgoal))
+
+    def _finalize(self, engine) -> None:
+        state = self.state
+        algorithm = engine.spec.algorithm(self.move.rule.algorithm)
+        delivered = algorithm.derive_props(
+            engine._context,
+            self.node,
+            tuple(plan.properties for plan in self.plans),
+        )
+        if not engine.spec.props_cover(delivered, state.required):
+            return
+        if state.excluded is not None and engine.spec.props_cover(
+            delivered, state.excluded
+        ):
+            engine._stats.moves_pruned += 1
+            return
+        plan = PhysicalPlan(
+            algorithm.name,
+            self.move.args,
+            self.plans,
+            properties=delivered,
+            cost=self.total,
+        )
+        state.offer(Winner(plan, self.total), engine.options.branch_and_bound)
+
+
+class _CostEnforcer(_Task):
+    __slots__ = ("state", "name", "application", "local", "started")
+
+    def __init__(self, state, name, application: EnforcerApplication):
+        self.state = state
+        self.name = name
+        self.application = application
+        self.local: Optional[Cost] = None
+        self.started = False
+
+    def run(self, engine) -> None:
+        state = self.state
+        application = self.application
+        if application.relaxed == state.required:
+            raise SearchError(
+                f"enforcer {self.name!r} did not relax the goal "
+                f"[{state.required}]"
+            )
+        if state.excluded is not None and engine.spec.props_cover(
+            application.delivered, state.excluded
+        ):
+            engine._stats.moves_pruned += 1
+            return
+        memo = engine._memo
+        group = memo.group(state.gid)
+        if self.local is None:
+            node = AlgorithmNode(
+                application.args, group.logical_props, (group.logical_props,)
+            )
+            engine._stats.enforcer_costings += 1
+            self.local = engine.spec.enforcer(self.name).cost(engine._context, node)
+        if engine.options.branch_and_bound and state.bound < self.local:
+            engine._stats.moves_pruned += 1
+            return
+        winner = engine._lookup(state.gid, application.relaxed, application.excluded)
+        if winner is None:
+            if self.started or engine._known_failure(
+                state.gid,
+                application.relaxed,
+                application.excluded,
+                state.bound - self.local,
+            ):
+                engine._stats.inputs_abandoned += 1
+                return
+            subgoal = _GoalState(
+                state.gid,
+                application.relaxed,
+                application.excluded,
+                state.bound - self.local,
+                engine.options.branch_and_bound,
+            )
+            self.started = True
+            engine._push(self)
+            engine._push(_BeginGoal(subgoal))
+            return
+        total = self.local + winner.cost
+        if engine.options.branch_and_bound and state.bound < total:
+            return
+        if not engine.spec.props_cover(application.delivered, state.required):
+            return
+        plan = PhysicalPlan(
+            self.name,
+            application.args,
+            (winner.plan,),
+            properties=application.delivered,
+            cost=total,
+            is_enforcer=True,
+        )
+        state.offer(Winner(plan, total), engine.options.branch_and_bound)
+
+
+class _FinishGoal(_Task):
+    __slots__ = ("state",)
+
+    def __init__(self, state: _GoalState):
+        self.state = state
+
+    def run(self, engine) -> None:
+        state = self.state
+        memo = engine._memo
+        group = memo.group(state.gid)
+        group.unmark_in_progress(state.key)
+        state.finished = True
+        if state.best is not None and state.best.cost <= state.limit:
+            group.winners[state.key] = state.best
+            return
+        state.best = None
+        if engine.options.cache_failures:
+            previous = group.failures.get(state.key)
+            if previous is None or previous < state.limit:
+                group.failures[state.key] = state.limit
+
+
+def lifo_scheduler(agenda: List[_Task]) -> _Task:
+    """The default scheduler: last in, first out (depth-first)."""
+    return agenda.pop()
+
+
+class TaskBasedOptimizer(VolcanoOptimizer):
+    """The Cascades-style driver: same memo, explicit task agenda.
+
+    ``scheduler`` picks the next task from the agenda; the default LIFO
+    discipline reproduces the recursive engine's evaluation order.  Any
+    scheduler is sound as long as it eventually runs every task and
+    respects that a task pushed *below* another's resume-task must run
+    first under its picks (LIFO and priority-within-goal both qualify).
+    """
+
+    def __init__(self, *args, scheduler: Callable = lifo_scheduler, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._scheduler = scheduler
+        self._agenda: List[_Task] = []
+
+    # -- agenda ----------------------------------------------------------
+
+    def _push(self, task: _Task) -> None:
+        self._agenda.append(task)
+
+    def _lookup(self, gid, required, excluded) -> Optional[Winner]:
+        group = self._memo.group(gid)
+        return group.winners.get((required, excluded))
+
+    def _known_failure(self, gid, required, excluded, limit) -> bool:
+        """A cached failure applies at this limit.
+
+        With failure caching off this always answers False; the resume
+        tasks' ``started`` flags then distinguish "not yet attempted"
+        from "attempted and failed".
+        """
+        if not self.options.cache_failures:
+            return False
+        group = self._memo.group(gid)
+        failed_at = group.failures.get((required, excluded))
+        return failed_at is not None and limit <= failed_at
+
+    # -- entry point -------------------------------------------------------
+
+    def _find_best_plan(self, gid, required, limit, excluded, depth):
+        """Drive the task agenda instead of recursing."""
+        state = _GoalState(
+            gid, required, excluded, limit, self.options.branch_and_bound
+        )
+        self._agenda = []
+        self._push(_BeginGoal(state))
+        while self._agenda:
+            task = self._scheduler(self._agenda)
+            task.run(self)
+        if not state.finished:
+            raise SearchError("task agenda drained before the goal finished")
+        return state.best

@@ -1,0 +1,103 @@
+"""Search instrumentation: counters and optional event traces.
+
+The paper's Figure 4 reports optimization *time*; its text additionally
+argues about *memory* (MESH nodes vs. the Volcano hash table, "less than
+1 MB of work space").  These counters provide machine-independent
+measures of the same quantities: groups and expressions created mirror
+memory, rule/cost invocations mirror work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["SearchStats", "TraceEvent"]
+
+
+@dataclass
+class TraceEvent:
+    """One recorded search event (only kept when tracing is enabled)."""
+
+    kind: str
+    detail: str
+    depth: int = 0
+
+    def __str__(self) -> str:
+        return "  " * self.depth + f"{self.kind}: {self.detail}"
+
+
+@dataclass
+class SearchStats:
+    """Work and memory counters for one optimization run."""
+
+    # Memory-shaped counters.
+    groups_created: int = 0
+    expressions_created: int = 0
+    group_merges: int = 0
+    # Work-shaped counters.
+    find_best_plan_calls: int = 0
+    winner_hits: int = 0
+    failure_hits: int = 0
+    rule_bindings_tried: int = 0
+    rules_fired: int = 0
+    algorithm_costings: int = 0
+    enforcer_costings: int = 0
+    moves_pruned: int = 0
+    inputs_abandoned: int = 0
+    consistency_checks: int = 0
+    exploration_passes: int = 0
+    # Wall-clock, filled in by the engine.
+    elapsed_seconds: float = 0.0
+
+    def memo_footprint(self) -> int:
+        """A memory proxy: total groups plus expressions held."""
+        return self.groups_created + self.expressions_created
+
+    def as_dict(self) -> dict:
+        """The counters as a plain dict (for reports and CSV)."""
+        return {
+            "groups_created": self.groups_created,
+            "expressions_created": self.expressions_created,
+            "group_merges": self.group_merges,
+            "find_best_plan_calls": self.find_best_plan_calls,
+            "winner_hits": self.winner_hits,
+            "failure_hits": self.failure_hits,
+            "rule_bindings_tried": self.rule_bindings_tried,
+            "rules_fired": self.rules_fired,
+            "algorithm_costings": self.algorithm_costings,
+            "enforcer_costings": self.enforcer_costings,
+            "moves_pruned": self.moves_pruned,
+            "inputs_abandoned": self.inputs_abandoned,
+            "consistency_checks": self.consistency_checks,
+            "exploration_passes": self.exploration_passes,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"groups={self.groups_created} exprs={self.expressions_created} "
+            f"merges={self.group_merges} fbp={self.find_best_plan_calls} "
+            f"hits={self.winner_hits}/{self.failure_hits} "
+            f"rules={self.rules_fired}/{self.rule_bindings_tried} "
+            f"costings={self.algorithm_costings}+{self.enforcer_costings} "
+            f"pruned={self.moves_pruned} time={self.elapsed_seconds:.4f}s"
+        )
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` items when enabled; no-op otherwise."""
+
+    def __init__(self, enabled: bool = False, limit: int = 100_000):
+        self.enabled = enabled
+        self.limit = limit
+        self.events: List[TraceEvent] = []
+
+    def emit(self, kind: str, detail: str, depth: int = 0) -> None:
+        """Record one event (no-op when disabled or over the limit)."""
+        if self.enabled and len(self.events) < self.limit:
+            self.events.append(TraceEvent(kind, detail, depth))
+
+    def render(self) -> str:
+        """The recorded events as indented text."""
+        return "\n".join(str(event) for event in self.events)

@@ -1,0 +1,25 @@
+"""SQL front-end: lexer, parser, translator to the logical algebra (S15)."""
+
+from repro.sql.lexer import Token, TokenType, tokenize
+from repro.sql.parser import (
+    SelectStatement,
+    SetStatement,
+    Statement,
+    TableRef,
+    parse,
+)
+from repro.sql.translator import Translation, Translator, translate
+
+__all__ = [
+    "Token",
+    "TokenType",
+    "tokenize",
+    "SelectStatement",
+    "SetStatement",
+    "Statement",
+    "TableRef",
+    "parse",
+    "Translation",
+    "Translator",
+    "translate",
+]

@@ -1,0 +1,175 @@
+"""An interactive SQL shell over the generated optimizer.
+
+    python -m repro.sql
+
+Starts with a synthetic demo database (three joinable tables in the
+paper's 1,200–7,200-row range), optimizes each entered query with the
+relational+aggregation model, prints the EXPLAIN report, executes the
+plan on the Volcano iterator engine, and shows the first rows.
+
+Commands:
+  \\tables           list tables and their statistics
+  \\explain on|off   toggle plan output (default on)
+  \\rows N           how many result rows to print (default 5)
+  \\quit             exit
+
+Everything else is parsed as SQL (SELECT … FROM … [WHERE …]
+[GROUP BY …] [ORDER BY …], set operations, aggregates).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.catalog import Catalog
+from repro.errors import ReproError
+from repro.executor import ExecutionStats, TableSpec, execute_plan, populate_catalog
+from repro.explain import explain
+from repro.generator import generate_optimizer
+from repro.models.aggregates import aggregate_model
+from repro.sql.translator import Translator
+
+DEMO_TABLES = (
+    TableSpec("emp", rows=2400, key_distinct=240, value_distinct=50),
+    TableSpec("dept", rows=1200, key_distinct=240, value_distinct=20),
+    TableSpec("proj", rows=7200, key_distinct=240, value_distinct=100),
+)
+
+
+def build_demo_catalog(seed: int) -> Catalog:
+    catalog = Catalog()
+    populate_catalog(catalog, DEMO_TABLES, seed=seed)
+    return catalog
+
+
+class Shell:
+    def __init__(self, catalog: Catalog, out=None):
+        self.catalog = catalog
+        # Resolve stdout lazily so output capture (tests, redirection)
+        # set up after import still applies.
+        self.out = out if out is not None else sys.stdout
+        self.optimizer = generate_optimizer(aggregate_model(), catalog)
+        self.translator = Translator(catalog)
+        self.show_explain = True
+        self.row_limit = 5
+
+    def write(self, text: str = "") -> None:
+        print(text, file=self.out)
+
+    def run_line(self, line: str) -> bool:
+        """Handle one input line; returns False when the shell should exit."""
+        line = line.strip()
+        if not line:
+            return True
+        if line.startswith("\\"):
+            return self._command(line)
+        self._query(line)
+        return True
+
+    def _command(self, line: str) -> bool:
+        parts = line.split()
+        command = parts[0].lower()
+        if command in ("\\quit", "\\q", "\\exit"):
+            return False
+        if command == "\\tables":
+            for entry in self.catalog.tables():
+                statistics = entry.statistics
+                self.write(
+                    f"  {entry.name:<8} {int(statistics.row_count):>6} rows  "
+                    f"{entry.schema.describe()}"
+                )
+            return True
+        if command == "\\explain" and len(parts) == 2:
+            self.show_explain = parts[1].lower() == "on"
+            self.write(f"explain {'on' if self.show_explain else 'off'}")
+            return True
+        if command == "\\rows" and len(parts) == 2:
+            try:
+                self.row_limit = max(0, int(parts[1]))
+            except ValueError:
+                self.write("usage: \\rows N")
+            return True
+        self.write(f"unknown command: {line}  (try \\tables, \\explain, \\rows, \\quit)")
+        return True
+
+    def _query(self, text: str) -> None:
+        try:
+            translation = self.translator.translate(text)
+            result = self.optimizer.optimize(
+                translation.expression, required=translation.required
+            )
+        except ReproError as error:
+            self.write(f"error: {error}")
+            return
+        if self.show_explain:
+            self.write(explain(result))
+            self.write()
+        stats = ExecutionStats()
+        try:
+            rows = execute_plan(result.plan, self.catalog, stats)
+        except ReproError as error:
+            self.write(f"execution error: {error}")
+            return
+        shown = rows[: self.row_limit]
+        for row in shown:
+            cells = ", ".join(
+                f"{name}={value}"
+                for name, value in row.items()
+                if not name.endswith(".pad")
+            )
+            self.write("  " + cells)
+        suffix = f" (showing {len(shown)})" if len(rows) > len(shown) else ""
+        self.write(f"→ {len(rows)} rows{suffix}; executor: {stats}")
+        self.write()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sql",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--seed", type=int, default=7, help="demo data seed")
+    parser.add_argument(
+        "--catalog",
+        default=None,
+        help="load this catalog JSON (see repro.catalog.save_catalog) "
+        "instead of the synthetic demo database",
+    )
+    parser.add_argument(
+        "-c",
+        "--command",
+        action="append",
+        default=None,
+        help="run this SQL (repeatable) and exit instead of reading stdin",
+    )
+    arguments = parser.parse_args(argv)
+    if arguments.catalog:
+        from repro.catalog import load_catalog
+
+        catalog = load_catalog(arguments.catalog)
+    else:
+        catalog = build_demo_catalog(arguments.seed)
+    shell = Shell(catalog)
+    if arguments.command:
+        for text in arguments.command:
+            shell.run_line(text)
+        return 0
+    shell.write("repro SQL shell — the Volcano optimizer generator demo")
+    shell.write("tables: " + ", ".join(catalog.table_names()) + "   (\\tables for details)")
+    shell.write("type SQL, or \\quit to exit")
+    while True:
+        try:
+            line = input("sql> ")
+        except EOFError:
+            return 0
+        except KeyboardInterrupt:
+            shell.write()
+            return 0
+        if not shell.run_line(line):
+            return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

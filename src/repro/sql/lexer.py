@@ -1,0 +1,135 @@
+"""Tokenizer for the small SQL dialect of the front-end.
+
+The paper assumes a parser upstream of the optimizer ("The translation
+from a user interface into a logical algebra expression must be
+performed by the parser and is not discussed here"); this package is
+that parser, so the examples and benchmarks can start from query text.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import SqlError
+
+__all__ = ["TokenType", "Token", "tokenize", "KEYWORDS"]
+
+
+class TokenType(enum.Enum):
+    """Lexical categories of the SQL dialect."""
+
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    SYMBOL = "symbol"
+    END = "end"
+
+
+KEYWORDS = frozenset(
+    {
+        "SELECT",
+        "DISTINCT",
+        "FROM",
+        "WHERE",
+        "AND",
+        "OR",
+        "NOT",
+        "JOIN",
+        "ON",
+        "AS",
+        "ORDER",
+        "GROUP",
+        "HAVING",
+        "BETWEEN",
+        "IN",
+        "BY",
+        "ASC",
+        "DESC",
+        "UNION",
+        "INTERSECT",
+        "EXCEPT",
+        "ALL",
+    }
+)
+
+_SYMBOLS = ("<=", ">=", "<>", "!=", "(", ")", ",", "*", "=", "<", ">", ".")
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        """True when this token is the given keyword."""
+        return self.type is TokenType.KEYWORD and self.value == word
+
+    def __str__(self) -> str:
+        if self.type is TokenType.END:
+            return "end of input"
+        return f"{self.value!r}"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Turn query text into tokens; raises SqlError with a position."""
+    tokens: List[Token] = []
+    position = 0
+    length = len(text)
+    while position < length:
+        character = text[position]
+        if character.isspace():
+            position += 1
+            continue
+        if character == "-" and text[position : position + 2] == "--":
+            newline = text.find("\n", position)
+            position = length if newline < 0 else newline + 1
+            continue
+        if character.isalpha() or character == "_":
+            start = position
+            while position < length and (
+                text[position].isalnum() or text[position] == "_"
+            ):
+                position += 1
+            word = text[start:position]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, start))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, start))
+            continue
+        if character.isdigit():
+            start = position
+            while position < length and (
+                text[position].isdigit() or text[position] == "."
+            ):
+                position += 1
+            number = text[start:position]
+            if number.count(".") > 1:
+                raise SqlError(f"malformed number {number!r}", start)
+            tokens.append(Token(TokenType.NUMBER, number, start))
+            continue
+        if character == "'":
+            start = position
+            position += 1
+            pieces = []
+            while position < length and text[position] != "'":
+                pieces.append(text[position])
+                position += 1
+            if position >= length:
+                raise SqlError("unterminated string literal", start)
+            position += 1
+            tokens.append(Token(TokenType.STRING, "".join(pieces), start))
+            continue
+        for symbol in _SYMBOLS:
+            if text.startswith(symbol, position):
+                tokens.append(Token(TokenType.SYMBOL, symbol, position))
+                position += len(symbol)
+                break
+        else:
+            raise SqlError(f"unexpected character {character!r}", position)
+    tokens.append(Token(TokenType.END, "", length))
+    return tokens

@@ -1,0 +1,386 @@
+"""Recursive-descent parser for the small SQL dialect.
+
+Grammar (keywords case-insensitive)::
+
+    statement   := select ( (UNION | INTERSECT | EXCEPT) [ALL] select )*
+    select      := SELECT [DISTINCT] select_list
+                   FROM table_ref ( ',' table_ref | JOIN table_ref ON cond )*
+                   [WHERE cond]
+                   [GROUP BY column_ref (',' column_ref)*] [HAVING cond]
+                   [ORDER BY order_item (',' order_item)*]
+    select_list := '*' | select_item (',' select_item)*
+    select_item := column_ref
+                 | (COUNT|SUM|MIN|MAX|AVG) '(' (column_ref | '*') ')' [AS IDENT]
+    table_ref   := IDENT [[AS] IDENT]
+    cond        := and_cond (OR and_cond)*
+    and_cond    := not_cond (AND not_cond)*
+    not_cond    := [NOT] primary
+    primary     := '(' cond ')'
+                 | operand compare_op operand
+                 | operand BETWEEN operand AND operand
+                 | operand IN '(' operand (',' operand)* ')'
+    operand     := column_ref | NUMBER | STRING
+    column_ref  := IDENT ('.' IDENT)*
+    order_item  := column_ref [ASC]
+
+The parser produces an AST; name resolution and algebra construction
+happen in :mod:`repro.sql.translator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from repro.algebra.predicates import (
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    Conjunction,
+    Disjunction,
+    Literal,
+    Negation,
+    Predicate,
+    Scalar,
+    conjunction_of,
+)
+from repro.errors import SqlError
+from repro.sql.lexer import Token, TokenType, tokenize
+
+__all__ = [
+    "AggregateItem",
+    "TableRef",
+    "SelectStatement",
+    "SetStatement",
+    "Statement",
+    "parse",
+]
+
+AGGREGATE_FUNCTIONS = frozenset({"count", "sum", "min", "max", "avg"})
+
+_COMPARE_OPS = {
+    "=": ComparisonOp.EQ,
+    "<>": ComparisonOp.NE,
+    "!=": ComparisonOp.NE,
+    "<": ComparisonOp.LT,
+    "<=": ComparisonOp.LE,
+    ">": ComparisonOp.GT,
+    ">=": ComparisonOp.GE,
+}
+
+
+@dataclass(frozen=True)
+class AggregateItem:
+    """An aggregate in the select list: ``func(column)`` or ``count(*)``."""
+
+    function: str
+    column: Optional[str]  # None for count(*)
+    alias: Optional[str] = None
+
+    @property
+    def output_name(self) -> str:
+        if self.alias:
+            return self.alias
+        if self.column is None:
+            return self.function
+        return f"{self.function}_{self.column.replace('.', '_')}"
+
+
+@dataclass(frozen=True)
+class TableRef:
+    table: str
+    alias: Optional[str] = None
+
+    @property
+    def binding(self) -> str:
+        """The name this table is known by in the query."""
+        return self.alias or self.table
+
+
+@dataclass
+class SelectStatement:
+    # None means '*'; items are column names (str) or AggregateItem.
+    columns: Optional[List[Union[str, AggregateItem]]]
+    tables: List[TableRef]
+    where: Predicate
+    order_by: List[str] = field(default_factory=list)
+    group_by: List[str] = field(default_factory=list)
+    having: Optional[Predicate] = None
+    distinct: bool = False
+
+    @property
+    def aggregates(self) -> List[AggregateItem]:
+        return [
+            item for item in (self.columns or []) if isinstance(item, AggregateItem)
+        ]
+
+    @property
+    def plain_columns(self) -> List[str]:
+        return [item for item in (self.columns or []) if isinstance(item, str)]
+
+
+@dataclass
+class SetStatement:
+    operator: str  # 'union' | 'intersect' | 'except'
+    left: "Statement"
+    right: "Statement"
+    all: bool = False
+
+
+Statement = Union[SelectStatement, SetStatement]
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.tokens = tokenize(text)
+        self.position = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.type is not TokenType.END:
+            self.position += 1
+        return token
+
+    def expect_keyword(self, word: str) -> Token:
+        if not self.current.is_keyword(word):
+            raise SqlError(f"expected {word}, found {self.current}", self.current.position)
+        return self.advance()
+
+    def expect_symbol(self, symbol: str) -> Token:
+        if (
+            self.current.type is not TokenType.SYMBOL
+            or self.current.value != symbol
+        ):
+            raise SqlError(
+                f"expected {symbol!r}, found {self.current}", self.current.position
+            )
+        return self.advance()
+
+    def accept_keyword(self, word: str) -> bool:
+        if self.current.is_keyword(word):
+            self.advance()
+            return True
+        return False
+
+    def accept_symbol(self, symbol: str) -> bool:
+        if self.current.type is TokenType.SYMBOL and self.current.value == symbol:
+            self.advance()
+            return True
+        return False
+
+    def expect_ident(self) -> str:
+        if self.current.type is not TokenType.IDENT:
+            raise SqlError(
+                f"expected identifier, found {self.current}", self.current.position
+            )
+        return self.advance().value
+
+    # -- grammar ---------------------------------------------------------------
+
+    def parse_statement(self) -> Statement:
+        statement: Statement = self.parse_select()
+        while self.current.type is TokenType.KEYWORD and self.current.value in (
+            "UNION",
+            "INTERSECT",
+            "EXCEPT",
+        ):
+            operator = self.advance().value.lower()
+            all_flag = self.accept_keyword("ALL")
+            right = self.parse_select()
+            statement = SetStatement(operator, statement, right, all=all_flag)
+        if self.current.type is not TokenType.END:
+            raise SqlError(
+                f"unexpected trailing input: {self.current}", self.current.position
+            )
+        return statement
+
+    def parse_select(self) -> SelectStatement:
+        self.expect_keyword("SELECT")
+        distinct = self.accept_keyword("DISTINCT")
+        columns = self.parse_select_list()
+        self.expect_keyword("FROM")
+        tables = [self.parse_table_ref()]
+        where_parts: List[Predicate] = []
+        while True:
+            if self.accept_symbol(","):
+                tables.append(self.parse_table_ref())
+            elif self.current.is_keyword("JOIN"):
+                self.advance()
+                tables.append(self.parse_table_ref())
+                self.expect_keyword("ON")
+                where_parts.append(self.parse_condition())
+            else:
+                break
+        if self.accept_keyword("WHERE"):
+            where_parts.append(self.parse_condition())
+        group_by: List[str] = []
+        having = None
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            group_by.append(self.parse_column_name())
+            while self.accept_symbol(","):
+                group_by.append(self.parse_column_name())
+        if self.accept_keyword("HAVING"):
+            if not group_by:
+                raise SqlError("HAVING requires GROUP BY", self.current.position)
+            having = self.parse_condition()
+        order_by: List[str] = []
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            order_by.append(self.parse_order_item())
+            while self.accept_symbol(","):
+                order_by.append(self.parse_order_item())
+        return SelectStatement(
+            columns=columns,
+            tables=tables,
+            where=conjunction_of(where_parts),
+            order_by=order_by,
+            group_by=group_by,
+            having=having,
+            distinct=distinct,
+        )
+
+    def parse_select_list(self):
+        if self.accept_symbol("*"):
+            return None
+        items = [self.parse_select_item()]
+        while self.accept_symbol(","):
+            items.append(self.parse_select_item())
+        return items
+
+    def parse_select_item(self):
+        """A column name or an aggregate call ``func(col)`` / ``count(*)``."""
+        token = self.current
+        next_token = self.tokens[self.position + 1]
+        is_call = (
+            token.type is TokenType.IDENT
+            and token.value.lower() in AGGREGATE_FUNCTIONS
+            and next_token.type is TokenType.SYMBOL
+            and next_token.value == "("
+        )
+        if not is_call:
+            return self.parse_column_name()
+        function = self.advance().value.lower()
+        self.expect_symbol("(")
+        if self.accept_symbol("*"):
+            if function != "count":
+                raise SqlError(
+                    f"{function}(*) is not valid; only count(*)",
+                    self.current.position,
+                )
+            column = None
+        else:
+            column = self.parse_column_name()
+        self.expect_symbol(")")
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_ident()
+        return AggregateItem(function, column, alias)
+
+    def parse_table_ref(self) -> TableRef:
+        table = self.expect_ident()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_ident()
+        elif self.current.type is TokenType.IDENT:
+            alias = self.advance().value
+        return TableRef(table, alias)
+
+    def parse_column_name(self) -> str:
+        name = self.expect_ident()
+        # Qualified names may have several segments: alias.table.column.
+        while self.accept_symbol("."):
+            name = f"{name}.{self.expect_ident()}"
+        return name
+
+    def parse_order_item(self) -> str:
+        column = self.parse_column_name()
+        if self.accept_keyword("DESC"):
+            raise SqlError(
+                "descending sort is not supported by the sort-order property",
+                self.current.position,
+            )
+        self.accept_keyword("ASC")
+        return column
+
+    # Conditions -----------------------------------------------------------------
+
+    def parse_condition(self) -> Predicate:
+        parts = [self.parse_and_condition()]
+        while self.accept_keyword("OR"):
+            parts.append(self.parse_and_condition())
+        if len(parts) == 1:
+            return parts[0]
+        return Disjunction(tuple(parts))
+
+    def parse_and_condition(self) -> Predicate:
+        parts = [self.parse_not_condition()]
+        while self.accept_keyword("AND"):
+            parts.append(self.parse_not_condition())
+        return conjunction_of(parts)
+
+    def parse_not_condition(self) -> Predicate:
+        if self.accept_keyword("NOT"):
+            return Negation(self.parse_not_condition())
+        if self.accept_symbol("("):
+            condition = self.parse_condition()
+            self.expect_symbol(")")
+            return condition
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> Predicate:
+        left = self.parse_operand()
+        if self.accept_keyword("BETWEEN"):
+            low = self.parse_operand()
+            self.expect_keyword("AND")
+            high = self.parse_operand()
+            return Conjunction(
+                (
+                    Comparison(ComparisonOp.GE, left, low),
+                    Comparison(ComparisonOp.LE, left, high),
+                )
+            )
+        if self.accept_keyword("IN"):
+            self.expect_symbol("(")
+            values = [self.parse_operand()]
+            while self.accept_symbol(","):
+                values.append(self.parse_operand())
+            self.expect_symbol(")")
+            comparisons = tuple(
+                Comparison(ComparisonOp.EQ, left, value) for value in values
+            )
+            if len(comparisons) == 1:
+                return comparisons[0]
+            return Disjunction(comparisons)
+        token = self.current
+        if token.type is not TokenType.SYMBOL or token.value not in _COMPARE_OPS:
+            raise SqlError(
+                f"expected comparison operator, found {token}", token.position
+            )
+        self.advance()
+        right = self.parse_operand()
+        return Comparison(_COMPARE_OPS[token.value], left, right)
+
+    def parse_operand(self) -> Scalar:
+        token = self.current
+        if token.type is TokenType.NUMBER:
+            self.advance()
+            value = float(token.value) if "." in token.value else int(token.value)
+            return Literal(value)
+        if token.type is TokenType.STRING:
+            self.advance()
+            return Literal(token.value)
+        if token.type is TokenType.IDENT:
+            return ColumnRef(self.parse_column_name())
+        raise SqlError(f"expected operand, found {token}", token.position)
+
+
+def parse(text: str) -> Statement:
+    """Parse query text into an AST; raises SqlError on malformed input."""
+    return _Parser(text).parse_statement()

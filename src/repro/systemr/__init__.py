@@ -1,0 +1,17 @@
+"""System R-style bottom-up dynamic programming baseline (S12)."""
+
+from repro.systemr.enumerator import (
+    SystemROptimizer,
+    SystemROptions,
+    SystemRResult,
+    SystemRStats,
+    decompose_join_query,
+)
+
+__all__ = [
+    "SystemROptimizer",
+    "SystemROptions",
+    "SystemRResult",
+    "SystemRStats",
+    "decompose_join_query",
+]

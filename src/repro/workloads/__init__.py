@@ -1,0 +1,9 @@
+"""Workload generators (S16)."""
+
+from repro.workloads.generator import (
+    GeneratedQuery,
+    QueryGenerator,
+    WorkloadOptions,
+)
+
+__all__ = ["GeneratedQuery", "QueryGenerator", "WorkloadOptions"]

@@ -1,0 +1,191 @@
+"""Random select–join workloads in the style of the paper's Section 4.2.
+
+"For each complexity level, we generated and optimized 50 queries" over
+"relational select-join queries […] with 1 to 7 binary joins, i.e., 2 to
+8 input relations, and as many selections as input relations", on "test
+relations [of] 1,200 to 7,200 records of 100 bytes".
+
+Each generated query gets its own deterministic set of relations (sizes
+uniform in the paper's range) joined along a random spanning tree.  Every
+relation carries two join-key columns (``a``, ``b``) with randomized
+distinct counts — so join outputs grow or shrink query by query and
+interesting orderings pay off for some queries and not others — plus a
+selection column ``v`` and padding to 100 bytes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.algebra.expressions import LogicalExpression
+from repro.algebra.predicates import Comparison, ComparisonOp, col, eq, lit
+from repro.algebra.properties import ANY_PROPS, PhysProps, sorted_on
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import Column, ColumnType, Schema
+from repro.catalog.statistics import ColumnStatistics, TableStatistics
+from repro.errors import WorkloadError
+from repro.models.relational import get, join, select
+
+__all__ = ["WorkloadOptions", "GeneratedQuery", "QueryGenerator"]
+
+PAPER_MIN_ROWS = 1200
+PAPER_MAX_ROWS = 7200
+PAPER_ROW_WIDTH = 100
+
+
+@dataclass(frozen=True)
+class WorkloadOptions:
+    """Workload shape knobs (defaults reproduce the paper's setup).
+
+    ``order_by_probability``
+        Fraction of queries that request sorted output — the paper's
+        example of user-requested physical properties ("sort order as in
+        the ORDER BY clause of SQL").  Figure 4's queries are plain
+        select–join queries, so the default is 0.
+    ``key_fraction_range``
+        A join key's distinct count is ``rows × U(lo, hi)``; low
+        fractions make join outputs grow, which is where merge-join
+        chains (interesting orderings) beat hash-only plans.
+    ``selectivity_range``
+        Each relation's selection keeps a uniform fraction of its rows
+        drawn from this range.
+    ``shape``
+        The join graph: ``"random"`` (a random spanning tree, the
+        default), ``"chain"`` (R1–R2–…–Rn), or ``"star"`` (every
+        relation joined to the first).
+    """
+
+    min_rows: int = PAPER_MIN_ROWS
+    max_rows: int = PAPER_MAX_ROWS
+    row_width: int = PAPER_ROW_WIDTH
+    key_fraction_range: Tuple[float, float] = (0.25, 1.0)
+    selectivity_range: Tuple[float, float] = (0.2, 1.0)
+    order_by_probability: float = 0.0
+    selections: bool = True
+    shape: str = "random"
+
+    def __post_init__(self):
+        if self.min_rows > self.max_rows:
+            raise WorkloadError("min_rows exceeds max_rows")
+        if not 0.0 <= self.order_by_probability <= 1.0:
+            raise WorkloadError("order_by_probability must be in [0, 1]")
+        if self.shape not in ("random", "chain", "star"):
+            raise WorkloadError(f"unknown workload shape {self.shape!r}")
+
+
+@dataclass
+class GeneratedQuery:
+    """One workload instance: a fresh catalog plus the query over it."""
+
+    catalog: Catalog
+    query: LogicalExpression
+    required: PhysProps
+    n_relations: int
+    seed: int
+    table_names: List[str]
+
+
+class QueryGenerator:
+    """Deterministic random query generator (one RNG stream per seed)."""
+
+    def __init__(self, options: Optional[WorkloadOptions] = None):
+        self.options = options or WorkloadOptions()
+
+    # ------------------------------------------------------------------
+
+    def generate(self, n_relations: int, seed: int) -> GeneratedQuery:
+        """One select–join query over ``n_relations`` fresh relations."""
+        if n_relations < 1:
+            raise WorkloadError("a query needs at least one relation")
+        options = self.options
+        rng = random.Random(f"workload:{seed}:{n_relations}")
+        catalog = Catalog()
+        names = [f"t{i}" for i in range(n_relations)]
+        for name in names:
+            self._add_table(catalog, name, rng)
+
+        # Per-relation input expressions (selections per the paper).
+        leaves = {}
+        for name in names:
+            leaf = get(name)
+            if options.selections:
+                leaf = select(leaf, self._selection_predicate(catalog, name, rng))
+            leaves[name] = leaf
+
+        # Spanning tree per the configured shape, built left-deep (the
+        # optimizer reorders it anyway).
+        expression = leaves[names[0]]
+        joined = [names[0]]
+        for name in names[1:]:
+            if options.shape == "chain":
+                partner = joined[-1]
+            elif options.shape == "star":
+                partner = joined[0]
+            else:
+                partner = rng.choice(joined)
+            left_key = rng.choice(("a", "b"))
+            right_key = rng.choice(("a", "b"))
+            predicate = eq(f"{partner}.{left_key}", f"{name}.{right_key}")
+            expression = join(expression, leaves[name], predicate)
+            joined.append(name)
+
+        required = ANY_PROPS
+        if rng.random() < options.order_by_probability:
+            table = rng.choice(names)
+            key = rng.choice(("a", "b"))
+            required = sorted_on(f"{table}.{key}")
+        return GeneratedQuery(
+            catalog=catalog,
+            query=expression,
+            required=required,
+            n_relations=n_relations,
+            seed=seed,
+            table_names=names,
+        )
+
+    def generate_batch(
+        self, n_relations: int, count: int, seed: int = 0
+    ) -> List[GeneratedQuery]:
+        """``count`` queries at one complexity level (50 in the paper)."""
+        return [
+            self.generate(n_relations, seed * 1_000_003 + index)
+            for index in range(count)
+        ]
+
+    # ------------------------------------------------------------------
+
+    def _add_table(self, catalog: Catalog, name: str, rng: random.Random) -> None:
+        options = self.options
+        rows = rng.randint(options.min_rows, options.max_rows)
+        lo, hi = options.key_fraction_range
+        schema = Schema(
+            (
+                Column(f"{name}.a", ColumnType.INTEGER),
+                Column(f"{name}.b", ColumnType.INTEGER),
+                Column(f"{name}.v", ColumnType.INTEGER),
+                Column(
+                    f"{name}.pad",
+                    ColumnType.STRING,
+                    width=max(1, options.row_width - 12),
+                ),
+            )
+        )
+        columns = {}
+        for key in ("a", "b"):
+            distinct = max(2, int(rows * rng.uniform(lo, hi)))
+            columns[f"{name}.{key}"] = ColumnStatistics(distinct, 0, distinct - 1)
+        columns[f"{name}.v"] = ColumnStatistics(1000, 0, 999)
+        catalog.add_table(
+            name,
+            schema,
+            TableStatistics(rows, options.row_width, columns=columns),
+        )
+
+    def _selection_predicate(self, catalog: Catalog, name: str, rng: random.Random):
+        lo, hi = self.options.selectivity_range
+        selectivity = rng.uniform(lo, hi)
+        stats = catalog.table(name).statistics.column(f"{name}.v")
+        threshold = int(stats.max_value * selectivity)
+        return Comparison(ComparisonOp.LE, col(f"{name}.v"), lit(threshold))

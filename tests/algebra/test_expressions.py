@@ -1,0 +1,99 @@
+"""Unit tests for logical expression trees."""
+
+import pytest
+
+from repro.algebra.expressions import (
+    GROUP_LEAF,
+    LogicalExpression,
+    group_leaf,
+    is_group_leaf,
+)
+from repro.algebra.predicates import eq
+from repro.errors import AlgebraError
+
+
+def get(table):
+    return LogicalExpression("get", (table,))
+
+
+def join(left, right, predicate):
+    return LogicalExpression("join", (predicate,), (left, right))
+
+
+def test_leaf_expression():
+    expression = get("r")
+    assert expression.is_leaf
+    assert expression.arity == 0
+    assert expression.count_nodes() == 1
+    assert expression.depth() == 1
+
+
+def test_tree_shape():
+    tree = join(get("r"), join(get("s"), get("t"), eq("s.k", "t.k")), eq("r.k", "s.k"))
+    assert tree.arity == 2
+    assert tree.count_nodes() == 5
+    assert tree.depth() == 3
+
+
+def test_walk_is_preorder():
+    tree = join(get("r"), get("s"), eq("r.k", "s.k"))
+    operators = [node.operator for node in tree.walk()]
+    assert operators == ["join", "get", "get"]
+
+
+def test_empty_operator_rejected():
+    with pytest.raises(AlgebraError):
+        LogicalExpression("")
+
+
+def test_non_expression_input_rejected():
+    with pytest.raises(AlgebraError):
+        LogicalExpression("join", (), ("not an expression",))
+
+
+def test_expressions_hashable_and_equal_by_value():
+    a = join(get("r"), get("s"), eq("r.k", "s.k"))
+    b = join(get("r"), get("s"), eq("r.k", "s.k"))
+    assert a == b
+    assert len({a, b}) == 1
+
+
+def test_with_inputs_replaces_children():
+    tree = join(get("r"), get("s"), eq("r.k", "s.k"))
+    swapped = tree.with_inputs((tree.inputs[1], tree.inputs[0]))
+    assert swapped.inputs[0].args == ("s",)
+    assert swapped.args == tree.args
+
+
+def test_map_leaves():
+    tree = join(get("r"), get("s"), eq("r.k", "s.k"))
+    renamed = tree.map_leaves(lambda leaf: get(leaf.args[0].upper()))
+    assert [node.args[0] for node in renamed.walk() if node.is_leaf] == ["R", "S"]
+    assert renamed.args == tree.args
+
+
+def test_group_leaf_roundtrip():
+    leaf = group_leaf(7)
+    assert is_group_leaf(leaf)
+    assert leaf.operator == GROUP_LEAF
+    assert leaf.args == (7,)
+    assert not is_group_leaf(get("r"))
+
+
+def test_to_sexpr_rendering():
+    tree = join(get("r"), get("s"), eq("r.k", "s.k"))
+    text = tree.to_sexpr()
+    assert text.startswith("(join [r.k = s.k]")
+    assert "(get [r])" in text
+
+
+def test_pretty_rendering_indents():
+    tree = join(get("r"), get("s"), eq("r.k", "s.k"))
+    lines = tree.pretty().splitlines()
+    assert lines[0].startswith("join")
+    assert lines[1].startswith("  get")
+
+
+def test_args_normalized_to_tuple():
+    expression = LogicalExpression("get", ["r"])
+    assert expression.args == ("r",)

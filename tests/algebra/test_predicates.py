@@ -1,0 +1,188 @@
+"""Unit tests for the predicate mini-language."""
+
+import pytest
+
+from repro.algebra.predicates import (
+    TRUE,
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    Conjunction,
+    Disjunction,
+    Literal,
+    Negation,
+    col,
+    conjunction_of,
+    eq,
+    equi_join_pairs,
+    lit,
+    split_conjuncts,
+)
+from repro.errors import PredicateError
+
+ROW = {"a": 1, "b": 2, "c": 1}
+
+
+def test_column_ref_evaluates_from_row():
+    assert col("a").evaluate(ROW) == 1
+
+
+def test_column_ref_missing_column_raises():
+    with pytest.raises(PredicateError):
+        col("zzz").evaluate(ROW)
+
+
+def test_literal_evaluates_to_itself():
+    assert lit(42).evaluate(ROW) == 42
+
+
+@pytest.mark.parametrize(
+    "op,left,right,expected",
+    [
+        (ComparisonOp.EQ, 1, 1, True),
+        (ComparisonOp.NE, 1, 1, False),
+        (ComparisonOp.LT, 1, 2, True),
+        (ComparisonOp.LE, 2, 2, True),
+        (ComparisonOp.GT, 1, 2, False),
+        (ComparisonOp.GE, 2, 2, True),
+    ],
+)
+def test_comparison_ops(op, left, right, expected):
+    assert op.apply(left, right) is expected
+
+
+def test_comparison_flipped_roundtrip():
+    for op in ComparisonOp:
+        assert op.flipped.flipped is op
+
+
+def test_eq_helper_builds_column_and_literal():
+    predicate = eq("a", 5)
+    assert isinstance(predicate.left, ColumnRef)
+    assert isinstance(predicate.right, Literal)
+    assert predicate.evaluate({"a": 5})
+
+
+def test_column_pair_and_column_literal():
+    join = eq("a", "b")
+    assert join.column_pair() == ("a", "b")
+    assert join.column_literal() is None
+    selection = eq("a", 7)
+    assert selection.column_pair() is None
+    assert selection.column_literal() == ("a", ComparisonOp.EQ, 7)
+
+
+def test_column_literal_normalizes_direction():
+    predicate = Comparison(ComparisonOp.LT, lit(10), col("a"))
+    assert predicate.column_literal() == ("a", ComparisonOp.GT, 10)
+
+
+def test_conjunction_evaluation_and_flattening():
+    inner = Conjunction((eq("a", 1), eq("b", 2)))
+    outer = Conjunction((inner, eq("c", 1)))
+    assert outer.evaluate(ROW)
+    assert len(outer.conjuncts()) == 3
+
+
+def test_conjunction_requires_two_parts():
+    with pytest.raises(PredicateError):
+        Conjunction((TRUE,))
+
+
+def test_disjunction_evaluation():
+    predicate = Disjunction((eq("a", 9), eq("b", 2)))
+    assert predicate.evaluate(ROW)
+    assert not Disjunction((eq("a", 9), eq("b", 9))).evaluate(ROW)
+
+
+def test_negation():
+    assert Negation(eq("a", 9)).evaluate(ROW)
+
+
+def test_true_predicate():
+    assert TRUE.evaluate({})
+    assert TRUE.conjuncts() == ()
+    assert TRUE.is_true
+
+
+def test_conjunction_of_empty_is_true():
+    assert conjunction_of([]) is TRUE
+
+
+def test_conjunction_of_single_is_identity():
+    predicate = eq("a", 1)
+    assert conjunction_of([predicate]) is predicate
+
+
+def test_conjunction_of_flattens_nested():
+    merged = conjunction_of([Conjunction((eq("a", 1), eq("b", 2))), eq("c", 3)])
+    assert len(merged.conjuncts()) == 3
+
+
+def test_columns_collected_transitively():
+    predicate = Conjunction((eq("a", "b"), Negation(eq("c", 1))))
+    assert predicate.columns() == frozenset({"a", "b", "c"})
+
+
+def test_split_conjuncts_routes_by_available_columns():
+    predicate = conjunction_of([eq("a", "b"), eq("b", "c"), eq("a", 1)])
+    inside, outside = split_conjuncts(predicate, frozenset({"a", "b"}))
+    assert inside.columns() == frozenset({"a", "b"})
+    assert "c" in outside.columns()
+
+
+def test_split_conjuncts_all_inside():
+    predicate = eq("a", 1)
+    inside, outside = split_conjuncts(predicate, frozenset({"a"}))
+    assert inside == predicate
+    assert outside is TRUE
+
+
+def test_equi_join_pairs_simple():
+    pairs = equi_join_pairs(eq("l", "r"), frozenset({"l"}), frozenset({"r"}))
+    assert pairs == (("l", "r"),)
+
+
+def test_equi_join_pairs_swapped_sides():
+    pairs = equi_join_pairs(eq("r", "l"), frozenset({"l"}), frozenset({"r"}))
+    assert pairs == (("l", "r"),)
+
+
+def test_equi_join_pairs_multi_key():
+    predicate = conjunction_of([eq("l1", "r1"), eq("l2", "r2")])
+    pairs = equi_join_pairs(
+        predicate, frozenset({"l1", "l2"}), frozenset({"r1", "r2"})
+    )
+    assert pairs == (("l1", "r1"), ("l2", "r2"))
+
+
+def test_equi_join_pairs_rejects_non_equality():
+    predicate = Comparison(ComparisonOp.LT, col("l"), col("r"))
+    assert equi_join_pairs(predicate, frozenset({"l"}), frozenset({"r"})) is None
+
+
+def test_equi_join_pairs_rejects_literal_comparison():
+    assert equi_join_pairs(eq("l", 3), frozenset({"l"}), frozenset({"r"})) is None
+
+
+def test_equi_join_pairs_rejects_same_side_columns():
+    assert (
+        equi_join_pairs(eq("l1", "l2"), frozenset({"l1", "l2"}), frozenset({"r"}))
+        is None
+    )
+
+
+def test_equi_join_pairs_rejects_true():
+    assert equi_join_pairs(TRUE, frozenset({"l"}), frozenset({"r"})) is None
+
+
+def test_predicates_are_hashable():
+    assert len({eq("a", 1), eq("a", 1), eq("a", 2)}) == 2
+
+
+def test_string_rendering():
+    assert str(eq("a", 1)) == "a = 1"
+    assert "and" in str(Conjunction((eq("a", 1), eq("b", 2))))
+    assert "or" in str(Disjunction((eq("a", 1), eq("b", 2))))
+    assert str(Negation(eq("a", 1))) == "not (a = 1)"
+    assert str(lit("x")) == "'x'"

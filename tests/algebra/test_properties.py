@@ -1,0 +1,173 @@
+"""Unit tests for logical properties and physical property vectors."""
+
+import pytest
+
+from repro.algebra.properties import (
+    ANY_PROPS,
+    LogicalProperties,
+    Partitioning,
+    PhysProps,
+    hash_partitioned,
+    sort_key,
+    sorted_on,
+)
+from repro.catalog.schema import Schema
+from repro.errors import AlgebraError
+
+
+# -- sort keys ---------------------------------------------------------------
+
+
+def test_sort_key_from_string():
+    assert sort_key("a") == frozenset({"a"})
+
+
+def test_sort_key_from_iterable():
+    assert sort_key(["a", "b"]) == frozenset({"a", "b"})
+
+
+def test_sort_key_rejects_empty():
+    with pytest.raises(AlgebraError):
+        sort_key([])
+
+
+# -- PhysProps cover ---------------------------------------------------------
+
+
+def test_any_props_is_any():
+    assert ANY_PROPS.is_any
+    assert not sorted_on("a").is_any
+
+
+def test_everything_covers_any():
+    assert sorted_on("a").covers(ANY_PROPS)
+    assert ANY_PROPS.covers(ANY_PROPS)
+
+
+def test_any_does_not_cover_sorted():
+    assert not ANY_PROPS.covers(sorted_on("a"))
+
+
+def test_exact_sort_covers_itself():
+    assert sorted_on("a", "b").covers(sorted_on("a", "b"))
+
+
+def test_longer_sort_covers_prefix():
+    assert sorted_on("a", "b").covers(sorted_on("a"))
+
+
+def test_prefix_does_not_cover_longer():
+    assert not sorted_on("a").covers(sorted_on("a", "b"))
+
+
+def test_wrong_order_does_not_cover():
+    assert not sorted_on("b", "a").covers(sorted_on("a", "b"))
+
+
+def test_equivalence_set_covers_singleton():
+    # Output of merge join on r.k = s.k is sorted on both names at once.
+    provided = PhysProps(sort_order=(frozenset({"r.k", "s.k"}),))
+    assert provided.covers(sorted_on("r.k"))
+    assert provided.covers(sorted_on("s.k"))
+    assert not provided.covers(sorted_on("t.k"))
+
+
+def test_singleton_does_not_cover_equivalence_set():
+    required = PhysProps(sort_order=(frozenset({"r.k", "s.k"}),))
+    assert not sorted_on("r.k").covers(required)
+
+
+def test_partitioning_requirement():
+    provided = PhysProps(partitioning=hash_partitioned(["k"], 4))
+    assert provided.covers(PhysProps(partitioning=hash_partitioned(["k"], 4)))
+    assert not provided.covers(PhysProps(partitioning=hash_partitioned(["k"], 8)))
+    assert not ANY_PROPS.covers(PhysProps(partitioning=hash_partitioned(["k"], 4)))
+    # No partitioning requirement: a partitioned plan still qualifies.
+    assert provided.covers(ANY_PROPS)
+
+
+def test_partitioning_key_equivalence():
+    provided = PhysProps(
+        partitioning=Partitioning("hash", (frozenset({"r.k", "s.k"}),), 4)
+    )
+    assert provided.covers(PhysProps(partitioning=hash_partitioned(["r.k"], 4)))
+
+
+def test_partitioning_scheme_mismatch():
+    provided = PhysProps(partitioning=Partitioning("range", ("k",), 4))
+    assert not provided.covers(PhysProps(partitioning=hash_partitioned(["k"], 4)))
+
+
+def test_partitioning_degree_validation():
+    with pytest.raises(AlgebraError):
+        Partitioning("hash", ("k",), 0)
+
+
+def test_flags_cover():
+    provided = ANY_PROPS.with_flag("assembled")
+    assert provided.covers(PhysProps(flags=frozenset({("assembled", True)})))
+    assert not ANY_PROPS.covers(PhysProps(flags=frozenset({("assembled", True)})))
+    assert provided.flag("assembled") is True
+    assert provided.flag("missing") is None
+
+
+def test_with_and_without_derivations():
+    props = sorted_on("a").with_flag("unique").with_partitioning(
+        hash_partitioned(["a"], 2)
+    )
+    assert props.without_sort().sort_order == ()
+    assert props.without_partitioning().partitioning is None
+    assert props.without_flag("unique").flags == frozenset()
+    assert props.only_sort() == sorted_on("a")
+
+
+def test_with_sort_normalizes_strings():
+    props = ANY_PROPS.with_sort(["a", "b"])
+    assert props.sort_order == (frozenset({"a"}), frozenset({"b"}))
+
+
+def test_props_hashable():
+    assert len({sorted_on("a"), sorted_on("a"), sorted_on("b")}) == 2
+
+
+def test_props_str_readable():
+    assert str(ANY_PROPS) == "any"
+    assert "sorted(a)" in str(sorted_on("a"))
+    assert "partitioned" in str(PhysProps(partitioning=hash_partitioned(["k"], 2)))
+
+
+# -- LogicalProperties --------------------------------------------------------
+
+
+def make_props(cardinality, names=("a", "b"), tables=("r",)):
+    return LogicalProperties(
+        schema=Schema.of(*names), cardinality=cardinality, tables=frozenset(tables)
+    )
+
+
+def test_logical_props_column_names():
+    assert make_props(10).column_names == frozenset({"a", "b"})
+
+
+def test_consistency_same_cardinality():
+    assert make_props(10.0).consistent_with(make_props(10.0))
+
+
+def test_consistency_allows_column_reordering():
+    left = make_props(10.0, names=("a", "b"))
+    right = make_props(10.0, names=("b", "a"))
+    assert left.consistent_with(right)
+
+
+def test_consistency_rejects_different_cardinality():
+    assert not make_props(10.0).consistent_with(make_props(20.0))
+
+
+def test_consistency_rejects_different_tables():
+    assert not make_props(10.0, tables=("r",)).consistent_with(
+        make_props(10.0, tables=("s",))
+    )
+
+
+def test_consistency_tolerates_rounding():
+    assert make_props(1e9).consistent_with(make_props(1e9 * (1 + 1e-9)))

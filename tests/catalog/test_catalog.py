@@ -1,0 +1,79 @@
+"""Unit tests for the catalog."""
+
+import pytest
+
+from repro.catalog import Catalog, Schema, TableStatistics
+from repro.errors import CatalogError, UnknownTableError
+
+
+def make_catalog():
+    catalog = Catalog()
+    catalog.add_table("r", Schema.of("k"), TableStatistics(1200, 100))
+    return catalog
+
+
+def test_add_and_lookup():
+    catalog = make_catalog()
+    entry = catalog.table("r")
+    assert entry.name == "r"
+    assert entry.statistics.row_count == 1200
+    assert "r" in catalog
+
+
+def test_unknown_table_raises():
+    with pytest.raises(UnknownTableError):
+        make_catalog().table("missing")
+
+
+def test_duplicate_registration_rejected():
+    catalog = make_catalog()
+    with pytest.raises(CatalogError):
+        catalog.add_table("r", Schema.of("k"), TableStatistics(1, 100))
+
+
+def test_replace_table():
+    catalog = make_catalog()
+    catalog.replace_table("r", Schema.of("k"), TableStatistics(9, 100))
+    assert catalog.table("r").statistics.row_count == 9
+
+
+def test_drop_table():
+    catalog = make_catalog()
+    catalog.drop_table("r")
+    assert "r" not in catalog
+    with pytest.raises(UnknownTableError):
+        catalog.drop_table("r")
+
+
+def test_rows_must_match_statistics():
+    catalog = Catalog()
+    with pytest.raises(CatalogError):
+        catalog.add_table(
+            "r", Schema.of("k"), TableStatistics(5, 100), rows=[{"k": 1}]
+        )
+
+
+def test_rows_stored_when_consistent():
+    catalog = Catalog()
+    rows = [{"k": value} for value in range(5)]
+    entry = catalog.add_table("r", Schema.of("k"), TableStatistics(5, 100), rows=rows)
+    assert entry.has_rows
+    assert len(entry.rows) == 5
+
+
+def test_pages_uses_catalog_page_size():
+    catalog = Catalog(page_size=1000)  # 10 rows of width 100 per page
+    catalog.add_table("r", Schema.of("k"), TableStatistics(25, 100))
+    assert catalog.pages("r") == 3
+
+
+def test_page_size_must_be_positive():
+    with pytest.raises(CatalogError):
+        Catalog(page_size=0)
+
+
+def test_table_names_and_iteration():
+    catalog = make_catalog()
+    catalog.add_table("s", Schema.of("x"), TableStatistics(10, 50))
+    assert catalog.table_names() == ("r", "s")
+    assert {entry.name for entry in catalog.tables()} == {"r", "s"}

@@ -1,0 +1,92 @@
+"""Tests for catalog JSON persistence."""
+
+import json
+
+import pytest
+
+from repro.catalog import Catalog, load_catalog, save_catalog
+from repro.catalog.persistence import catalog_from_dict, catalog_to_dict
+from repro.errors import CatalogError
+from repro.executor import TableSpec, populate_catalog
+
+
+@pytest.fixture
+def catalog():
+    catalog = Catalog(page_size=2048)
+    populate_catalog(
+        catalog,
+        [TableSpec("a", 120, key_distinct=12), TableSpec("b", 60, key_distinct=6)],
+        seed=5,
+    )
+    return catalog
+
+
+def test_roundtrip_preserves_structure(catalog, tmp_path):
+    path = tmp_path / "db.json"
+    save_catalog(catalog, path)
+    loaded = load_catalog(path)
+    assert loaded.page_size == 2048
+    assert loaded.table_names() == catalog.table_names()
+    for name in catalog.table_names():
+        original = catalog.table(name)
+        restored = loaded.table(name)
+        assert restored.schema == original.schema
+        assert restored.statistics.row_count == original.statistics.row_count
+        assert restored.statistics.row_width == original.statistics.row_width
+        assert (
+            restored.statistics.column(f"{name}.k").distinct_values
+            == original.statistics.column(f"{name}.k").distinct_values
+        )
+        assert restored.rows == original.rows
+
+
+def test_roundtrip_without_rows(catalog, tmp_path):
+    path = tmp_path / "stats_only.json"
+    save_catalog(catalog, path, include_rows=False)
+    loaded = load_catalog(path)
+    assert not loaded.table("a").has_rows
+    assert loaded.table("a").statistics.row_count == 120
+
+
+def test_loaded_catalog_optimizes_and_executes(catalog, tmp_path):
+    from repro.models.relational import get, join, relational_model
+    from repro.algebra.predicates import eq
+    from repro.executor import execute_plan
+    from repro.search import VolcanoOptimizer
+
+    path = tmp_path / "db.json"
+    save_catalog(catalog, path)
+    loaded = load_catalog(path)
+    optimizer = VolcanoOptimizer(relational_model(), loaded)
+    result = optimizer.optimize(join(get("a"), get("b"), eq("a.k", "b.k")))
+    rows = execute_plan(result.plan, loaded)
+    assert all(row["a.k"] == row["b.k"] for row in rows)
+
+
+def test_rejects_foreign_json(tmp_path):
+    path = tmp_path / "other.json"
+    path.write_text(json.dumps({"something": "else"}))
+    with pytest.raises(CatalogError):
+        load_catalog(path)
+
+
+def test_rejects_future_version(catalog):
+    data = catalog_to_dict(catalog)
+    data["version"] = 999
+    with pytest.raises(CatalogError):
+        catalog_from_dict(data)
+
+
+def test_rejects_missing_file(tmp_path):
+    with pytest.raises(CatalogError):
+        load_catalog(tmp_path / "nope.json")
+
+
+def test_shell_accepts_catalog_file(catalog, tmp_path, capsys):
+    from repro.sql.__main__ import main
+
+    path = tmp_path / "db.json"
+    save_catalog(catalog, path)
+    code = main(["--catalog", str(path), "-c", "select * from a where a.v <= 5"])
+    assert code == 0
+    assert "rows" in capsys.readouterr().out

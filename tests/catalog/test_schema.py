@@ -1,0 +1,123 @@
+"""Unit tests for schemas and columns."""
+
+import pytest
+
+from repro.catalog.schema import Column, ColumnType, Schema
+from repro.errors import SchemaError, UnknownColumnError
+
+
+def test_column_default_width_by_type():
+    assert Column("a", ColumnType.INTEGER).width == 4
+    assert Column("a", ColumnType.FLOAT).width == 8
+    assert Column("a", ColumnType.STRING).width == 20
+
+
+def test_column_explicit_width():
+    assert Column("a", ColumnType.STRING, width=50).width == 50
+
+
+def test_column_rejects_empty_name():
+    with pytest.raises(SchemaError):
+        Column("")
+
+
+def test_column_rejects_non_positive_width():
+    with pytest.raises(SchemaError):
+        Column("a", width=0)
+
+
+def test_column_qualified():
+    assert Column("k").qualified("r").name == "r.k"
+
+
+def test_column_qualified_is_idempotent():
+    column = Column("k").qualified("r")
+    assert column.qualified("s").name == "r.k"
+
+
+def test_schema_of_mixed_specs():
+    schema = Schema.of("a", ("b", ColumnType.STRING), Column("c", ColumnType.FLOAT))
+    assert schema.column_names == ("a", "b", "c")
+    assert schema.column("b").type is ColumnType.STRING
+
+
+def test_schema_rejects_duplicate_names():
+    with pytest.raises(SchemaError):
+        Schema.of("a", "a")
+
+
+def test_schema_row_width_sums_column_widths():
+    schema = Schema.of("a", ("b", ColumnType.STRING))
+    assert schema.row_width == 4 + 20
+
+
+def test_schema_contains_and_index():
+    schema = Schema.of("a", "b")
+    assert "a" in schema
+    assert "z" not in schema
+    assert schema.index_of("b") == 1
+
+
+def test_schema_unknown_column_raises():
+    schema = Schema.of("a")
+    with pytest.raises(UnknownColumnError):
+        schema.column("nope")
+    with pytest.raises(UnknownColumnError):
+        schema.index_of("nope")
+
+
+def test_schema_project_preserves_requested_order():
+    schema = Schema.of("a", "b", "c")
+    assert schema.project(["c", "a"]).column_names == ("c", "a")
+
+
+def test_schema_concat():
+    left = Schema.of("a")
+    right = Schema.of("b")
+    assert left.concat(right).column_names == ("a", "b")
+
+
+def test_schema_concat_rejects_duplicates():
+    with pytest.raises(SchemaError):
+        Schema.of("a").concat(Schema.of("a"))
+
+
+def test_schema_qualified():
+    schema = Schema.of("k", "v").qualified("r")
+    assert schema.column_names == ("r.k", "r.v")
+
+
+def test_schema_intersection_names():
+    left = Schema.of("a", "b", "c")
+    right = Schema.of("c", "b")
+    assert left.intersection_names(right) == ("b", "c")
+
+
+def test_union_compatibility_checks_types_in_order():
+    a = Schema.of(("x", ColumnType.INTEGER), ("y", ColumnType.STRING))
+    b = Schema.of(("p", ColumnType.INTEGER), ("q", ColumnType.STRING))
+    c = Schema.of(("p", ColumnType.STRING), ("q", ColumnType.INTEGER))
+    assert a.is_union_compatible(b)
+    assert not a.is_union_compatible(c)
+    assert not a.is_union_compatible(Schema.of("only"))
+
+
+def test_resolve_unqualified_name():
+    schema = Schema.of("r.k", "s.k", "r.v")
+    assert schema.resolve("v") == "r.v"
+    assert schema.resolve("r.k") == "r.k"
+    with pytest.raises(SchemaError):
+        schema.resolve("k")  # ambiguous
+    with pytest.raises(UnknownColumnError):
+        schema.resolve("missing")
+
+
+def test_schema_is_hashable_and_iterable():
+    schema = Schema.of("a", "b")
+    assert len({schema, Schema.of("a", "b")}) == 1
+    assert [column.name for column in schema] == ["a", "b"]
+
+
+def test_describe_mentions_all_columns():
+    text = Schema.of("a", ("b", ColumnType.STRING)).describe()
+    assert "a integer(4)" in text and "b string(20)" in text

@@ -1,0 +1,96 @@
+"""Unit tests for selectivity estimation."""
+
+import pytest
+
+from repro.algebra.predicates import (
+    TRUE,
+    Comparison,
+    ComparisonOp,
+    Conjunction,
+    Disjunction,
+    Negation,
+    col,
+    eq,
+    lit,
+)
+from repro.catalog.selectivity import SelectivityDefaults, SelectivityEstimator
+from repro.catalog.statistics import ColumnStatistics, uniform_column
+
+STATS = {
+    "k": uniform_column(distinct=100, low=0, high=99),
+    "v": ColumnStatistics(distinct_values=10),
+}
+
+
+@pytest.fixture
+def estimator():
+    return SelectivityEstimator()
+
+
+def test_true_predicate_keeps_everything(estimator):
+    assert estimator.estimate(TRUE, STATS) == 1.0
+
+
+def test_equality_with_literal_uses_distinct(estimator):
+    assert estimator.estimate(eq("k", 42), STATS) == pytest.approx(0.01)
+
+
+def test_equality_literal_on_left_is_normalized(estimator):
+    predicate = Comparison(ComparisonOp.EQ, lit(42), col("k"))
+    assert estimator.estimate(predicate, STATS) == pytest.approx(0.01)
+
+
+def test_equality_without_stats_uses_default(estimator):
+    assert estimator.estimate(eq("unknown", 1), STATS) == pytest.approx(0.1)
+
+
+def test_join_selectivity_uses_max_distinct(estimator):
+    assert estimator.estimate(eq("k", "v"), STATS) == pytest.approx(1 / 100)
+
+
+def test_join_selectivity_with_one_side_unknown(estimator):
+    assert estimator.estimate(eq("k", "unknown"), STATS) == pytest.approx(1 / 100)
+
+
+def test_range_interpolation(estimator):
+    predicate = Comparison(ComparisonOp.LT, col("k"), lit(25))
+    assert estimator.estimate(predicate, STATS) == pytest.approx(25 / 99, abs=0.01)
+    predicate = Comparison(ComparisonOp.GE, col("k"), lit(25))
+    assert estimator.estimate(predicate, STATS) == pytest.approx(1 - 25 / 99, abs=0.01)
+
+
+def test_range_without_stats_uses_one_third(estimator):
+    predicate = Comparison(ComparisonOp.LT, col("v"), lit(5))
+    assert estimator.estimate(predicate, STATS) == pytest.approx(1 / 3)
+
+
+def test_inequality_complements_distinct(estimator):
+    predicate = Comparison(ComparisonOp.NE, col("v"), lit(3))
+    assert estimator.estimate(predicate, STATS) == pytest.approx(0.9)
+
+
+def test_conjunction_multiplies(estimator):
+    predicate = Conjunction((eq("k", 1), eq("v", 2)))
+    assert estimator.estimate(predicate, STATS) == pytest.approx(0.01 * 0.1)
+
+
+def test_disjunction_inclusion_exclusion(estimator):
+    predicate = Disjunction((eq("v", 1), eq("v", 2)))
+    assert estimator.estimate(predicate, STATS) == pytest.approx(1 - 0.9 * 0.9)
+
+
+def test_negation_complements(estimator):
+    predicate = Negation(eq("v", 1))
+    assert estimator.estimate(predicate, STATS) == pytest.approx(0.9)
+
+
+def test_result_clamped_to_unit_interval(estimator):
+    # A column with a single distinct value: NE should not go negative.
+    stats = {"c": ColumnStatistics(1)}
+    predicate = Comparison(ComparisonOp.NE, col("c"), lit(0))
+    assert 0.0 <= estimator.estimate(predicate, stats) <= 1.0
+
+
+def test_custom_defaults_are_used():
+    estimator = SelectivityEstimator(SelectivityDefaults(equality=0.5))
+    assert estimator.estimate(eq("unknown", 1), {}) == pytest.approx(0.5)

@@ -1,0 +1,87 @@
+"""Unit tests for table and column statistics."""
+
+import pytest
+
+from repro.catalog.statistics import (
+    DEFAULT_PAGE_SIZE,
+    ColumnStatistics,
+    TableStatistics,
+    uniform_column,
+)
+from repro.errors import CatalogError
+
+
+def test_pages_for_paper_sized_relation():
+    # 7,200 records of 100 bytes at 4 KiB pages → 40 rows/page → 180 pages.
+    stats = TableStatistics(row_count=7200, row_width=100)
+    assert stats.pages(DEFAULT_PAGE_SIZE) == 180
+
+
+def test_pages_at_least_one():
+    stats = TableStatistics(row_count=0, row_width=100)
+    assert stats.pages() == 1
+
+
+def test_pages_rounds_up():
+    stats = TableStatistics(row_count=41, row_width=100)
+    assert stats.pages(4096) == 2
+
+
+def test_wide_rows_one_per_page():
+    stats = TableStatistics(row_count=10, row_width=8192)
+    assert stats.pages(4096) == 10
+
+
+def test_rejects_bad_row_counts_and_widths():
+    with pytest.raises(CatalogError):
+        TableStatistics(row_count=-1, row_width=100)
+    with pytest.raises(CatalogError):
+        TableStatistics(row_count=10, row_width=0)
+
+
+def test_column_lookup():
+    stats = TableStatistics(
+        row_count=100, row_width=10, columns={"k": ColumnStatistics(50)}
+    )
+    assert stats.column("k").distinct_values == 50
+    assert stats.column("missing") is None
+
+
+def test_scaled_distinct_capped_by_rows():
+    column = ColumnStatistics(distinct_values=1000)
+    assert column.scaled(0.01, row_count=10).distinct_values == 10
+
+
+def test_scaled_distinct_never_below_one():
+    column = ColumnStatistics(distinct_values=5)
+    assert column.scaled(0.0, row_count=0).distinct_values == 1
+
+
+def test_range_fraction_interpolates():
+    column = uniform_column(distinct=101, low=0, high=100)
+    assert column.range_fraction(25) == pytest.approx(0.25)
+    assert column.range_fraction(-5) == 0.0
+    assert column.range_fraction(200) == 1.0
+
+
+def test_range_fraction_none_without_range():
+    assert ColumnStatistics(10).range_fraction(5) is None
+
+
+def test_range_fraction_none_for_non_numeric():
+    column = ColumnStatistics(10, min_value="a", max_value="z")
+    assert column.range_fraction("m") is None
+
+
+def test_qualified_columns():
+    stats = TableStatistics(
+        row_count=10, row_width=8, columns={"k": ColumnStatistics(5)}
+    )
+    qualified = stats.with_qualified_columns("r")
+    assert qualified.column("r.k").distinct_values == 5
+    assert qualified.column("k") is None
+
+
+def test_negative_distinct_rejected():
+    with pytest.raises(CatalogError):
+        ColumnStatistics(-1)

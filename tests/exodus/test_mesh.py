@@ -1,0 +1,105 @@
+"""Unit tests for the MESH data structure."""
+
+import pytest
+
+from repro.algebra.properties import LogicalProperties, PhysProps
+from repro.catalog.schema import Schema
+from repro.errors import MemoryLimitExceededError
+from repro.exodus.mesh import Mesh, MeshStats, PhysicalChoice
+from repro.model.cost import ScalarCost
+
+
+def props(name, cardinality=10.0):
+    return LogicalProperties(
+        Schema.of(f"{name}.x"), cardinality, tables=frozenset({name})
+    )
+
+
+@pytest.fixture
+def mesh():
+    return Mesh()
+
+
+def test_intern_creates_and_dedups(mesh):
+    first, new_first = mesh.intern("get", ("r",), (), props("r"))
+    second, new_second = mesh.intern("get", ("r",), (), props("r"))
+    assert new_first and not new_second
+    assert first is second
+    assert mesh.size() == 1
+
+
+def test_parents_tracked(mesh):
+    leaf, _ = mesh.intern("get", ("r",), (), props("r"))
+    parent, _ = mesh.intern("select", ("p",), (leaf.id,), props("r", 5))
+    assert parent.id in mesh.nodes[leaf.id].parents
+
+
+def test_node_budget(mesh):
+    mesh.node_budget = 1
+    mesh.intern("get", ("r",), (), props("r"))
+    with pytest.raises(MemoryLimitExceededError):
+        mesh.intern("get", ("s",), (), props("s"))
+
+
+def test_equivalence_merge_and_members(mesh):
+    a, _ = mesh.intern("get", ("r",), (), props("r"))
+    b, _ = mesh.intern("get", ("r", "alias"), (), props("r"))
+    assert mesh.eq_root(a.eq) != mesh.eq_root(b.eq)
+    merged = mesh.merge_eq(a.eq, b.eq)
+    assert mesh.eq_root(a.eq) == mesh.eq_root(b.eq) == merged
+    assert set(mesh.eq_members(a.eq)) == {a.id, b.id}
+    assert mesh.stats.equivalence_merges == 1
+
+
+def test_merge_is_idempotent(mesh):
+    a, _ = mesh.intern("get", ("r",), (), props("r"))
+    b, _ = mesh.intern("get", ("s",), (), props("s"))
+    mesh.merge_eq(a.eq, b.eq)
+    before = mesh.stats.equivalence_merges
+    mesh.merge_eq(a.eq, b.eq)
+    assert mesh.stats.equivalence_merges == before
+
+
+def test_eq_best_node_picks_cheapest(mesh):
+    a, _ = mesh.intern("get", ("r",), (), props("r"))
+    b, _ = mesh.intern("get", ("r", "x"), (), props("r"))
+    mesh.merge_eq(a.eq, b.eq)
+
+    def choice(cost):
+        return PhysicalChoice(
+            "scan", (), ScalarCost(cost), ScalarCost(cost), PhysProps(), (), (), ()
+        )
+
+    a.best = choice(10.0)
+    b.best = choice(3.0)
+    assert mesh.eq_best_node(a.eq) is b
+
+
+def test_eq_best_node_requires_analysis(mesh):
+    a, _ = mesh.intern("get", ("r",), (), props("r"))
+    with pytest.raises(RuntimeError):
+        mesh.eq_best_node(a.eq)
+
+
+def test_eq_parents_aggregates_members(mesh):
+    a, _ = mesh.intern("get", ("r",), (), props("r"))
+    b, _ = mesh.intern("get", ("r", "x"), (), props("r"))
+    parent_a, _ = mesh.intern("select", ("p",), (a.id,), props("r", 5))
+    parent_b, _ = mesh.intern("select", ("p",), (b.id,), props("r", 5))
+    mesh.merge_eq(a.eq, b.eq)
+    assert mesh.eq_parents(a.eq) == {parent_a.id, parent_b.id}
+
+
+def test_insert_tree_resolves_leaves(mesh):
+    from repro.algebra.expressions import LogicalExpression, group_leaf
+
+    leaf, _ = mesh.intern("get", ("r",), (), props("r"))
+    tree = LogicalExpression("select", ("p",), (group_leaf(leaf.id),))
+    node = mesh.insert_tree(tree, lambda op, args, inputs: props("r", 5))
+    assert node.inputs == (leaf.id,)
+
+
+def test_stats_mesh_size():
+    stats = MeshStats(nodes_created=10, physical_choices=25)
+    assert stats.mesh_size() == 35
+    assert "nodes=10" in str(stats)

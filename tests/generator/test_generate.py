@@ -1,0 +1,142 @@
+"""Tests for generate_optimizer and specification linting."""
+
+import pytest
+
+from repro.algebra.properties import LogicalProperties
+from repro.catalog.schema import Schema
+from repro.errors import ModelSpecError
+from repro.generator import generate_optimizer, lint_specification
+from repro.model.patterns import AnyPattern, OpPattern
+from repro.model.rules import ImplementationRule, TransformationRule
+from repro.model.spec import (
+    AlgorithmDef,
+    LogicalOperatorDef,
+    ModelSpecification,
+)
+from repro.models.relational import get, relational_model
+
+from tests.helpers import make_catalog
+
+
+def minimal_spec():
+    """A tiny one-operator model used to exercise validation paths."""
+    spec = ModelSpecification(name="tiny")
+
+    def props(context, args, input_props):
+        return LogicalProperties(Schema.of("x"), 1.0, tables=frozenset({"t"}))
+
+    spec.add_operator(LogicalOperatorDef("thing", 0, props))
+    spec.add_algorithm(
+        AlgorithmDef(
+            "do_thing",
+            applicability=lambda context, node, required: [()]
+            if required.is_any
+            else [],
+            cost=lambda context, node: spec.zero_cost(),
+            derive_props=lambda context, node, input_props: required_any(),
+        )
+    )
+    spec.add_implementation(
+        ImplementationRule("thing_impl", OpPattern("thing"), "do_thing")
+    )
+    return spec
+
+
+def required_any():
+    from repro.algebra.properties import ANY_PROPS
+
+    return ANY_PROPS
+
+
+def test_generate_optimizer_validates():
+    catalog = make_catalog([("r", 100)])
+    spec = ModelSpecification(name="empty")
+    with pytest.raises(ModelSpecError):
+        generate_optimizer(spec, catalog)
+
+
+def test_generate_optimizer_links_working_engine():
+    catalog = make_catalog([("r", 1200)])
+    optimizer = generate_optimizer(relational_model(), catalog)
+    result = optimizer.optimize(get("r"))
+    assert result.plan.algorithm == "file_scan"
+
+
+def test_validation_reports_all_problems():
+    spec = ModelSpecification(name="broken")
+    spec.add_operator(
+        LogicalOperatorDef("op", 1, lambda context, args, inputs: None)
+    )
+    spec.add_algorithm(
+        AlgorithmDef(
+            "alg",
+            applicability=lambda c, n, r: [],
+            cost=lambda c, n: None,
+            derive_props=lambda c, n, i: None,
+        )
+    )
+    spec.add_implementation(
+        ImplementationRule(
+            "bad_impl", OpPattern("missing", (AnyPattern("x"),)), "also_missing"
+        )
+    )
+    with pytest.raises(ModelSpecError) as excinfo:
+        spec.validate()
+    message = str(excinfo.value)
+    assert "missing" in message
+    assert "also_missing" in message
+    assert "op" in message  # op has no implementation rule
+
+
+def test_validation_checks_pattern_arity():
+    spec = minimal_spec()
+    spec.add_transformation(
+        TransformationRule(
+            "bad_arity",
+            OpPattern("thing", (AnyPattern("x"),)),  # thing is a leaf operator
+            rewrite=lambda binding, context: None,
+        )
+    )
+    with pytest.raises(ModelSpecError) as excinfo:
+        spec.validate()
+    assert "arity" in str(excinfo.value)
+
+
+def test_lint_flags_unreachable_algorithm():
+    spec = minimal_spec()
+    spec.add_algorithm(
+        AlgorithmDef(
+            "orphan",
+            applicability=lambda c, n, r: [],
+            cost=lambda c, n: spec.zero_cost(),
+            derive_props=lambda c, n, i: required_any(),
+        )
+    )
+    warnings = lint_specification(spec)
+    assert any("orphan" in warning for warning in warnings)
+
+
+def test_lint_flags_missing_enforcers():
+    warnings = lint_specification(minimal_spec())
+    assert any("enforcer" in warning for warning in warnings)
+
+
+def test_lint_clean_relational_model():
+    warnings = lint_specification(relational_model())
+    # select/project have no transformations by default: advisory only.
+    assert all("never appear" not in warning for warning in warnings)
+
+
+def test_duplicate_registrations_rejected():
+    spec = minimal_spec()
+    with pytest.raises(ModelSpecError):
+        spec.add_operator(LogicalOperatorDef("thing", 0, lambda c, a, i: None))
+    with pytest.raises(ModelSpecError):
+        spec.add_algorithm(
+            AlgorithmDef(
+                "do_thing",
+                applicability=lambda c, n, r: [],
+                cost=lambda c, n: None,
+                derive_props=lambda c, n, i: None,
+            )
+        )

@@ -1,0 +1,42 @@
+"""Every example script must run cleanly (deliverable b)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "sql_to_plan.py",
+    "parallel_query.py",
+    "oodb_paths.py",
+    "setops_orders.py",
+    "custom_model.py",
+    "dynamic_plans.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "example produced no output"
+
+
+def test_figure4_mini_runs():
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "figure4_mini.py")],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert "Figure 4" in completed.stdout

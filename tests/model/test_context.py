@@ -1,0 +1,55 @@
+"""Unit tests for the optimizer context."""
+
+import pytest
+
+from repro.algebra.expressions import group_leaf
+from repro.algebra.predicates import eq
+from repro.errors import SearchError
+from repro.model.context import OptimizerContext
+from repro.models.relational import get, join, relational_model, select
+
+from tests.helpers import make_catalog
+
+
+@pytest.fixture
+def context():
+    return OptimizerContext(
+        relational_model(), make_catalog([("r", 1200), ("s", 2400)])
+    )
+
+
+def test_logical_props_recursive(context):
+    props = context.logical_props(join(get("r"), get("s"), eq("r.k", "s.k")))
+    assert props.tables == frozenset({"r", "s"})
+
+
+def test_logical_props_cached(context):
+    expression = select(get("r"), eq("r.v", 1))
+    first = context.logical_props(expression)
+    second = context.logical_props(expression)
+    assert first is second
+
+
+def test_group_leaf_without_resolver_raises(context):
+    with pytest.raises(SearchError):
+        context.logical_props(group_leaf(3))
+
+
+def test_group_leaf_with_resolver(context):
+    sentinel = context.logical_props(get("r"))
+    context.group_props_resolver = lambda gid: sentinel
+    assert context.logical_props(group_leaf(3)) is sentinel
+
+
+def test_selectivity_delegates_to_estimator(context):
+    from repro.catalog.statistics import ColumnStatistics
+
+    stats = {"x": ColumnStatistics(4)}
+    assert context.selectivity(eq("x", 1), stats) == pytest.approx(0.25)
+
+
+def test_derive_logical_props_unknown_operator(context):
+    from repro.errors import ModelSpecError
+
+    with pytest.raises(ModelSpecError):
+        context.derive_logical_props("warp", (), ())

@@ -1,0 +1,97 @@
+"""Unit tests for the cost abstract data type."""
+
+import pytest
+
+from repro.errors import ModelSpecError
+from repro.model.cost import (
+    INFINITE_COST,
+    CpuIoCost,
+    InfiniteCost,
+    ResourceCost,
+    ScalarCost,
+)
+
+
+def test_scalar_add_sub():
+    assert (ScalarCost(1) + ScalarCost(2)).value == 3
+    assert (ScalarCost(5) - ScalarCost(2)).value == 3
+
+
+def test_scalar_compare():
+    assert ScalarCost(1) < ScalarCost(2)
+    assert ScalarCost(2) <= ScalarCost(2)
+    assert ScalarCost(3) > ScalarCost(2)
+    assert ScalarCost(2) == ScalarCost(2)
+
+
+def test_infinite_is_singleton():
+    assert InfiniteCost() is INFINITE_COST
+
+
+def test_infinite_comparisons():
+    assert ScalarCost(1e12) < INFINITE_COST
+    assert not (INFINITE_COST < ScalarCost(1))
+    assert not (INFINITE_COST < INFINITE_COST)
+    assert INFINITE_COST == INFINITE_COST
+    assert INFINITE_COST >= ScalarCost(5)
+
+
+def test_infinite_arithmetic_saturates():
+    assert ScalarCost(1) + INFINITE_COST is INFINITE_COST
+    assert INFINITE_COST + ScalarCost(1) is INFINITE_COST
+    assert INFINITE_COST - ScalarCost(1) is INFINITE_COST
+
+
+def test_subtracting_infinite_is_error():
+    with pytest.raises(ModelSpecError):
+        ScalarCost(1) - INFINITE_COST
+
+
+def test_mixed_types_rejected():
+    with pytest.raises(ModelSpecError):
+        ScalarCost(1) + CpuIoCost(1, 1)
+
+
+def test_cpu_io_weighted_total():
+    cost = CpuIoCost(cpu=10, io=2, io_weight=100)
+    assert cost.total() == 10 + 200
+
+
+def test_cpu_io_add_preserves_weight():
+    total = CpuIoCost(1, 1, io_weight=50) + CpuIoCost(2, 3, io_weight=50)
+    assert total.cpu == 3 and total.io == 4
+    assert total.io_weight == 50
+
+
+def test_cpu_io_comparison_is_by_total():
+    cheap_io = CpuIoCost(cpu=1000, io=0)
+    pricey_io = CpuIoCost(cpu=0, io=50)
+    assert cheap_io < pricey_io
+
+
+def test_cpu_io_subtraction():
+    diff = CpuIoCost(5, 5) - CpuIoCost(2, 1)
+    assert diff.cpu == 3 and diff.io == 4
+
+
+def test_resource_cost_memory_discounts_io():
+    fits = ResourceCost(cpu=0, io=100, working_set=1000, memory_bytes=1 << 30)
+    spills = ResourceCost(cpu=0, io=100, working_set=1 << 40, memory_bytes=1 << 20)
+    assert fits.total() < spills.total()
+
+
+def test_resource_cost_add_takes_max_working_set():
+    total = ResourceCost(1, 1, working_set=10) + ResourceCost(1, 1, working_set=99)
+    assert total.working_set == 99
+
+
+def test_costs_hashable():
+    assert len({ScalarCost(1), ScalarCost(1), ScalarCost(2)}) == 2
+    hash(INFINITE_COST)
+    hash(CpuIoCost(1, 2))
+
+
+def test_str_renderings():
+    assert str(INFINITE_COST) == "inf"
+    assert "cpu=" in str(CpuIoCost(1, 2))
+    assert "ws=" in str(ResourceCost(1, 2, 3))

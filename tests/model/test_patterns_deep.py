@@ -1,0 +1,82 @@
+"""Pattern matching beyond two levels (arbitrary-depth rule patterns)."""
+
+from repro.algebra.expressions import LogicalExpression, is_group_leaf
+from repro.model.patterns import AnyPattern, OpPattern, match_memo, match_tree
+
+
+def node(op, *inputs, args=()):
+    return LogicalExpression(op, tuple(args), tuple(inputs))
+
+
+THREE_LEVEL = OpPattern(
+    "a",
+    (
+        OpPattern(
+            "b",
+            (OpPattern("c", (AnyPattern("x"),), args_as="pc"),),
+            args_as="pb",
+        ),
+    ),
+    args_as="pa",
+)
+
+
+def test_three_level_tree_match():
+    tree = node("a", node("b", node("c", node("leaf"), args=("cv",)), args=("bv",)), args=("av",))
+    binding = match_tree(THREE_LEVEL, tree)
+    assert binding is not None
+    assert binding["pa"] == ("av",)
+    assert binding["pb"] == ("bv",)
+    assert binding["pc"] == ("cv",)
+    assert binding["x"].operator == "leaf"
+
+
+def test_three_level_tree_mismatch_inner():
+    tree = node("a", node("b", node("WRONG", node("leaf"))))
+    assert match_tree(THREE_LEVEL, tree) is None
+
+
+def test_three_level_memo_match_enumerates_combinations():
+    # Group 0: leaves; group 1: two 'c' variants; group 2: two 'b'
+    # variants over group 1; top expression: a(group 2).
+    groups = {
+        0: [("leaf", (), ())],
+        1: [("c", ("c1",), (0,)), ("c", ("c2",), (0,))],
+        2: [("b", ("b1",), (1,)), ("b", ("b2",), (1,))],
+    }
+    expressions_of = lambda gid: iter(groups[gid])
+    bindings = list(
+        match_memo(THREE_LEVEL, "a", ("av",), (2,), expressions_of)
+    )
+    # 2 'b' variants × 2 'c' variants = 4 bindings.
+    assert len(bindings) == 4
+    combos = {(binding["pb"], binding["pc"]) for binding in bindings}
+    assert combos == {
+        (("b1",), ("c1",)),
+        (("b1",), ("c2",)),
+        (("b2",), ("c1",)),
+        (("b2",), ("c2",)),
+    }
+    for binding in bindings:
+        assert is_group_leaf(binding["x"])
+        assert binding["x"].args == (0,)
+
+
+def test_mixed_leaf_and_nested_positions():
+    pattern = OpPattern(
+        "join",
+        (
+            AnyPattern("left"),
+            OpPattern("join", (AnyPattern("a"), AnyPattern("b"))),
+        ),
+    )
+    groups = {
+        0: [("get", ("r",), ())],
+        1: [("get", ("s",), ())],
+        2: [("join", (), (0, 1)), ("join", (), (1, 0))],
+    }
+    expressions_of = lambda gid: iter(groups[gid])
+    bindings = list(match_memo(pattern, "join", (), (0, 2), expressions_of))
+    assert len(bindings) == 2
+    for binding in bindings:
+        assert binding["left"].args == (0,)

@@ -1,0 +1,107 @@
+"""Property-based tests of the iterator engine (hypothesis)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.catalog import Catalog, Schema, TableStatistics
+from repro.executor.iterators import (
+    FileScan,
+    HashJoin,
+    MergeExcept,
+    MergeIntersect,
+    MergeJoin,
+    Sort,
+)
+from repro.executor.runtime import ExecutionContext
+
+
+def make_context(left_keys, right_keys):
+    catalog = Catalog()
+    left_rows = [{"l.k": key, "l.tag": index} for index, key in enumerate(left_keys)]
+    right_rows = [
+        {"r.k": key, "r.tag": index} for index, key in enumerate(right_keys)
+    ]
+    catalog.add_table(
+        "l", Schema.of("l.k", "l.tag"), TableStatistics(len(left_rows), 100),
+        rows=left_rows,
+    )
+    catalog.add_table(
+        "r", Schema.of("r.k", "r.tag"), TableStatistics(len(right_rows), 100),
+        rows=right_rows,
+    )
+    return ExecutionContext(catalog)
+
+
+keys = st.lists(st.integers(0, 8), max_size=12)
+
+
+def canonical(rows):
+    return sorted(tuple(sorted(row.items())) for row in rows)
+
+
+@settings(max_examples=50, deadline=None)
+@given(keys, keys)
+def test_merge_join_equals_hash_join(left_keys, right_keys):
+    context = make_context(left_keys, right_keys)
+    merged = MergeJoin(
+        context,
+        Sort(context, FileScan(context, "l"), ["l.k"]),
+        Sort(context, FileScan(context, "r"), ["r.k"]),
+        [("l.k", "r.k")],
+    ).drain()
+    hashed = HashJoin(
+        context, FileScan(context, "l"), FileScan(context, "r"), [("l.k", "r.k")]
+    ).drain()
+    assert canonical(merged) == canonical(hashed)
+
+
+@settings(max_examples=50, deadline=None)
+@given(keys, keys)
+def test_join_matches_nested_loop_semantics(left_keys, right_keys):
+    context = make_context(left_keys, right_keys)
+    expected = sorted(
+        (l, r)
+        for l, left_key in enumerate(left_keys)
+        for r, right_key in enumerate(right_keys)
+        if left_key == right_key
+    )
+    joined = HashJoin(
+        context, FileScan(context, "l"), FileScan(context, "r"), [("l.k", "r.k")]
+    ).drain()
+    assert sorted((row["l.tag"], row["r.tag"]) for row in joined) == expected
+
+
+@settings(max_examples=50, deadline=None)
+@given(keys)
+def test_sort_is_stable_permutation(values):
+    context = make_context(values, [])
+    rows = Sort(context, FileScan(context, "l"), ["l.k"]).drain()
+    assert sorted(values) == [row["l.k"] for row in rows]
+    # Stability: equal keys keep their original relative order.
+    for first, second in zip(rows, rows[1:]):
+        if first["l.k"] == second["l.k"]:
+            assert first["l.tag"] < second["l.tag"]
+
+
+@settings(max_examples=50, deadline=None)
+@given(keys, keys)
+def test_merge_intersect_matches_set_semantics(left_keys, right_keys):
+    context = make_context(sorted(left_keys), sorted(right_keys))
+    result = MergeIntersect(
+        context, FileScan(context, "l"), FileScan(context, "r"), [("l.k", "r.k")]
+    ).drain()
+    assert [row["l.k"] for row in result] == sorted(
+        set(left_keys) & set(right_keys)
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(keys, keys)
+def test_merge_except_matches_set_semantics(left_keys, right_keys):
+    context = make_context(sorted(left_keys), sorted(right_keys))
+    result = MergeExcept(
+        context, FileScan(context, "l"), FileScan(context, "r"), [("l.k", "r.k")]
+    ).drain()
+    assert [row["l.k"] for row in result] == sorted(
+        set(left_keys) - set(right_keys)
+    )

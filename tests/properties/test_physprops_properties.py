@@ -1,0 +1,86 @@
+"""Property-based tests for the physical property vector (hypothesis)."""
+
+import hypothesis.strategies as st
+from hypothesis import given
+
+from repro.algebra.properties import ANY_PROPS, Partitioning, PhysProps
+
+COLUMNS = ("a", "b", "c")
+
+sort_keys = st.frozensets(st.sampled_from(COLUMNS), min_size=1, max_size=2)
+sort_orders = st.lists(sort_keys, max_size=3).map(tuple)
+partitionings = st.one_of(
+    st.none(),
+    st.builds(
+        Partitioning,
+        st.sampled_from(["hash", "range"]),
+        st.lists(sort_keys, max_size=2).map(tuple),
+        st.integers(1, 8),
+    ),
+)
+flags = st.frozensets(
+    st.tuples(st.sampled_from(["assembled", "unique"]), st.booleans()),
+    max_size=2,
+)
+props = st.builds(PhysProps, sort_orders, partitionings, flags)
+
+
+@given(props)
+def test_covers_is_reflexive(vector):
+    assert vector.covers(vector)
+
+
+@given(props)
+def test_everything_covers_any(vector):
+    assert vector.covers(ANY_PROPS)
+
+
+@given(props, props, props)
+def test_covers_is_transitive(a, b, c):
+    if a.covers(b) and b.covers(c):
+        assert a.covers(c)
+
+
+@given(props)
+def test_any_covers_only_any(vector):
+    if ANY_PROPS.covers(vector):
+        assert vector.is_any
+
+
+@given(props)
+def test_without_sort_removes_requirement(vector):
+    stripped = vector.without_sort()
+    assert stripped.sort_order == ()
+    assert vector.covers(stripped) or vector.partitioning != stripped.partitioning
+
+
+@given(props)
+def test_strengthening_preserves_cover(vector):
+    """Adding a sort key in front can only strengthen the vector."""
+    stronger = PhysProps(
+        (frozenset(COLUMNS),) + vector.sort_order,
+        vector.partitioning,
+        vector.flags,
+    )
+    # The stronger vector covers everything the original's suffix…
+    assert stronger.covers(
+        PhysProps((frozenset(COLUMNS),), vector.partitioning, vector.flags)
+    )
+
+
+@given(props, props)
+def test_cover_antisymmetry_on_sort(a, b):
+    if a.covers(b) and b.covers(a):
+        assert len(a.sort_order) == len(b.sort_order)
+
+
+@given(props)
+def test_flag_roundtrip(vector):
+    with_flag = vector.with_flag("extra", 7)
+    assert with_flag.flag("extra") == 7
+    assert with_flag.without_flag("extra").flags == vector.without_flag("extra").flags
+
+
+@given(props)
+def test_props_hashable_and_stable(vector):
+    assert hash(vector) == hash(PhysProps(vector.sort_order, vector.partitioning, vector.flags))

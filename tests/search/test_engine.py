@@ -1,0 +1,231 @@
+"""Tests for the Volcano search engine (the paper's Figure 2)."""
+
+import pytest
+
+from repro.algebra.predicates import TRUE, eq
+from repro.algebra.properties import ANY_PROPS, PhysProps, sorted_on
+from repro.errors import OptimizationFailedError
+from repro.model.cost import CpuIoCost, INFINITE_COST
+from repro.models.relational import (
+    RelationalModelOptions,
+    get,
+    join,
+    relational_model,
+    select,
+)
+from repro.search import SearchOptions, VolcanoOptimizer
+
+from tests.helpers import chain_query, make_catalog
+
+
+@pytest.fixture
+def catalog():
+    return make_catalog([("r", 1200), ("s", 2400), ("t", 4800), ("u", 7200)])
+
+
+@pytest.fixture
+def optimizer(catalog):
+    return VolcanoOptimizer(relational_model(), catalog)
+
+
+def two_way(predicate=None):
+    return join(get("r"), get("s"), predicate or eq("r.k", "s.k"))
+
+
+# -- basic behaviour ----------------------------------------------------------
+
+
+def test_single_scan(optimizer):
+    result = optimizer.optimize(get("r"))
+    assert result.plan.algorithm == "file_scan"
+    assert result.plan.args == ("r", None)
+    assert result.cost.total() > 0
+
+
+def test_two_way_join_produces_valid_plan(optimizer):
+    result = optimizer.optimize(two_way())
+    assert result.plan.algorithm in ("hybrid_hash_join", "merge_join")
+    leaf_tables = {args[0] for args in result.plan.leaf_args()}
+    assert leaf_tables == {"r", "s"}
+
+
+def test_complex_mapping_filter_scan(optimizer):
+    """select(get) collapses into the combined filter_scan algorithm."""
+    result = optimizer.optimize(select(get("r"), eq("r.v", 1)))
+    assert result.plan.algorithm == "filter_scan"
+    assert result.plan.inputs == ()
+
+
+def test_plan_cost_is_cumulative(optimizer):
+    result = optimizer.optimize(two_way())
+    child_costs = [child.cost for child in result.plan.inputs]
+    assert all(child.cost < result.cost for child in result.plan.inputs)
+    assert result.cost == result.plan.cost
+
+
+def test_memo_reinitialized_per_query(optimizer):
+    first = optimizer.optimize(get("r"))
+    second = optimizer.optimize(get("s"))
+    assert first.memo is not second.memo
+    assert second.stats.groups_created == 1
+
+
+# -- physical properties and enforcers ----------------------------------------
+
+
+def test_sorted_goal_satisfied(optimizer):
+    required = sorted_on("r.k")
+    result = optimizer.optimize(two_way(), required=required)
+    assert result.plan.properties.covers(required)
+
+
+def test_sorted_goal_via_enforcer_or_merge_join(optimizer):
+    result = optimizer.optimize(two_way(), required=sorted_on("r.k"))
+    algorithms = result.plan.algorithms_used()
+    assert "sort" in algorithms or "merge_join" in algorithms
+
+
+def test_merge_join_not_considered_below_its_own_sort(optimizer):
+    """The excluding property vector (paper Section 3).
+
+    When a sort enforcer provides order X, no algorithm that could have
+    delivered X itself may appear directly below the sort.
+    """
+    result = optimizer.optimize(two_way(), required=sorted_on("r.k"))
+    for node in result.plan.walk():
+        if node.algorithm != "sort":
+            continue
+        below = node.inputs[0]
+        (order,) = node.args
+        if below.algorithm == "merge_join":
+            assert not below.properties.covers(PhysProps(sort_order=order))
+
+
+def test_merge_join_output_order_reused(catalog):
+    """Interesting orderings: one sorted base feeds two merge joins."""
+    options = RelationalModelOptions()
+    spec = relational_model(options)
+    optimizer = VolcanoOptimizer(spec, catalog)
+    query = chain_query(["r", "s", "t"], with_selections=False)
+    result = optimizer.optimize(query, required=sorted_on("r.k"))
+    # Requiring sorted output makes merge joins attractive; when two
+    # merge joins stack, the intermediate is NOT re-sorted.
+    algorithms = result.plan.algorithms_used()
+    if algorithms.count("merge_join") == 2:
+        sorts = result.plan.count_algorithm("sort")
+        assert sorts <= 3  # at most one per base table, never per join
+
+
+def test_unsatisfiable_goal_fails(catalog):
+    spec = relational_model()
+    optimizer = VolcanoOptimizer(spec, catalog)
+    # Partitioning is required but the serial model has no exchange.
+    from repro.algebra.properties import hash_partitioned
+
+    required = PhysProps(partitioning=hash_partitioned(["r.k"], 4))
+    with pytest.raises(OptimizationFailedError):
+        optimizer.optimize(get("r"), required=required)
+
+
+# -- cost limits and branch-and-bound -----------------------------------------
+
+
+def test_cost_limit_failure(optimizer):
+    tiny = CpuIoCost(cpu=1.0, io=0.0)
+    with pytest.raises(OptimizationFailedError):
+        optimizer.optimize(two_way(), limit=tiny)
+
+
+def test_cost_limit_generous_succeeds(optimizer):
+    unlimited = optimizer.optimize(two_way())
+    generous = optimizer.optimize(two_way(), limit=unlimited.cost)
+    assert generous.cost == unlimited.cost
+
+
+def test_branch_and_bound_does_not_change_result(catalog):
+    query = chain_query(["r", "s", "t", "u"])
+    with_bb = VolcanoOptimizer(
+        relational_model(), catalog, SearchOptions(branch_and_bound=True)
+    ).optimize(query)
+    without_bb = VolcanoOptimizer(
+        relational_model(), catalog, SearchOptions(branch_and_bound=False)
+    ).optimize(query)
+    assert with_bb.cost == without_bb.cost
+
+
+def test_branch_and_bound_prunes_work(catalog):
+    query = chain_query(["r", "s", "t", "u"])
+    with_bb = VolcanoOptimizer(
+        relational_model(), catalog, SearchOptions(branch_and_bound=True)
+    ).optimize(query)
+    without_bb = VolcanoOptimizer(
+        relational_model(), catalog, SearchOptions(branch_and_bound=False)
+    ).optimize(query)
+    pruned = with_bb.stats.moves_pruned + with_bb.stats.inputs_abandoned
+    not_pruned = without_bb.stats.moves_pruned + without_bb.stats.inputs_abandoned
+    assert pruned > not_pruned
+
+
+def test_failure_caching_does_not_change_result(catalog):
+    query = chain_query(["r", "s", "t", "u"])
+    with_failures = VolcanoOptimizer(
+        relational_model(), catalog, SearchOptions(cache_failures=True)
+    ).optimize(query, required=sorted_on("r.k"))
+    without_failures = VolcanoOptimizer(
+        relational_model(), catalog, SearchOptions(cache_failures=False)
+    ).optimize(query, required=sorted_on("r.k"))
+    assert with_failures.cost == without_failures.cost
+
+
+# -- dynamic programming ------------------------------------------------------
+
+
+def test_winners_are_reused(optimizer):
+    result = optimizer.optimize(chain_query(["r", "s", "t"]))
+    assert result.stats.winner_hits > 0
+
+
+def test_inverse_rules_terminate(optimizer):
+    """Commutativity is its own inverse; exploration must still terminate."""
+    result = optimizer.optimize(two_way())
+    assert result.stats.exploration_passes < 10
+
+
+def test_transformations_explore_all_join_orders(optimizer):
+    """All 4 ordered 2-relation trees and both 3-relation shapes appear."""
+    result = optimizer.optimize(chain_query(["r", "s", "t"], with_selections=False))
+    root_group = max(
+        result.memo.groups(), key=lambda group: group.logical_props.cardinality
+    )
+    # Top class: (rs)t, t(rs), r(st), (st)r — 4 expressions.
+    assert len(root_group.expressions) == 4
+
+
+def test_stats_counters_populated(optimizer):
+    result = optimizer.optimize(chain_query(["r", "s", "t"]))
+    stats = result.stats
+    assert stats.groups_created >= 9
+    assert stats.expressions_created > stats.groups_created
+    assert stats.algorithm_costings > 0
+    assert stats.enforcer_costings >= 0
+    assert stats.elapsed_seconds > 0
+
+
+def test_trace_collection(catalog):
+    optimizer = VolcanoOptimizer(
+        relational_model(), catalog, SearchOptions(trace=True)
+    )
+    result = optimizer.optimize(two_way())
+    assert result.trace
+    assert "goal" in result.trace and "winner" in result.trace
+
+
+# -- determinism ----------------------------------------------------------------
+
+
+def test_optimization_is_deterministic(catalog):
+    query = chain_query(["r", "s", "t", "u"])
+    first = VolcanoOptimizer(relational_model(), catalog).optimize(query)
+    second = VolcanoOptimizer(relational_model(), catalog).optimize(query)
+    assert first.cost == second.cost
+    assert first.plan.to_sexpr() == second.plan.to_sexpr()

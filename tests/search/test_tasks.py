@@ -1,0 +1,168 @@
+"""Tests for the Cascades-style task-based search driver."""
+
+import pytest
+
+from repro.algebra.properties import sorted_on
+from repro.models.relational import relational_model
+from repro.search import SearchOptions, VolcanoOptimizer
+from repro.search.tasks import TaskBasedOptimizer, lifo_scheduler
+from repro.workloads import QueryGenerator, WorkloadOptions
+
+from tests.helpers import chain_query, make_catalog
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return make_catalog([("r", 1200), ("s", 2400), ("t", 4800), ("u", 7200)])
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return relational_model()
+
+
+def test_matches_recursive_engine_plain(spec, catalog):
+    query = chain_query(["r", "s", "t", "u"])
+    recursive = VolcanoOptimizer(spec, catalog).optimize(query)
+    task_based = TaskBasedOptimizer(spec, catalog).optimize(query)
+    assert task_based.cost == recursive.cost
+    assert task_based.plan.to_sexpr() == recursive.plan.to_sexpr()
+
+
+def test_matches_recursive_engine_sorted_goal(spec, catalog):
+    query = chain_query(["r", "s", "t"])
+    required = sorted_on("r.k")
+    recursive = VolcanoOptimizer(spec, catalog).optimize(query, required=required)
+    task_based = TaskBasedOptimizer(spec, catalog).optimize(query, required=required)
+    assert task_based.cost == recursive.cost
+    assert task_based.plan.properties.covers(required)
+
+
+@pytest.mark.parametrize(
+    "options",
+    [
+        SearchOptions(),
+        SearchOptions(branch_and_bound=False),
+        SearchOptions(cache_failures=False),
+        SearchOptions(branch_and_bound=False, cache_failures=False),
+    ],
+    ids=["default", "no_bb", "no_failures", "neither"],
+)
+def test_matches_under_all_option_combinations(spec, catalog, options):
+    query = chain_query(["r", "s", "t"])
+    required = sorted_on("s.k")
+    recursive = VolcanoOptimizer(spec, catalog, options).optimize(
+        query, required=required
+    )
+    task_based = TaskBasedOptimizer(spec, catalog, options).optimize(
+        query, required=required
+    )
+    assert task_based.cost == recursive.cost
+
+
+def test_matches_on_random_workload(spec):
+    generator = QueryGenerator(WorkloadOptions(order_by_probability=0.5))
+    for query in generator.generate_batch(4, 6, seed=17):
+        recursive = VolcanoOptimizer(spec, query.catalog).optimize(
+            query.query, required=query.required
+        )
+        task_based = TaskBasedOptimizer(spec, query.catalog).optimize(
+            query.query, required=query.required
+        )
+        assert task_based.cost == recursive.cost
+        assert task_based.plan.to_sexpr() == recursive.plan.to_sexpr()
+
+
+def test_cost_limit_behaviour_matches(spec, catalog):
+    from repro.errors import OptimizationFailedError
+    from repro.model.cost import CpuIoCost
+
+    query = chain_query(["r", "s"])
+    optimum = TaskBasedOptimizer(spec, catalog).optimize(query).cost
+    # Exactly at the optimum: succeeds.
+    at_limit = TaskBasedOptimizer(spec, catalog).optimize(query, limit=optimum)
+    assert at_limit.cost == optimum
+    # Below it: fails.
+    with pytest.raises(OptimizationFailedError):
+        TaskBasedOptimizer(spec, catalog).optimize(
+            query, limit=CpuIoCost(cpu=1.0)
+        )
+
+
+def test_scheduler_hook_is_used(spec, catalog):
+    calls = []
+
+    def spy_scheduler(agenda):
+        calls.append(len(agenda))
+        return lifo_scheduler(agenda)
+
+    optimizer = TaskBasedOptimizer(spec, catalog, scheduler=spy_scheduler)
+    result = optimizer.optimize(chain_query(["r", "s"]))
+    assert result.cost.total() > 0
+    assert len(calls) > 10  # the goal really ran through the agenda
+
+
+def test_stats_are_comparable(spec, catalog):
+    query = chain_query(["r", "s", "t"])
+    recursive = VolcanoOptimizer(spec, catalog).optimize(query)
+    task_based = TaskBasedOptimizer(spec, catalog).optimize(query)
+    # Identical memo shape (same exploration); costing counts may differ
+    # slightly because the LIFO agenda visits sibling alternatives in the
+    # reverse order, which changes what branch-and-bound prunes.
+    assert task_based.stats.groups_created == recursive.stats.groups_created
+    assert task_based.stats.expressions_created == recursive.stats.expressions_created
+    assert (
+        0.5
+        <= task_based.stats.algorithm_costings
+        / max(1, recursive.stats.algorithm_costings)
+        <= 2.0
+    )
+
+
+def test_matches_recursive_engine_across_models():
+    """The task driver is model-agnostic: every bundled model agrees."""
+    from repro.algebra.predicates import eq
+    from repro.algebra.properties import sorted_on
+    from repro.models.aggregates import aggregate, aggregate_model
+    from repro.models.oodb import materialize, oodb_model
+    from repro.models.parallel import parallel_relational_model, partitioned_on
+    from repro.models.relational import get, join
+    from repro.models.setops import intersect, setops_model
+    from tests.models.test_oodb import make_catalog as make_oodb_catalog
+
+    relational_catalog = make_catalog([("r", 1200), ("s", 2400)])
+    cases = [
+        (
+            parallel_relational_model(),
+            relational_catalog,
+            join(get("r"), get("s"), eq("r.k", "s.k")),
+            partitioned_on(["r.k"], 4),
+        ),
+        (
+            setops_model(),
+            relational_catalog,
+            intersect(get("r"), get("s")),
+            sorted_on("r.k"),
+        ),
+        (
+            oodb_model(),
+            make_oodb_catalog(),
+            materialize(get("employee"), "dept_ref", "department"),
+            None,
+        ),
+        (
+            aggregate_model(),
+            relational_catalog,
+            aggregate(get("r"), ["r.k"], [("n", "count", None)]),
+            sorted_on("r.k"),
+        ),
+    ]
+    for model_spec, catalog, query, required in cases:
+        recursive = VolcanoOptimizer(model_spec, catalog).optimize(
+            query, required=required
+        )
+        task_based = TaskBasedOptimizer(model_spec, catalog).optimize(
+            query, required=required
+        )
+        assert task_based.cost == recursive.cost, model_spec.name
+        assert task_based.plan.to_sexpr() == recursive.plan.to_sexpr(), model_spec.name

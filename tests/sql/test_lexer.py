@@ -1,0 +1,73 @@
+"""Unit tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.errors import SqlError
+from repro.sql.lexer import TokenType, tokenize
+
+
+def kinds(text):
+    return [(t.type, t.value) for t in tokenize(text) if t.type is not TokenType.END]
+
+
+def test_keywords_case_insensitive():
+    assert kinds("select FROM Where")[0] == (TokenType.KEYWORD, "SELECT")
+    assert kinds("select FROM Where")[2] == (TokenType.KEYWORD, "WHERE")
+
+
+def test_identifiers_preserve_case():
+    assert kinds("MyTable")[0] == (TokenType.IDENT, "MyTable")
+
+
+def test_qualified_name_tokens():
+    assert kinds("r.k") == [
+        (TokenType.IDENT, "r"),
+        (TokenType.SYMBOL, "."),
+        (TokenType.IDENT, "k"),
+    ]
+
+
+def test_numbers():
+    assert kinds("42") == [(TokenType.NUMBER, "42")]
+    assert kinds("3.14") == [(TokenType.NUMBER, "3.14")]
+
+
+def test_malformed_number_rejected():
+    with pytest.raises(SqlError):
+        tokenize("1.2.3")
+
+
+def test_strings():
+    assert kinds("'hello world'") == [(TokenType.STRING, "hello world")]
+
+
+def test_unterminated_string_rejected():
+    with pytest.raises(SqlError) as excinfo:
+        tokenize("select 'oops")
+    assert excinfo.value.position == 7
+
+
+def test_two_character_symbols():
+    assert kinds("<= >= <> !=") == [
+        (TokenType.SYMBOL, "<="),
+        (TokenType.SYMBOL, ">="),
+        (TokenType.SYMBOL, "<>"),
+        (TokenType.SYMBOL, "!="),
+    ]
+
+
+def test_comments_skipped():
+    assert kinds("select -- a comment\n x") == [
+        (TokenType.KEYWORD, "SELECT"),
+        (TokenType.IDENT, "x"),
+    ]
+
+
+def test_unexpected_character():
+    with pytest.raises(SqlError):
+        tokenize("select @")
+
+
+def test_end_token_present():
+    tokens = tokenize("x")
+    assert tokens[-1].type is TokenType.END

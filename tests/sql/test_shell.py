@@ -1,0 +1,97 @@
+"""Tests for the interactive SQL shell (driven programmatically)."""
+
+import io
+
+import pytest
+
+from repro.sql.__main__ import Shell, build_demo_catalog, main
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_demo_catalog(seed=7)
+
+
+def make_shell(catalog):
+    out = io.StringIO()
+    return Shell(catalog, out=out), out
+
+
+def test_simple_query_executes(catalog):
+    shell, out = make_shell(catalog)
+    assert shell.run_line("select * from dept where dept.v <= 3")
+    text = out.getvalue()
+    assert "rows" in text
+    assert "goal:" in text  # explain on by default
+
+
+def test_explain_toggle(catalog):
+    shell, out = make_shell(catalog)
+    shell.run_line("\\explain off")
+    shell.run_line("select * from dept where dept.v <= 3")
+    text = out.getvalue()
+    assert "goal:" not in text
+
+
+def test_rows_limit(catalog):
+    shell, out = make_shell(catalog)
+    shell.run_line("\\explain off")
+    shell.run_line("\\rows 2")
+    shell.run_line("select * from emp")
+    text = out.getvalue()
+    assert "showing 2" in text
+
+
+def test_tables_command(catalog):
+    shell, out = make_shell(catalog)
+    shell.run_line("\\tables")
+    text = out.getvalue()
+    assert "emp" in text and "dept" in text and "proj" in text
+
+
+def test_sql_error_reported_not_raised(catalog):
+    shell, out = make_shell(catalog)
+    assert shell.run_line("select from nowhere")
+    assert "error:" in out.getvalue()
+
+
+def test_unknown_table_reported(catalog):
+    shell, out = make_shell(catalog)
+    shell.run_line("select * from missing")
+    assert "error:" in out.getvalue()
+
+
+def test_unknown_command_hint(catalog):
+    shell, out = make_shell(catalog)
+    shell.run_line("\\bogus")
+    assert "unknown command" in out.getvalue()
+
+
+def test_quit_commands(catalog):
+    shell, _ = make_shell(catalog)
+    assert shell.run_line("\\quit") is False
+    assert shell.run_line("\\q") is False
+
+
+def test_group_by_through_shell(catalog):
+    shell, out = make_shell(catalog)
+    shell.run_line("\\explain off")
+    shell.run_line("select dept.v, count(*) as n from dept group by dept.v")
+    text = out.getvalue()
+    assert "n=" in text
+
+
+def test_join_with_order_by(catalog):
+    shell, out = make_shell(catalog)
+    shell.run_line("\\explain off")
+    shell.run_line(
+        "select * from emp join dept on emp.k = dept.k order by emp.k"
+    )
+    assert "rows" in out.getvalue()
+
+
+def test_main_command_mode(capsys):
+    code = main(["-c", "select * from dept where dept.v <= 1", "--seed", "3"])
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "rows" in captured.out
