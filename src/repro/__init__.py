@@ -64,12 +64,14 @@ from repro.catalog import (
 )
 from repro.errors import (
     OptimizationFailedError,
+    OptionsError,
     ReproError,
+    ServiceError,
 )
 from repro.dynamic import DynamicPlan, Parameter, optimize_dynamic
 from repro.executor import execute_plan
 from repro.explain import explain, explain_plan
-from repro.exodus import ExodusOptimizer, ExodusOptions
+from repro.exodus import ExodusOptimizer, ExodusOptions, ExodusResult
 from repro.generator import (
     compile_and_load,
     generate_optimizer,
@@ -105,12 +107,22 @@ from repro.models import (
 )
 from repro.search import (
     OptimizationResult,
+    Optimizer,
+    PreoptimizedPlan,
     SearchOptions,
     TaskBasedOptimizer,
     VolcanoOptimizer,
 )
-from repro.sql import translate
-from repro.systemr import SystemROptimizer, SystemROptions
+from repro.service import (
+    CacheStats,
+    OptimizerService,
+    PlanCache,
+    ServedResult,
+    ServiceOptions,
+)
+from repro.sql import NormalizedQuery, normalize_literals, translate
+from repro.systemr import SystemROptimizer, SystemROptions, SystemRResult
+from repro.workloads import QueryGenerator, SharedWorkload, WorkloadOptions
 
 __version__ = "1.0.0"
 
@@ -136,7 +148,9 @@ __all__ = [
     "Schema",
     "TableStatistics",
     "OptimizationFailedError",
+    "OptionsError",
     "ReproError",
+    "ServiceError",
     "DynamicPlan",
     "Parameter",
     "optimize_dynamic",
@@ -145,6 +159,7 @@ __all__ = [
     "explain_plan",
     "ExodusOptimizer",
     "ExodusOptions",
+    "ExodusResult",
     "compile_and_load",
     "generate_optimizer",
     "generate_source",
@@ -173,11 +188,24 @@ __all__ = [
     "select",
     "setops_model",
     "OptimizationResult",
+    "Optimizer",
+    "PreoptimizedPlan",
     "SearchOptions",
     "TaskBasedOptimizer",
     "VolcanoOptimizer",
+    "CacheStats",
+    "OptimizerService",
+    "PlanCache",
+    "ServedResult",
+    "ServiceOptions",
+    "NormalizedQuery",
+    "normalize_literals",
     "translate",
     "SystemROptimizer",
     "SystemROptions",
+    "SystemRResult",
+    "QueryGenerator",
+    "SharedWorkload",
+    "WorkloadOptions",
     "__version__",
 ]

@@ -74,7 +74,7 @@ def _run_variants(sizes, queries_per_size, seed, workload, variants):
             for query in batch:
                 optimizer = VolcanoOptimizer(spec, query.catalog, options)
                 started = time.perf_counter()
-                result = optimizer.optimize(query.query, required=query.required)
+                result = optimizer.optimize(query.query, query.required)
                 times.append(time.perf_counter() - started)
                 costs.append(result.cost.total())
                 costings.append(
@@ -224,7 +224,7 @@ def glue_optimize(spec, catalog, query, required: PhysProps, options=None):
     """A3 helper: the Starburst-style two-step — optimize ignoring the
     required properties, then add 'glue' enforcers on top afterwards."""
     optimizer = VolcanoOptimizer(spec, catalog, options or SearchOptions(check_consistency=False))
-    result = optimizer.optimize(query, required=ANY_PROPS)
+    result = optimizer.optimize(query, ANY_PROPS)
     plan, cost = result.plan, result.cost
     if plan.properties.covers(required):
         return plan, cost
@@ -266,7 +266,7 @@ def run_glue_ablation(
             optimizer = VolcanoOptimizer(
                 spec, query.catalog, SearchOptions(check_consistency=False)
             )
-            directed = optimizer.optimize(query.query, required=query.required)
+            directed = optimizer.optimize(query.query, query.required)
             _, glued_cost = glue_optimize(
                 spec, query.catalog, query.query, query.required
             )
@@ -406,7 +406,7 @@ def run_setops_orders(row_counts: Sequence[int] = (2400, 4800, 7200)) -> Table:
             optimizer = VolcanoOptimizer(
                 spec, catalog, SearchOptions(check_consistency=False)
             )
-            costs[label] = optimizer.optimize(query, required=required).cost.total()
+            costs[label] = optimizer.optimize(query, required).cost.total()
         table.add_row(
             rows,
             costs["canonical"],

@@ -102,14 +102,14 @@ def run_figure4(config: Optional[Figure4Config] = None, progress=None) -> Figure
         ):
             volcano = VolcanoOptimizer(spec, query.catalog, config.volcano)
             started = time.perf_counter()
-            volcano_result = volcano.optimize(query.query, required=query.required)
+            volcano_result = volcano.optimize(query.query, query.required)
             volcano_times.append(time.perf_counter() - started)
             volcano_costs.append(volcano_result.cost.total())
             volcano_footprints.append(volcano_result.stats.memo_footprint())
 
             exodus = ExodusOptimizer(spec, query.catalog, config.exodus)
             started = time.perf_counter()
-            exodus_result = exodus.optimize(query.query, required=query.required)
+            exodus_result = exodus.optimize(query.query, query.required)
             elapsed = time.perf_counter() - started
             if exodus_result.aborted:
                 # "The data points in Figure 4 represent only those

@@ -37,6 +37,14 @@ class Catalog:
 
     The optimizer only reads from the catalog; workload generators and
     the data generator write to it.
+
+    Every mutation — registering, replacing, or dropping a table, or
+    updating its statistics — bumps a **monotonic statistics version**,
+    recorded globally and per table.  The version is what makes plans
+    cacheable across queries: a cached plan is valid exactly as long as
+    the versions of the tables it reads are unchanged, so the
+    :class:`~repro.service.OptimizerService` keys its cache on them and
+    needs no TTLs.
     """
 
     def __init__(self, page_size: int = DEFAULT_PAGE_SIZE):
@@ -44,6 +52,45 @@ class Catalog:
             raise CatalogError("page_size must be positive")
         self.page_size = page_size
         self._tables: Dict[str, TableEntry] = {}
+        self._version = 0
+        self._table_versions: Dict[str, int] = {}
+
+    # -- statistics versioning -------------------------------------------
+
+    @property
+    def statistics_version(self) -> int:
+        """The global monotonic version; bumped by every mutation."""
+        return self._version
+
+    def table_version(self, name: str) -> int:
+        """The version at which ``name`` last changed.
+
+        Raises :class:`UnknownTableError` for unregistered names.
+        """
+        if name not in self._tables:
+            raise UnknownTableError(name)
+        return self._table_versions[name]
+
+    def _bump(self, name: str) -> None:
+        self._version += 1
+        self._table_versions[name] = self._version
+
+    def update_statistics(self, name: str, statistics: TableStatistics) -> TableEntry:
+        """Replace a table's statistics in place (a stats mutation).
+
+        The table keeps its schema and rows; its version (and the global
+        statistics version) is bumped, invalidating any cached plans
+        that depend on it.
+        """
+        entry = self.table(name)
+        if entry.rows is not None and len(entry.rows) != int(statistics.row_count):
+            raise CatalogError(
+                f"table {name!r}: new statistics claim {statistics.row_count} "
+                f"rows but the table stores {len(entry.rows)} rows"
+            )
+        entry.statistics = statistics
+        self._bump(name)
+        return entry
 
     def add_table(
         self,
@@ -62,6 +109,7 @@ class Catalog:
             )
         entry = TableEntry(name=name, schema=schema, statistics=statistics, rows=rows)
         self._tables[name] = entry
+        self._bump(name)
         return entry
 
     def replace_table(
@@ -80,6 +128,8 @@ class Catalog:
         if name not in self._tables:
             raise UnknownTableError(name)
         del self._tables[name]
+        self._version += 1
+        del self._table_versions[name]
 
     def table(self, name: str) -> TableEntry:
         """Look up a table; unknown names raise UnknownTableError."""

@@ -293,7 +293,7 @@ def optimize_dynamic(
         optimizer = VolcanoOptimizer(
             spec, catalog, options or SearchOptions(), estimator=estimator
         )
-        result = optimizer.optimize(query, required=required)
+        result = optimizer.optimize(query, required)
         shape = result.plan.to_sexpr()
         existing = by_shape.get(shape)
         if existing is not None:

@@ -26,6 +26,8 @@ __all__ = [
     "SqlError",
     "MemoryLimitExceededError",
     "WorkloadError",
+    "OptionsError",
+    "ServiceError",
 ]
 
 
@@ -148,3 +150,11 @@ class MemoryLimitExceededError(SearchError):
 
 class WorkloadError(ReproError):
     """A workload generator was configured inconsistently."""
+
+
+class OptionsError(ReproError):
+    """An options block was constructed with invalid knob values."""
+
+
+class ServiceError(ReproError):
+    """The optimizer service (plan cache front-end) was misused."""

@@ -46,12 +46,14 @@ from repro.exodus.mesh import Mesh, MeshNode, MeshStats, PhysicalChoice
 from repro.model.context import OptimizerContext
 from repro.model.cost import Cost
 from repro.model.spec import AlgorithmNode, ModelSpecification
+from repro.options import OptionsBase, check_positive
+from repro.search.engine import OptimizationResult, _resolve_props
 
 __all__ = ["ExodusOptions", "ExodusResult", "ExodusOptimizer"]
 
 
-@dataclass(frozen=True)
-class ExodusOptions:
+@dataclass(frozen=True, kw_only=True)
+class ExodusOptions(OptionsBase):
     """Budgets and policies of the EXODUS baseline.
 
     ``node_budget``
@@ -70,14 +72,21 @@ class ExodusOptions:
     transformation_budget: Optional[int] = None
     best_effort: bool = True
 
+    def validate(self) -> None:
+        """Check field invariants; raise :class:`OptionsError` on failure."""
+        check_positive("node_budget", self.node_budget)
+        check_positive("transformation_budget", self.transformation_budget)
+
 
 @dataclass
-class ExodusResult:
-    """Outcome of one EXODUS optimization."""
+class ExodusResult(OptimizationResult):
+    """Outcome of one EXODUS optimization.
 
-    plan: PhysicalPlan
-    cost: Cost
-    stats: MeshStats
+    A plain :class:`~repro.search.OptimizationResult` (``stats`` holds
+    :class:`MeshStats`; there is no memo) extended with the prototype's
+    abort reporting.
+    """
+
     aborted: bool = False
     abort_reason: Optional[str] = None
 
@@ -119,12 +128,35 @@ class ExodusOptimizer:
     def optimize(
         self,
         query: LogicalExpression,
+        props: Optional[PhysProps] = None,
+        *,
+        options: Optional[ExodusOptions] = None,
         required: Optional[PhysProps] = None,
     ) -> ExodusResult:
-        """Optimize ``query``; ``required`` properties are glued on at the
+        """Optimize ``query``; ``props`` properties are glued on at the
         end (EXODUS had no property-driven search: "the ability to
         specify required physical properties and let these properties
-        drive the optimization process was entirely absent")."""
+        drive the optimization process was entirely absent").
+
+        Conforms to the :class:`~repro.search.Optimizer` protocol:
+        ``options`` overrides this instance's :class:`ExodusOptions` for
+        one call, and ``required=`` survives as a deprecation shim.
+        """
+        props = _resolve_props(props, required)
+        if options is None:
+            return self._optimize(query, props)
+        previous = self.options
+        self.options = options
+        try:
+            return self._optimize(query, props)
+        finally:
+            self.options = previous
+
+    def _optimize(
+        self,
+        query: LogicalExpression,
+        required: Optional[PhysProps],
+    ) -> ExodusResult:
         required = required if required is not None else self.spec.any_props
         started = time.perf_counter()
         stats = MeshStats()
@@ -159,6 +191,7 @@ class ExodusOptimizer:
         return ExodusResult(
             plan=plan,
             cost=plan.cost,
+            required=required,
             stats=stats,
             aborted=aborted,
             abort_reason=abort_reason,

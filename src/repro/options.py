@@ -1,0 +1,60 @@
+"""Shared machinery for optimizer option blocks.
+
+Every engine in this package is configured through a small frozen
+dataclass of knobs (:class:`~repro.search.SearchOptions`,
+:class:`~repro.exodus.ExodusOptions`,
+:class:`~repro.systemr.SystemROptions`,
+:class:`~repro.service.ServiceOptions`).  They share one contract,
+factored here:
+
+* **frozen and keyword-only** — an options object is a value; engines
+  may hold it across many optimizations without defensive copies, and
+  call sites stay readable because every knob is named;
+* **validated on construction** — ``__post_init__`` funnels every
+  options class through its :meth:`~OptionsBase.validate` hook, so a
+  bad knob fails at construction time with :class:`OptionsError`
+  instead of deep inside a search;
+* **updatable by replacement** — :meth:`~OptionsBase.replace` derives a
+  new options value with some fields changed (re-validated), the only
+  way to "mutate" one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import OptionsError
+
+__all__ = ["OptionsBase", "check_positive", "check_fraction"]
+
+
+def check_positive(name: str, value) -> None:
+    """Validation helper: ``value`` must be ``None`` or strictly positive."""
+    if value is not None and value <= 0:
+        raise OptionsError(f"{name} must be positive, got {value!r}")
+
+
+def check_fraction(name: str, value) -> None:
+    """Validation helper: ``value`` must be ``None`` or within [0, 1]."""
+    if value is not None and not 0.0 <= value <= 1.0:
+        raise OptionsError(f"{name} must be within [0, 1], got {value!r}")
+
+
+class OptionsBase:
+    """Base class for frozen, keyword-only option dataclasses.
+
+    Subclasses are declared ``@dataclass(frozen=True, kw_only=True)``
+    and override :meth:`validate` with their field invariants.
+    """
+
+    __slots__ = ()
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Check field invariants; raise :class:`OptionsError` on failure."""
+
+    def replace(self, **changes) -> "OptionsBase":
+        """A copy of these options with ``changes`` applied (re-validated)."""
+        return dataclasses.replace(self, **changes)

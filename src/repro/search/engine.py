@@ -28,6 +28,7 @@ from.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -46,6 +47,7 @@ from repro.model.cost import Cost, INFINITE_COST
 from repro.model.patterns import match_memo
 from repro.model.rules import ImplementationRule, TransformationRule
 from repro.model.spec import AlgorithmNode, EnforcerApplication, ModelSpecification
+from repro.options import OptionsBase, check_positive
 from repro.search.memo import GoalKey, Group, Memo, Winner
 from repro.search.tracing import SearchStats, Tracer
 
@@ -57,8 +59,29 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
-class SearchOptions:
+def _resolve_props(
+    props: Optional[PhysProps], required: Optional[PhysProps]
+) -> Optional[PhysProps]:
+    """Fold the deprecated ``required=`` keyword into ``props``.
+
+    Shared by every engine's :meth:`optimize` so the old call shape
+    keeps working while the unified protocol signature takes over.
+    """
+    if required is None:
+        return props
+    warnings.warn(
+        "the 'required' keyword of optimize() is deprecated; pass the "
+        "property vector positionally or as 'props'",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    if props is not None:
+        raise TypeError("pass either 'props' or the deprecated 'required', not both")
+    return required
+
+
+@dataclass(frozen=True, kw_only=True)
+class SearchOptions(OptionsBase):
     """Knobs of the search engine.
 
     The defaults give the paper's exhaustive directed dynamic
@@ -98,17 +121,33 @@ class SearchOptions:
     max_groups: Optional[int] = None
     trace: bool = False
 
+    def validate(self) -> None:
+        """Check field invariants; raise :class:`OptionsError` on failure."""
+        check_positive("max_groups", self.max_groups)
+
 
 @dataclass
 class OptimizationResult:
-    """What :meth:`VolcanoOptimizer.optimize` returns."""
+    """The common optimization outcome of every :class:`Optimizer`.
+
+    :class:`VolcanoOptimizer` and :class:`TaskBasedOptimizer` return it
+    directly (with a live memo);
+    :class:`~repro.exodus.ExodusResult` and
+    :class:`~repro.systemr.SystemRResult` subclass it, so any engine's
+    answer carries ``plan``, ``cost``, ``required``, and ``stats`` —
+    the contract the :class:`~repro.service.OptimizerService` and the
+    benchmarks rely on.  ``memo``/``root_group`` are only populated by
+    the memo-based engines; the harvesting helpers raise
+    :class:`~repro.errors.SearchError` without them.
+    """
 
     plan: PhysicalPlan
     cost: Cost
-    required: PhysProps
-    stats: SearchStats
-    memo: Memo
+    required: PhysProps = ANY_PROPS
+    stats: Optional[SearchStats] = None
+    memo: Optional[Memo] = None
     trace: Optional[str] = None
+    root_group: Optional[int] = None
 
     def __str__(self) -> str:
         return f"plan cost {self.cost}\n{self.plan.pretty()}"
@@ -131,6 +170,8 @@ class OptimizationResult:
         Raises :class:`~repro.errors.SearchError` when the class or the
         goal was never optimized in this run.
         """
+        if self.memo is None:
+            raise SearchError("this result carries no memo to harvest from")
         required = required if required is not None else ANY_PROPS
         gid = self.memo.insert_expression(subexpression)
         group = self.memo.group(gid)
@@ -146,6 +187,51 @@ class OptimizationResult:
             cost=winner.cost,
             required=required,
         )
+
+    def harvest_winners(
+        self, max_plans: Optional[int] = None
+    ) -> List["PreoptimizedPlan"]:
+        """Every memoized winner of this run, as reusable seeds.
+
+        The bulk counterpart of :meth:`harvest` and the persistence half
+        of the cross-query reuse hooks: a warm
+        :class:`~repro.service.OptimizerService` drains a finished run's
+        memo with this and seeds later searches over shared
+        subexpressions.  Only ordinary goals are exported (winners found
+        under an enforcer's *excluding* vector are valid solely in that
+        context); groups whose every expression is cyclic are skipped.
+        ``max_plans`` bounds the export (pre-order from the root, so the
+        full query's winner comes first).
+        """
+        if self.memo is None or self.root_group is None:
+            raise SearchError("this result carries no memo to harvest from")
+        seeds: List[PreoptimizedPlan] = []
+        for gid in self.memo.reachable(self.root_group):
+            group = self.memo.group(gid)
+            if not group.winners:
+                continue
+            try:
+                expression = self.memo.representative_expression(gid)
+            except SearchError:
+                continue
+            for (props, excluded), winner in group.winners.items():
+                if excluded is not None:
+                    continue
+                seeds.append(
+                    PreoptimizedPlan(
+                        expression=expression,
+                        plan=winner.plan,
+                        cost=winner.cost,
+                        required=props,
+                    )
+                )
+                if max_plans is not None and len(seeds) >= max_plans:
+                    if self.stats is not None:
+                        self.stats.winners_harvested += len(seeds)
+                    return seeds
+        if self.stats is not None:
+            self.stats.winners_harvested += len(seeds)
+        return seeds
 
 
 @dataclass(frozen=True)
@@ -220,26 +306,54 @@ class VolcanoOptimizer:
     def optimize(
         self,
         query: LogicalExpression,
-        required: Optional[PhysProps] = None,
+        props: Optional[PhysProps] = None,
+        *,
         limit: Cost = INFINITE_COST,
         preoptimized: Sequence["PreoptimizedPlan"] = (),
+        options: Optional[SearchOptions] = None,
+        required: Optional[PhysProps] = None,
     ) -> OptimizationResult:
-        """Find the cheapest plan for ``query`` delivering ``required``.
+        """Find the cheapest plan for ``query`` delivering ``props``.
+
+        This is the unified :class:`~repro.search.Optimizer` entry
+        point: ``props`` is the goal's physical property vector
+        (defaulting to the model's "any" vector) and ``options``
+        overrides this instance's :class:`SearchOptions` for this call
+        only.  ``required=`` is the deprecated pre-protocol spelling of
+        ``props`` and is kept as a shim.
 
         ``limit`` is the user-supplied cost limit of Figure 2 — "typically
         infinity for a user query, but the user interface may permit users
         to set their own limits to 'catch' unreasonable queries".
 
         ``preoptimized`` seeds the memo with trusted subplans (harvested
-        via :meth:`OptimizationResult.harvest`) before costing begins —
-        the Section 6 "longer-lived partial results" direction.  The
-        memo itself is still "reinitialized for each query being
+        via :meth:`OptimizationResult.harvest` /
+        :meth:`OptimizationResult.harvest_winners`) before costing
+        begins — the Section 6 "longer-lived partial results" direction.
+        The memo itself is still "reinitialized for each query being
         optimized", exactly as the paper says; only what the caller
         explicitly hands over survives.
 
         Raises :class:`OptimizationFailedError` when no plan satisfying
         the goal exists within the limit.
         """
+        props = _resolve_props(props, required)
+        if options is None:
+            return self._optimize(query, props, limit, preoptimized)
+        previous = self.options
+        self.options = options
+        try:
+            return self._optimize(query, props, limit, preoptimized)
+        finally:
+            self.options = previous
+
+    def _optimize(
+        self,
+        query: LogicalExpression,
+        required: Optional[PhysProps],
+        limit: Cost,
+        preoptimized: Sequence["PreoptimizedPlan"],
+    ) -> OptimizationResult:
         required = required if required is not None else self.spec.any_props
         started = time.perf_counter()
         stats = SearchStats()
@@ -279,6 +393,7 @@ class VolcanoOptimizer:
                 stats=stats,
                 memo=memo,
                 trace=tracer.render() if tracer.enabled else None,
+                root_group=memo.canonical(root),
             )
         finally:
             self._memo = self._context = None
@@ -297,9 +412,12 @@ class VolcanoOptimizer:
         self._explore_closure(root)
         for seed in preoptimized:
             gid = memo.insert_expression(seed.expression)
-            memo.group(gid).winners[(seed.required, None)] = Winner(
-                seed.plan, seed.cost
-            )
+            winners = memo.group(gid).winners
+            existing = winners.get((seed.required, None))
+            if existing is not None and existing.cost <= seed.cost:
+                continue
+            winners[(seed.required, None)] = Winner(seed.plan, seed.cost)
+            self._stats.seeds_planted += 1
 
     # ------------------------------------------------------------------
     # Logical exploration (transformation moves)

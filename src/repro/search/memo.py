@@ -435,6 +435,38 @@ class Memo:
 
     # -- extraction -------------------------------------------------------------
 
+    def representative_expression(
+        self, group_id: int, _path: Tuple[int, ...] = ()
+    ) -> LogicalExpression:
+        """A full logical expression tree representing a group.
+
+        Rebuilds a concrete :class:`LogicalExpression` by picking, for
+        the group and recursively for each input group, the first
+        member whose expansion does not revisit a group already on the
+        path (rule-derived self references would otherwise recurse
+        forever).  The first member is the earliest inserted one —
+        for the root that is the query's original form — which is the
+        form most likely to be re-derived by a later search, making
+        these trees good keys for cross-query winner reuse.
+
+        Raises :class:`~repro.errors.SearchError` when every member is
+        cyclic.
+        """
+        gid = self.canonical(group_id)
+        if gid in _path:
+            raise SearchError(f"group {gid} only has cyclic expressions")
+        path = _path + (gid,)
+        for mexpr in self.group(gid).expressions:
+            try:
+                inputs = tuple(
+                    self.representative_expression(input_gid, path)
+                    for input_gid in mexpr.input_groups
+                )
+            except SearchError:
+                continue
+            return LogicalExpression(mexpr.operator, mexpr.args, inputs)
+        raise SearchError(f"group {gid} has no representable expression")
+
     def render(self, root: Optional[int] = None) -> str:
         """Human-readable dump of (reachable) groups, for debugging."""
         gids = self.reachable(root) if root is not None else [

@@ -47,6 +47,9 @@ class SearchStats:
     inputs_abandoned: int = 0
     consistency_checks: int = 0
     exploration_passes: int = 0
+    # Cross-query reuse counters (the service's memo persistence hooks).
+    seeds_planted: int = 0
+    winners_harvested: int = 0
     # Wall-clock, filled in by the engine.
     elapsed_seconds: float = 0.0
 
@@ -71,6 +74,8 @@ class SearchStats:
             "inputs_abandoned": self.inputs_abandoned,
             "consistency_checks": self.consistency_checks,
             "exploration_passes": self.exploration_passes,
+            "seeds_planted": self.seeds_planted,
+            "winners_harvested": self.winners_harvested,
             "elapsed_seconds": self.elapsed_seconds,
         }
 

@@ -1,0 +1,30 @@
+"""The optimizer service: cross-query plan caching and memo reuse (S17).
+
+Fronts any :class:`~repro.search.Optimizer` with a fingerprint-keyed,
+statistics-version-invalidated LRU plan cache, parameterized caching of
+literal-normalized templates, and optional cross-query subplan seeding.
+See :mod:`repro.service.service` for the full story and
+``docs/plan-cache.md`` for a walkthrough.
+"""
+
+from repro.service.cache import CacheEntry, CacheStats, PlanCache
+from repro.service.fingerprint import Fingerprint, fingerprint, table_dependencies
+from repro.service.service import (
+    OptimizerService,
+    ServedResult,
+    ServiceOptions,
+    SubplanLibrary,
+)
+
+__all__ = [
+    "CacheEntry",
+    "CacheStats",
+    "PlanCache",
+    "Fingerprint",
+    "fingerprint",
+    "table_dependencies",
+    "OptimizerService",
+    "ServedResult",
+    "ServiceOptions",
+    "SubplanLibrary",
+]

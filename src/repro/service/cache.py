@@ -1,0 +1,174 @@
+"""The bounded, version-aware plan cache behind the optimizer service.
+
+A plain LRU mapping from :class:`~repro.service.fingerprint.Fingerprint`
+digests to cached plans, with two twists:
+
+* every entry remembers the per-table statistics versions it was built
+  under, so :meth:`PlanCache.purge_stale` can drop exactly the entries
+  whose tables have changed — no TTLs, no global flushes;
+* every operation is counted in :class:`CacheStats`, mirroring how the
+  search engine itself exposes :class:`~repro.search.SearchStats`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.algebra.plans import PhysicalPlan
+from repro.algebra.properties import PhysProps
+from repro.catalog.catalog import Catalog
+from repro.errors import ServiceError
+from repro.service.fingerprint import Fingerprint
+
+__all__ = ["CacheStats", "CacheEntry", "PlanCache"]
+
+
+@dataclass
+class CacheStats:
+    """Operation counters of one :class:`PlanCache`.
+
+    ``hits`` counts exact-fingerprint hits only; a lookup served from a
+    parameterized template counts under ``parameterized_hits`` (the
+    service tries exact first, then the template).  ``invalidations``
+    counts entries dropped because a table's statistics version moved,
+    ``evictions`` entries dropped by the LRU bound.
+    """
+
+    lookups: int = 0
+    hits: int = 0
+    misses: int = 0
+    parameterized_hits: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (either way)."""
+        if not self.lookups:
+            return 0.0
+        return (self.hits + self.parameterized_hits) / self.lookups
+
+    def as_dict(self) -> Dict[str, float]:
+        """The counters as a plain dict (for reports and assertions)."""
+        return {
+            "lookups": self.lookups,
+            "hits": self.hits,
+            "misses": self.misses,
+            "parameterized_hits": self.parameterized_hits,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_rate": self.hit_rate,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"{self.lookups} lookups, {self.hits} hits "
+            f"(+{self.parameterized_hits} parameterized), "
+            f"{self.misses} misses, {self.evictions} evictions, "
+            f"{self.invalidations} invalidations"
+        )
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One cached answer: the plan, its cost, and what it depends on."""
+
+    fingerprint: Fingerprint
+    plan: PhysicalPlan
+    cost: object
+    required: PhysProps
+    parameterized: bool = False
+
+
+@dataclass
+class PlanCache:
+    """An LRU plan cache keyed by fingerprint digest.
+
+    ``max_entries`` bounds the cache; inserting beyond it evicts the
+    least recently used entry.  Hits refresh recency.
+    """
+
+    max_entries: int = 512
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self):
+        if self.max_entries <= 0:
+            raise ServiceError("max_entries must be positive")
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, fingerprint: Fingerprint) -> bool:
+        return fingerprint.digest in self._entries
+
+    def get(self, fingerprint: Fingerprint) -> Optional[CacheEntry]:
+        """Look up an entry; counts a hit/miss and refreshes recency."""
+        self.stats.lookups += 1
+        entry = self._entries.get(fingerprint.digest)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(fingerprint.digest)
+        if entry.parameterized:
+            self.stats.parameterized_hits += 1
+        else:
+            self.stats.hits += 1
+        return entry
+
+    def put(self, entry: CacheEntry) -> None:
+        """Insert (or refresh) an entry, evicting LRU past the bound."""
+        digest = entry.fingerprint.digest
+        if digest in self._entries:
+            self._entries.move_to_end(digest)
+        self._entries[digest] = entry
+        self.stats.insertions += 1
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def purge_stale(self, catalog: Catalog) -> int:
+        """Drop every entry whose table versions no longer match.
+
+        Returns the number of entries invalidated.  An entry is stale
+        when any table it reads has been re-registered, dropped, or had
+        its statistics updated since the entry was cached — detected by
+        comparing the recorded per-table versions with the catalog's
+        current ones.  Entries over unchanged tables are untouched.
+        """
+        stale = []
+        for digest, entry in self._entries.items():
+            for name, version in zip(
+                entry.fingerprint.tables, entry.fingerprint.versions
+            ):
+                if name not in catalog or catalog.table_version(name) != version:
+                    stale.append(digest)
+                    break
+        for digest in stale:
+            del self._entries[digest]
+        self.stats.invalidations += len(stale)
+        return len(stale)
+
+    def invalidate_table(self, name: str) -> int:
+        """Drop every entry that reads ``name``; returns how many."""
+        stale = [
+            digest
+            for digest, entry in self._entries.items()
+            if name in entry.fingerprint.tables
+        ]
+        for digest in stale:
+            del self._entries[digest]
+        self.stats.invalidations += len(stale)
+        return len(stale)
+
+    def clear(self) -> None:
+        """Drop everything (counters are kept)."""
+        self._entries.clear()
+
+    def entries(self) -> Tuple[CacheEntry, ...]:
+        """A snapshot of the entries, LRU first."""
+        return tuple(self._entries.values())

@@ -1,0 +1,383 @@
+"""The optimizer service: cross-query plan caching over any engine.
+
+The paper optimizes each query from scratch — "the memo is
+reinitialized for each query being optimized."  Real systems front such
+an optimizer with a *plan cache*: the same (or a structurally
+equivalent) query should not pay for directed dynamic programming
+twice.  :class:`OptimizerService` is that front:
+
+* **exact caching** — a query's canonical fingerprint (normalized
+  logical expression + required physical properties + per-table
+  statistics versions) indexes a bounded LRU of finished plans;
+* **parameterized caching** — queries differing only in literal
+  constants share one entry when every replaced comparison lands in the
+  same selectivity bucket (:mod:`repro.sql.normalize`); the cached
+  template plan is re-bound to the new constants on a hit;
+* **invalidation by versioning** — every catalog mutation bumps a
+  monotonic statistics version, so stale entries can never be hit (the
+  fingerprint changes) and are swept out lazily on the next call;
+* **subplan reuse** — optionally, winners harvested from finished
+  memo-based runs seed later searches over shared subexpressions
+  (:meth:`~repro.search.OptimizationResult.harvest_winners` /
+  the engine's ``preoptimized=`` hook).
+
+The service programs against the :class:`~repro.search.Optimizer`
+protocol, so it wraps the Volcano engine, the task-driven engine, or
+either comparison baseline interchangeably.
+"""
+
+from __future__ import annotations
+
+import inspect
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.algebra.expressions import LogicalExpression
+from repro.algebra.plans import PhysicalPlan
+from repro.algebra.properties import ANY_PROPS, PhysProps
+from repro.catalog.catalog import Catalog
+from repro.dynamic import bind_plan
+from repro.errors import ServiceError
+from repro.options import OptionsBase, check_positive
+from repro.search.engine import OptimizationResult, PreoptimizedPlan
+from repro.service.cache import CacheEntry, CacheStats, PlanCache
+from repro.service.fingerprint import Fingerprint, fingerprint, table_dependencies
+from repro.sql.normalize import normalize_literals, parameterize_plan
+
+__all__ = ["ServiceOptions", "ServedResult", "SubplanLibrary", "OptimizerService"]
+
+
+@dataclass(frozen=True, kw_only=True)
+class ServiceOptions(OptionsBase):
+    """Policy knobs of an :class:`OptimizerService`.
+
+    ``max_entries``
+        LRU bound of the plan cache.
+    ``parameterized``
+        Also cache under the literal-normalized template, so queries
+        differing only in constants can share entries.  A parameterized
+        hit returns the template's plan re-bound to the new constants —
+        plan shape and cost are those of the cached optimization, which
+        agree exactly for equality predicates (selectivity is
+        value-independent) and approximately, within one selectivity
+        bucket, for range predicates.  Disable for byte-exact answers on
+        every hit.
+    ``selectivity_buckets``
+        How finely range-predicate selectivities are quantized; more
+        buckets mean fewer cross-literal hits but tighter cost fidelity.
+    ``reuse_subplans``
+        Harvest memoized winners from finished runs and seed later
+        searches that share subexpressions.  Costs stay optimal, but a
+        seeded search may break ties between equal-cost plans
+        differently than a cold one, so this defaults to off.
+    ``max_subplans``
+        Bound of the harvested-winner library.
+    ``max_seeds_per_query``
+        At most this many seeds are planted into any one search.
+    """
+
+    max_entries: int = 512
+    parameterized: bool = True
+    selectivity_buckets: int = 10
+    reuse_subplans: bool = False
+    max_subplans: int = 256
+    max_seeds_per_query: int = 32
+
+    def validate(self) -> None:
+        """Check field invariants; raise :class:`OptionsError` on failure."""
+        check_positive("max_entries", self.max_entries)
+        check_positive("selectivity_buckets", self.selectivity_buckets)
+        check_positive("max_subplans", self.max_subplans)
+        check_positive("max_seeds_per_query", self.max_seeds_per_query)
+
+
+@dataclass(frozen=True)
+class ServedResult:
+    """One answer from the service: the plan plus how it was produced.
+
+    ``cached`` is True when the plan came from the cache (``fresh``
+    otherwise); ``parameterized`` further marks template hits whose
+    literals were re-bound.  ``result`` carries the engine's full
+    :class:`~repro.search.OptimizationResult` for fresh answers and is
+    None for cache hits (the memo is not retained in the cache).
+    """
+
+    plan: PhysicalPlan
+    cost: object
+    required: PhysProps
+    fingerprint: Fingerprint
+    cached: bool
+    parameterized: bool = False
+    elapsed_seconds: float = 0.0
+    result: Optional[OptimizationResult] = None
+
+    def __str__(self) -> str:
+        source = "cache" if self.cached else "fresh"
+        if self.parameterized:
+            source += " (parameterized)"
+        return f"[{source}] plan cost {self.cost}\n{self.plan.pretty()}"
+
+
+@dataclass
+class SubplanLibrary:
+    """Harvested winners, keyed by (expression, goal), version-checked.
+
+    The persistence half of cross-query memo reuse: winners drained from
+    finished runs via
+    :meth:`~repro.search.OptimizationResult.harvest_winners` live here
+    until their tables' statistics move, and are re-planted (as
+    ``preoptimized=`` seeds) into searches whose queries read a
+    superset of their tables.
+    """
+
+    max_entries: int = 256
+
+    def __post_init__(self):
+        if self.max_entries <= 0:
+            raise ServiceError("max_entries must be positive")
+        self._seeds: "OrderedDict[Tuple, Tuple[PreoptimizedPlan, Tuple]]" = (
+            OrderedDict()
+        )
+
+    def __len__(self) -> int:
+        return len(self._seeds)
+
+    def add(self, seed: PreoptimizedPlan, catalog: Catalog) -> None:
+        """Store a harvested winner under the current table versions."""
+        tables = table_dependencies(seed.expression, catalog)
+        versions = tuple(
+            (name, catalog.table_version(name)) for name in tables
+        )
+        key = (seed.expression, seed.required)
+        if key in self._seeds:
+            self._seeds.move_to_end(key)
+        self._seeds[key] = (seed, versions)
+        while len(self._seeds) > self.max_entries:
+            self._seeds.popitem(last=False)
+
+    def seeds_for(
+        self,
+        query: LogicalExpression,
+        catalog: Catalog,
+        limit: Optional[int] = None,
+    ) -> List[PreoptimizedPlan]:
+        """Valid seeds whose tables the query also reads, freshest first."""
+        query_tables = set(table_dependencies(query, catalog))
+        matched: List[PreoptimizedPlan] = []
+        stale = []
+        for key, (seed, versions) in reversed(self._seeds.items()):
+            current = all(
+                name in catalog and catalog.table_version(name) == version
+                for name, version in versions
+            )
+            if not current:
+                stale.append(key)
+                continue
+            if not versions or not {name for name, _ in versions} <= query_tables:
+                continue
+            matched.append(seed)
+            if limit is not None and len(matched) >= limit:
+                break
+        for key in stale:
+            del self._seeds[key]
+        return matched
+
+    def clear(self) -> None:
+        """Drop every stored seed."""
+        self._seeds.clear()
+
+
+class OptimizerService:
+    """A caching front over any :class:`~repro.search.Optimizer`.
+
+    >>> service = OptimizerService(generate_optimizer(model, catalog))
+    >>> first = service.optimize(query)        # cold: runs the engine
+    >>> again = service.optimize(query)        # warm: served from cache
+    >>> again.cached and again.plan == first.plan
+    True
+    """
+
+    def __init__(
+        self,
+        optimizer,
+        options: Optional[ServiceOptions] = None,
+    ):
+        self.optimizer = optimizer
+        self.catalog: Catalog = optimizer.catalog
+        self.options = options or ServiceOptions()
+        self.cache = PlanCache(max_entries=self.options.max_entries)
+        self.subplans = SubplanLibrary(max_entries=self.options.max_subplans)
+        self._seen_version = self.catalog.statistics_version
+        parameters = inspect.signature(optimizer.optimize).parameters
+        self._engine_seeds = "preoptimized" in parameters
+
+    # ------------------------------------------------------------------
+
+    @property
+    def stats(self) -> CacheStats:
+        """The cache's operation counters."""
+        return self.cache.stats
+
+    def optimize(
+        self,
+        query: LogicalExpression,
+        props: Optional[PhysProps] = None,
+    ) -> ServedResult:
+        """Serve the cheapest plan for ``query``, from cache when possible.
+
+        Lookup order: exact fingerprint first (byte-identical answer),
+        then — when enabled — the literal-normalized template at the
+        query's selectivity bucket (plan re-bound to these literals).
+        A miss runs the wrapped engine and caches both forms.
+        """
+        props = props if props is not None else self._default_props()
+        started = time.perf_counter()
+        self._sweep_if_stale()
+
+        exact = fingerprint(query, props, self.catalog)
+        entry = self.cache.get(exact)
+        if entry is not None:
+            return ServedResult(
+                plan=entry.plan,
+                cost=entry.cost,
+                required=entry.required,
+                fingerprint=exact,
+                cached=True,
+                elapsed_seconds=time.perf_counter() - started,
+            )
+
+        normalized = None
+        template_key = None
+        if self.options.parameterized:
+            normalized = normalize_literals(
+                query, self.catalog, buckets=self.options.selectivity_buckets
+            )
+            if normalized.is_parameterized:
+                template_key = fingerprint(
+                    normalized.template,
+                    props,
+                    self.catalog,
+                    bucket_key=tuple(
+                        (op, bucket) for _, op, bucket in normalized.bucket_key
+                    ),
+                )
+                entry = self.cache.get(template_key)
+                if entry is not None:
+                    plan = bind_plan(entry.plan, normalized.bindings)
+                    return ServedResult(
+                        plan=plan,
+                        cost=entry.cost,
+                        required=entry.required,
+                        fingerprint=template_key,
+                        cached=True,
+                        parameterized=True,
+                        elapsed_seconds=time.perf_counter() - started,
+                    )
+
+        result = self._run_engine(query, props)
+        self._store(exact, template_key, normalized, result, props)
+        self._harvest(result)
+        return ServedResult(
+            plan=result.plan,
+            cost=result.cost,
+            required=result.required,
+            fingerprint=exact,
+            cached=False,
+            elapsed_seconds=time.perf_counter() - started,
+            result=result,
+        )
+
+    def optimize_sql(self, text: str) -> ServedResult:
+        """Translate a SQL statement and serve its plan."""
+        from repro.sql.translator import Translator
+
+        translation = Translator(self.catalog).translate(text)
+        return self.optimize(translation.expression, translation.required)
+
+    # ------------------------------------------------------------------
+
+    def invalidate(self, table: Optional[str] = None) -> int:
+        """Drop cached plans: those reading ``table``, or all stale ones."""
+        if table is not None:
+            self.subplans.clear()
+            return self.cache.invalidate_table(table)
+        dropped = self.cache.purge_stale(self.catalog)
+        self._seen_version = self.catalog.statistics_version
+        return dropped
+
+    def clear(self) -> None:
+        """Drop every cached plan and harvested subplan."""
+        self.cache.clear()
+        self.subplans.clear()
+
+    def __len__(self) -> int:
+        return len(self.cache)
+
+    # ------------------------------------------------------------------
+
+    def _default_props(self) -> PhysProps:
+        spec = getattr(self.optimizer, "spec", None)
+        return getattr(spec, "any_props", ANY_PROPS)
+
+    def _sweep_if_stale(self) -> None:
+        """Lazily drop entries invalidated by catalog mutations.
+
+        Cheap in the steady state: a single version comparison.  Only
+        when the catalog has actually moved does the sweep walk the
+        cache, and it drops exactly the entries whose tables changed.
+        """
+        version = self.catalog.statistics_version
+        if version != self._seen_version:
+            self.cache.purge_stale(self.catalog)
+            self._seen_version = version
+
+    def _run_engine(
+        self, query: LogicalExpression, props: PhysProps
+    ) -> OptimizationResult:
+        if self.options.reuse_subplans and self._engine_seeds:
+            seeds = self.subplans.seeds_for(
+                query, self.catalog, limit=self.options.max_seeds_per_query
+            )
+            if seeds:
+                return self.optimizer.optimize(query, props, preoptimized=seeds)
+        return self.optimizer.optimize(query, props)
+
+    def _store(
+        self,
+        exact: Fingerprint,
+        template_key: Optional[Fingerprint],
+        normalized,
+        result: OptimizationResult,
+        props: PhysProps,
+    ) -> None:
+        self.cache.put(
+            CacheEntry(
+                fingerprint=exact,
+                plan=result.plan,
+                cost=result.cost,
+                required=result.required,
+            )
+        )
+        if template_key is not None:
+            template_plan = parameterize_plan(result.plan, normalized.replacements)
+            self.cache.put(
+                CacheEntry(
+                    fingerprint=template_key,
+                    plan=template_plan,
+                    cost=result.cost,
+                    required=result.required,
+                    parameterized=True,
+                )
+            )
+
+    def _harvest(self, result: OptimizationResult) -> None:
+        if not self.options.reuse_subplans:
+            return
+        if getattr(result, "memo", None) is None or result.root_group is None:
+            return
+        for seed in result.harvest_winners(
+            max_plans=self.options.max_seeds_per_query
+        ):
+            self.subplans.add(seed, self.catalog)

@@ -1,6 +1,11 @@
 """SQL front-end: lexer, parser, translator to the logical algebra (S15)."""
 
 from repro.sql.lexer import Token, TokenType, tokenize
+from repro.sql.normalize import (
+    NormalizedQuery,
+    normalize_literals,
+    parameterize_plan,
+)
 from repro.sql.parser import (
     SelectStatement,
     SetStatement,
@@ -22,4 +27,7 @@ __all__ = [
     "Translation",
     "Translator",
     "translate",
+    "NormalizedQuery",
+    "normalize_literals",
+    "parameterize_plan",
 ]

@@ -97,7 +97,7 @@ class Shell:
         try:
             translation = self.translator.translate(text)
             result = self.optimizer.optimize(
-                translation.expression, required=translation.required
+                translation.expression, translation.required
             )
         except ReproError as error:
             self.write(f"error: {error}")

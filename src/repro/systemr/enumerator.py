@@ -34,12 +34,14 @@ from repro.errors import OptimizationFailedError, SearchError
 from repro.model.context import OptimizerContext
 from repro.model.cost import Cost
 from repro.model.spec import AlgorithmNode, ModelSpecification
+from repro.options import OptionsBase
+from repro.search.engine import OptimizationResult, _resolve_props
 
 __all__ = ["SystemROptions", "SystemRStats", "SystemRResult", "SystemROptimizer", "decompose_join_query"]
 
 
-@dataclass(frozen=True)
-class SystemROptions:
+@dataclass(frozen=True, kw_only=True)
+class SystemROptions(OptionsBase):
     """Enumeration policy.
 
     ``bushy``
@@ -66,10 +68,8 @@ class SystemRStats:
 
 
 @dataclass
-class SystemRResult:
-    plan: PhysicalPlan
-    cost: Cost
-    stats: SystemRStats
+class SystemRResult(OptimizationResult):
+    """A bottom-up enumeration outcome; ``stats`` holds :class:`SystemRStats`."""
 
 
 def decompose_join_query(
@@ -124,9 +124,33 @@ class SystemROptimizer:
     def optimize(
         self,
         query: LogicalExpression,
-        required: PhysProps = ANY_PROPS,
+        props: Optional[PhysProps] = None,
+        *,
+        options: Optional[SystemROptions] = None,
+        required: Optional[PhysProps] = None,
     ) -> SystemRResult:
-        """Bottom-up DP over the query's relations; returns the best plan."""
+        """Bottom-up DP over the query's relations; returns the best plan.
+
+        Conforms to the :class:`~repro.search.Optimizer` protocol:
+        ``options`` overrides this instance's :class:`SystemROptions`
+        for one call; ``required=`` survives as a deprecation shim.
+        """
+        props = _resolve_props(props, required)
+        if options is None:
+            return self._optimize(query, props)
+        previous = self.options
+        self.options = options
+        try:
+            return self._optimize(query, props)
+        finally:
+            self.options = previous
+
+    def _optimize(
+        self,
+        query: LogicalExpression,
+        required: Optional[PhysProps],
+    ) -> SystemRResult:
+        required = required if required is not None else ANY_PROPS
         started = time.perf_counter()
         stats = SystemRStats()
         context = OptimizerContext(self.spec, self.catalog)
@@ -181,7 +205,9 @@ class SystemROptimizer:
             )
         best = self._pick_final(context, final, props[all_indices], required)
         stats.elapsed_seconds = time.perf_counter() - started
-        return SystemRResult(plan=best.plan, cost=best.cost, stats=stats)
+        return SystemRResult(
+            plan=best.plan, cost=best.cost, required=required, stats=stats
+        )
 
     # ------------------------------------------------------------------
 

@@ -3,7 +3,8 @@
 from repro.workloads.generator import (
     GeneratedQuery,
     QueryGenerator,
+    SharedWorkload,
     WorkloadOptions,
 )
 
-__all__ = ["GeneratedQuery", "QueryGenerator", "WorkloadOptions"]
+__all__ = ["GeneratedQuery", "QueryGenerator", "SharedWorkload", "WorkloadOptions"]

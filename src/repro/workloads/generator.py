@@ -28,7 +28,7 @@ from repro.catalog.statistics import ColumnStatistics, TableStatistics
 from repro.errors import WorkloadError
 from repro.models.relational import get, join, select
 
-__all__ = ["WorkloadOptions", "GeneratedQuery", "QueryGenerator"]
+__all__ = ["WorkloadOptions", "GeneratedQuery", "SharedWorkload", "QueryGenerator"]
 
 PAPER_MIN_ROWS = 1200
 PAPER_MAX_ROWS = 7200
@@ -87,6 +87,28 @@ class GeneratedQuery:
     table_names: List[str]
 
 
+@dataclass
+class SharedWorkload:
+    """A query stream over one shared database.
+
+    :meth:`QueryGenerator.generate` gives every query its own catalog —
+    right for measuring the optimizer in isolation, wrong for exercising
+    anything *cross-query* (the plan cache, subplan reuse).  A shared
+    workload fixes the database once and draws every query's relations
+    from it, so repeated and overlapping queries actually share tables,
+    statistics, and fingerprints.
+    """
+
+    catalog: Catalog
+    queries: List[GeneratedQuery]
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+
 class QueryGenerator:
     """Deterministic random query generator (one RNG stream per seed)."""
 
@@ -105,7 +127,79 @@ class QueryGenerator:
         names = [f"t{i}" for i in range(n_relations)]
         for name in names:
             self._add_table(catalog, name, rng)
+        expression, required = self._build_query(catalog, names, rng)
+        return GeneratedQuery(
+            catalog=catalog,
+            query=expression,
+            required=required,
+            n_relations=n_relations,
+            seed=seed,
+            table_names=names,
+        )
 
+    def generate_batch(
+        self, n_relations: int, count: int, seed: int = 0
+    ) -> List[GeneratedQuery]:
+        """``count`` queries at one complexity level (50 in the paper)."""
+        return [
+            self.generate(n_relations, seed * 1_000_003 + index)
+            for index in range(count)
+        ]
+
+    def generate_shared(
+        self,
+        count: int,
+        seed: int = 0,
+        n_tables: int = 8,
+        relations: Tuple[int, int] = (2, 8),
+    ) -> SharedWorkload:
+        """``count`` queries over one shared ``n_tables``-table database.
+
+        Each query draws between ``relations[0]`` and ``relations[1]``
+        (capped at ``n_tables``) distinct relations from the shared
+        catalog and joins them along a spanning tree per the configured
+        shape.  Because the tables are shared, structurally identical
+        queries recur — differing (if at all) only in their selection
+        thresholds — which is exactly the stream a cross-query plan
+        cache is built for.
+        """
+        if count < 1:
+            raise WorkloadError("a workload needs at least one query")
+        if n_tables < 1:
+            raise WorkloadError("a shared workload needs at least one table")
+        low, high = relations
+        if low < 1 or low > high:
+            raise WorkloadError(f"bad relations range {relations!r}")
+        rng = random.Random(f"workload-shared:{seed}:{n_tables}")
+        catalog = Catalog()
+        names = [f"t{i}" for i in range(n_tables)]
+        for name in names:
+            self._add_table(catalog, name, rng)
+        queries = []
+        for index in range(count):
+            query_rng = random.Random(f"workload-shared:{seed}:query:{index}")
+            n_relations = query_rng.randint(low, min(high, n_tables))
+            chosen = sorted(query_rng.sample(names, n_relations))
+            expression, required = self._build_query(catalog, chosen, query_rng)
+            queries.append(
+                GeneratedQuery(
+                    catalog=catalog,
+                    query=expression,
+                    required=required,
+                    n_relations=n_relations,
+                    seed=index,
+                    table_names=chosen,
+                )
+            )
+        return SharedWorkload(catalog=catalog, queries=queries)
+
+    # ------------------------------------------------------------------
+
+    def _build_query(
+        self, catalog: Catalog, names: List[str], rng: random.Random
+    ) -> Tuple[LogicalExpression, PhysProps]:
+        """A select–join query over ``names``, joined per the shape."""
+        options = self.options
         # Per-relation input expressions (selections per the paper).
         leaves = {}
         for name in names:
@@ -136,25 +230,7 @@ class QueryGenerator:
             table = rng.choice(names)
             key = rng.choice(("a", "b"))
             required = sorted_on(f"{table}.{key}")
-        return GeneratedQuery(
-            catalog=catalog,
-            query=expression,
-            required=required,
-            n_relations=n_relations,
-            seed=seed,
-            table_names=names,
-        )
-
-    def generate_batch(
-        self, n_relations: int, count: int, seed: int = 0
-    ) -> List[GeneratedQuery]:
-        """``count`` queries at one complexity level (50 in the paper)."""
-        return [
-            self.generate(n_relations, seed * 1_000_003 + index)
-            for index in range(count)
-        ]
-
-    # ------------------------------------------------------------------
+        return expression, required
 
     def _add_table(self, catalog: Catalog, name: str, rng: random.Random) -> None:
         options = self.options

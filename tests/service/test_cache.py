@@ -1,0 +1,118 @@
+"""Tests for the version-aware LRU plan cache."""
+
+import pytest
+
+from repro.algebra.plans import PhysicalPlan
+from repro.algebra.properties import ANY_PROPS
+from repro.errors import ServiceError
+from repro.models.relational import get
+from repro.service import CacheEntry, PlanCache, fingerprint
+
+from tests.helpers import make_catalog
+
+
+def entry_for(catalog, name, parameterized=False):
+    key = fingerprint(get(name), ANY_PROPS, catalog)
+    plan = PhysicalPlan("file_scan", (name, name))
+    return CacheEntry(
+        fingerprint=key,
+        plan=plan,
+        cost=1.0,
+        required=ANY_PROPS,
+        parameterized=parameterized,
+    )
+
+
+@pytest.fixture
+def catalog():
+    return make_catalog([(f"t{i}", 100) for i in range(8)])
+
+
+def test_get_put_roundtrip(catalog):
+    cache = PlanCache(max_entries=4)
+    entry = entry_for(catalog, "t0")
+    assert cache.get(entry.fingerprint) is None
+    cache.put(entry)
+    assert cache.get(entry.fingerprint) is entry
+    assert cache.stats.lookups == 2
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+
+
+def test_lru_eviction_respects_bound(catalog):
+    cache = PlanCache(max_entries=3)
+    entries = [entry_for(catalog, f"t{i}") for i in range(5)]
+    for entry in entries:
+        cache.put(entry)
+    assert len(cache) == 3
+    assert cache.stats.evictions == 2
+    # The two oldest were evicted; the three newest remain.
+    assert cache.get(entries[0].fingerprint) is None
+    assert cache.get(entries[1].fingerprint) is None
+    assert cache.get(entries[4].fingerprint) is entries[4]
+
+
+def test_hits_refresh_recency(catalog):
+    cache = PlanCache(max_entries=2)
+    first, second, third = (entry_for(catalog, f"t{i}") for i in range(3))
+    cache.put(first)
+    cache.put(second)
+    cache.get(first.fingerprint)  # first is now the most recent
+    cache.put(third)
+    assert cache.get(second.fingerprint) is None
+    assert cache.get(first.fingerprint) is first
+
+
+def test_parameterized_hits_counted_separately(catalog):
+    cache = PlanCache(max_entries=4)
+    entry = entry_for(catalog, "t0", parameterized=True)
+    cache.put(entry)
+    cache.get(entry.fingerprint)
+    assert cache.stats.parameterized_hits == 1
+    assert cache.stats.hits == 0
+
+
+def test_purge_stale_drops_exactly_affected_entries(catalog):
+    cache = PlanCache(max_entries=8)
+    entries = {name: entry_for(catalog, name) for name in ("t0", "t1", "t2")}
+    for entry in entries.values():
+        cache.put(entry)
+    catalog.update_statistics("t1", catalog.table("t1").statistics)
+    dropped = cache.purge_stale(catalog)
+    assert dropped == 1
+    assert cache.stats.invalidations == 1
+    assert cache.get(entries["t1"].fingerprint) is None
+    assert cache.get(entries["t0"].fingerprint) is entries["t0"]
+    assert cache.get(entries["t2"].fingerprint) is entries["t2"]
+
+
+def test_purge_stale_drops_entries_of_dropped_tables(catalog):
+    cache = PlanCache(max_entries=8)
+    entry = entry_for(catalog, "t3")
+    cache.put(entry)
+    catalog.drop_table("t3")
+    assert cache.purge_stale(catalog) == 1
+    assert len(cache) == 0
+
+
+def test_invalidate_table(catalog):
+    cache = PlanCache(max_entries=8)
+    for name in ("t0", "t1"):
+        cache.put(entry_for(catalog, name))
+    assert cache.invalidate_table("t0") == 1
+    assert len(cache) == 1
+
+
+def test_bound_must_be_positive():
+    with pytest.raises(ServiceError):
+        PlanCache(max_entries=0)
+
+
+def test_hit_rate(catalog):
+    cache = PlanCache(max_entries=4)
+    entry = entry_for(catalog, "t0")
+    cache.put(entry)
+    cache.get(entry.fingerprint)
+    cache.get(entry_for(catalog, "t1").fingerprint)
+    assert cache.stats.hit_rate == pytest.approx(0.5)
+    assert cache.stats.as_dict()["hits"] == 1

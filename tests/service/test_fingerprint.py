@@ -1,0 +1,64 @@
+"""Tests for the canonical plan-cache fingerprint."""
+
+from repro.algebra.properties import ANY_PROPS, sorted_on
+from repro.models.relational import get, join, select
+from repro.algebra.predicates import Comparison, ComparisonOp, col, eq, lit
+from repro.service import fingerprint, table_dependencies
+
+from tests.helpers import make_catalog
+
+
+def query(value=5):
+    return join(
+        select(
+            get("r"), Comparison(ComparisonOp.LE, col("r.v"), lit(value))
+        ),
+        get("s"),
+        eq("r.k", "s.k"),
+    )
+
+
+def test_table_dependencies_sorted_unique():
+    catalog = make_catalog([("s", 100), ("r", 100)])
+    assert table_dependencies(query(), catalog) == ("r", "s")
+
+
+def test_unknown_tables_are_ignored():
+    catalog = make_catalog([("r", 100)])
+    assert table_dependencies(query(), catalog) == ("r",)
+
+
+def test_fingerprint_is_deterministic():
+    catalog = make_catalog([("r", 100), ("s", 100)])
+    first = fingerprint(query(), ANY_PROPS, catalog)
+    second = fingerprint(query(), ANY_PROPS, catalog)
+    assert first == second
+    assert first.tables == ("r", "s")
+
+
+def test_fingerprint_distinguishes_literals_props_and_buckets():
+    catalog = make_catalog([("r", 100), ("s", 100)])
+    base = fingerprint(query(5), ANY_PROPS, catalog)
+    assert fingerprint(query(6), ANY_PROPS, catalog).digest != base.digest
+    assert fingerprint(query(5), sorted_on("r.k"), catalog).digest != base.digest
+    assert (
+        fingerprint(query(5), ANY_PROPS, catalog, bucket_key=(("<=", 3),)).digest
+        != base.digest
+    )
+
+
+def test_fingerprint_changes_with_statistics_version():
+    catalog = make_catalog([("r", 100), ("s", 100)])
+    before = fingerprint(query(), ANY_PROPS, catalog)
+    entry = catalog.table("r")
+    catalog.update_statistics("r", entry.statistics)
+    after = fingerprint(query(), ANY_PROPS, catalog)
+    assert before.digest != after.digest
+    assert before.versions != after.versions
+
+
+def test_fingerprint_unaffected_by_other_tables():
+    catalog = make_catalog([("r", 100), ("s", 100), ("t", 100)])
+    before = fingerprint(query(), ANY_PROPS, catalog)
+    catalog.update_statistics("t", catalog.table("t").statistics)
+    assert fingerprint(query(), ANY_PROPS, catalog) == before

@@ -1,0 +1,121 @@
+"""Tests for literal normalization and plan parameterization."""
+
+import pytest
+
+from repro.algebra.predicates import (
+    Comparison,
+    ComparisonOp,
+    Conjunction,
+    col,
+    eq,
+    lit,
+)
+from repro.dynamic import Parameter, bind_plan
+from repro.models.relational import get, join, relational_model, select
+from repro.search import VolcanoOptimizer
+from repro.sql.normalize import normalize_literals, parameterize_plan
+
+from tests.helpers import make_catalog
+
+
+def le(column, value):
+    return Comparison(ComparisonOp.LE, col(column), lit(value))
+
+
+def query_with_threshold(value):
+    return join(
+        select(get("r"), le("r.v", value)),
+        get("s"),
+        eq("r.k", "s.k"),
+    )
+
+
+@pytest.fixture
+def catalog():
+    return make_catalog([("r", 1200), ("s", 2400)])
+
+
+def test_literals_become_parameters(catalog):
+    normalized = normalize_literals(query_with_threshold(5), catalog)
+    assert normalized.is_parameterized
+    assert normalized.bindings == {"p0": 5}
+    parameters = [
+        scalar
+        for node in normalized.template.walk()
+        for arg in node.args
+        if isinstance(arg, Comparison)
+        for scalar in (arg.left, arg.right)
+        if isinstance(scalar, Parameter)
+    ]
+    assert [p.name for p in parameters] == ["p0"]
+
+
+def test_join_predicates_are_not_parameterized(catalog):
+    normalized = normalize_literals(query_with_threshold(5), catalog)
+    joins = [n for n in normalized.template.walk() if n.operator == "join"]
+    assert joins[0].args[0] == eq("r.k", "s.k")
+
+
+def test_same_structure_shares_template_and_names(catalog):
+    first = normalize_literals(query_with_threshold(5), catalog)
+    second = normalize_literals(query_with_threshold(6), catalog)
+    assert first.template == second.template
+    assert first.bindings != second.bindings
+
+
+def test_equality_literals_bucket_identically(catalog):
+    def q(value):
+        return select(get("r"), eq("r.v", value))
+
+    first = normalize_literals(q(3), catalog)
+    second = normalize_literals(q(17), catalog)
+    # System R prices col = literal at 1/distinct regardless of the value.
+    assert first.bucket_key == second.bucket_key
+    assert first.template == second.template
+
+
+def test_range_literals_bucket_by_range_fraction(catalog):
+    # r.v spans 0..19 (value_distinct=20): 1 and 19 cut it very differently.
+    narrow = normalize_literals(query_with_threshold(1), catalog)
+    wide = normalize_literals(query_with_threshold(19), catalog)
+    assert narrow.template == wide.template
+    assert narrow.bucket_key != wide.bucket_key
+
+
+def test_unparameterized_query_normalizes_to_itself(catalog):
+    query = join(get("r"), get("s"), eq("r.k", "s.k"))
+    normalized = normalize_literals(query, catalog)
+    assert not normalized.is_parameterized
+    assert normalized.template == query
+    assert normalized.bucket_key == ()
+
+
+def test_duplicate_comparisons_share_one_parameter(catalog):
+    predicate = Conjunction((le("r.v", 7), eq("r.k", 3)))
+    query = select(select(get("r"), predicate), le("r.v", 7))
+    normalized = normalize_literals(query, catalog)
+    # le("r.v", 7) occurs twice but binds a single parameter.
+    assert len(normalized.bindings) == 2
+
+
+def test_parameterize_then_bind_is_exact_round_trip(catalog):
+    spec = relational_model()
+    query = query_with_threshold(5)
+    normalized = normalize_literals(query, catalog)
+    result = VolcanoOptimizer(spec, catalog).optimize(query)
+    template = parameterize_plan(result.plan, normalized.replacements)
+    assert template != result.plan  # the literal was actually lifted
+    assert bind_plan(template, normalized.bindings) == result.plan
+
+
+def test_template_plan_rebinds_to_other_literals(catalog):
+    spec = relational_model()
+    optimizer = VolcanoOptimizer(spec, catalog)
+    first = normalize_literals(query_with_threshold(5), catalog)
+    second = normalize_literals(query_with_threshold(6), catalog)
+    template = parameterize_plan(
+        optimizer.optimize(query_with_threshold(5)).plan, first.replacements
+    )
+    rebound = bind_plan(template, second.bindings)
+    cold = optimizer.optimize(query_with_threshold(6)).plan
+    assert rebound.to_sexpr() == cold.to_sexpr()
