@@ -78,6 +78,13 @@ from repro.generator import (
     generate_source,
     lint_specification,
 )
+from repro.lint import (
+    Diagnostic,
+    LintReport,
+    MemoAuditor,
+    Severity,
+    lint_spec,
+)
 from repro.model import (
     INFINITE_COST,
     AlgorithmDef,
@@ -164,6 +171,11 @@ __all__ = [
     "generate_optimizer",
     "generate_source",
     "lint_specification",
+    "Diagnostic",
+    "LintReport",
+    "MemoAuditor",
+    "Severity",
+    "lint_spec",
     "INFINITE_COST",
     "AlgorithmDef",
     "AnyPattern",

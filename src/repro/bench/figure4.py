@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from repro.exodus import ExodusOptimizer, ExodusOptions
+from repro.lint.invariants import MemoAuditor
 from repro.models.relational import relational_model
 from repro.search import SearchOptions, VolcanoOptimizer
 from repro.bench.reporting import Table, geometric_mean, render_log_chart
@@ -58,6 +59,10 @@ class Figure4Config:
     volcano: SearchOptions = field(
         default_factory=lambda: SearchOptions(check_consistency=False)
     )
+    # Audit every solved memo with repro.lint's MemoAuditor.  Cheap
+    # relative to the search itself, and it turns the benchmark into a
+    # soak test of the search invariants.
+    audit_memos: bool = True
 
 
 @dataclass
@@ -74,6 +79,7 @@ class Figure4Row:
     exodus_aborts: int
     volcano_footprint: float            # memo groups + expressions (mean)
     exodus_footprint: Optional[float]   # MESH logical+physical (mean)
+    audit_violations: int = 0           # MemoAuditor findings (should be 0)
 
 
 @dataclass
@@ -97,10 +103,13 @@ def run_figure4(config: Optional[Figure4Config] = None, progress=None) -> Figure
         exodus_footprints: List[float] = []
         ratios: List[float] = []
         aborts = 0
+        auditor = MemoAuditor() if config.audit_memos else None
         for query in generator.generate_batch(
             size, config.queries_per_size, seed=config.seed
         ):
             volcano = VolcanoOptimizer(spec, query.catalog, config.volcano)
+            if auditor is not None:
+                auditor.attach(volcano)
             started = time.perf_counter()
             volcano_result = volcano.optimize(query.query, query.required)
             volcano_times.append(time.perf_counter() - started)
@@ -136,6 +145,7 @@ def run_figure4(config: Optional[Figure4Config] = None, progress=None) -> Figure
             exodus_footprint=(
                 statistics.mean(exodus_footprints) if exodus_footprints else None
             ),
+            audit_violations=len(auditor.violations) if auditor else 0,
         )
         result.rows.append(row)
         if progress is not None:
@@ -148,7 +158,15 @@ def run_figure4(config: Optional[Figure4Config] = None, progress=None) -> Figure
                     else "all aborted"
                 )
                 + f", aborts {aborts}/{config.queries_per_size}"
+                + (
+                    f", AUDIT VIOLATIONS {row.audit_violations}"
+                    if row.audit_violations
+                    else ""
+                )
             )
+            if auditor is not None:
+                for violation in auditor.violations:
+                    progress("  " + violation.render())
     return result
 
 
@@ -184,6 +202,12 @@ def render_figure4(result: Figure4Result) -> str:
     table.add_note(
         "EXODUS columns average only completed optimizations, as in the paper."
     )
+    total_violations = sum(row.audit_violations for row in result.rows)
+    if result.config.audit_memos:
+        table.add_note(
+            f"Memo invariant audit (repro.lint): {total_violations} "
+            "violation(s) across all runs."
+        )
     memory = Table(
         "Figure 4 (text) — Memory: memo vs. MESH footprint (nodes)",
         ["relations", "volcano memo", "exodus MESH", "ratio"],
@@ -235,7 +259,8 @@ def figure4_to_csv(result: Figure4Result) -> str:
     """The experiment's rows as CSV (for external plotting tools)."""
     lines = [
         "n_relations,queries,volcano_ms,exodus_ms,volcano_cost,exodus_cost,"
-        "quality_ratio,exodus_aborts,volcano_footprint,exodus_footprint"
+        "quality_ratio,exodus_aborts,volcano_footprint,exodus_footprint,"
+        "audit_violations"
     ]
     for row in result.rows:
         cells = [
@@ -249,6 +274,7 @@ def figure4_to_csv(result: Figure4Result) -> str:
             row.exodus_aborts,
             round(row.volcano_footprint, 1),
             round(row.exodus_footprint, 1) if row.exodus_footprint is not None else "",
+            row.audit_violations,
         ]
         lines.append(",".join(str(cell) for cell in cells))
     return "\n".join(lines) + "\n"

@@ -328,11 +328,12 @@ class ExodusOptimizer:
     def _implicit_enforcer_cost(self, child: MeshNode, requirement) -> Optional[Cost]:
         """Cost of enforcing ``requirement`` on a child, folded in as EXODUS did."""
         context = self._context
-        for enforcer in self.spec.enforcers.values():
-            for application in enforcer.enforce(context, requirement, child.props):
-                if application.delivered.covers(requirement):
-                    node = AlgorithmNode(application.args, child.props, (child.props,))
-                    return enforcer.cost(context, node)
+        for name, enforcer in self.spec.enforcers.items():
+            for application in self.spec.enforcer_applications(
+                name, context, requirement, child.props
+            ):
+                node = AlgorithmNode(application.args, child.props, (child.props,))
+                return enforcer.cost(context, node)
         return None
 
     # ------------------------------------------------------------------
@@ -466,9 +467,9 @@ class ExodusOptimizer:
             mesh.nodes[input_id].props if input_id is not None else node.props
         )
         for enforcer_name, enforcer in self.spec.enforcers.items():
-            for application in enforcer.enforce(context, requirement, props):
-                if not application.delivered.covers(requirement):
-                    continue
+            for application in self.spec.enforcer_applications(
+                enforcer_name, context, requirement, props
+            ):
                 algorithm_node = AlgorithmNode(application.args, props, (props,))
                 cost = enforcer.cost(context, algorithm_node)
                 return PhysicalPlan(

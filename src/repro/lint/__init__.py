@@ -1,0 +1,44 @@
+"""Static analysis and runtime auditing for optimizer model specifications.
+
+The optimizer generator's input — the paper's ten-item model
+specification — is executable data: rules carry arbitrary condition and
+rewrite code, the cost type is an abstract data type, and enforcers are
+free functions.  Mistakes in any of them surface as silently wrong plans
+or non-terminating searches, usually far from the defective definition.
+This package front-loads that debugging:
+
+:func:`~repro.lint.analyzer.lint_spec`
+    Statically checks a :class:`~repro.model.spec.ModelSpecification` —
+    well-formedness, implementation coverage, enforcer completeness,
+    termination heuristics, cost-ADT algebra — and returns a
+    :class:`~repro.lint.diagnostics.LintReport` of coded diagnostics.
+:class:`~repro.lint.invariants.MemoAuditor`
+    Attaches to any memo-based engine and verifies, after each search,
+    that the solved memo satisfies the Volcano invariants (winner
+    optimality and goal satisfaction, acyclic merges, monotonic costs,
+    honest failure records).
+
+``python -m repro.lint --all`` lints every bundled model; see
+:mod:`repro.lint.cli`.
+"""
+
+from repro.lint.analyzer import lint_spec, probe_context
+from repro.lint.diagnostics import (
+    CODE_REGISTRY,
+    CodeInfo,
+    Diagnostic,
+    LintReport,
+    Severity,
+)
+from repro.lint.invariants import MemoAuditor
+
+__all__ = [
+    "lint_spec",
+    "probe_context",
+    "CODE_REGISTRY",
+    "CodeInfo",
+    "Diagnostic",
+    "LintReport",
+    "Severity",
+    "MemoAuditor",
+]

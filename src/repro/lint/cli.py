@@ -1,0 +1,155 @@
+"""Command-line entry point: ``python -m repro.lint``.
+
+Lints the bundled model specifications (``--all``) and/or
+user-supplied ones named as ``module:callable`` (the callable must
+return a :class:`~repro.model.spec.ModelSpecification`; a module path
+alone is accepted when the module exposes a module-level ``spec`` or a
+zero-argument ``model``/``build`` function).
+
+Exit status: 0 when every linted model is clean at the failing
+severity, 1 when any model has errors (or warnings under ``--strict``),
+2 on usage or load problems.  Info diagnostics never fail a run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.lint.analyzer import lint_spec
+from repro.lint.diagnostics import CODE_REGISTRY, LintReport
+from repro.model.spec import ModelSpecification
+
+__all__ = ["main", "bundled_models"]
+
+
+def bundled_models() -> List[Tuple[str, Callable[[], ModelSpecification]]]:
+    """The model builders shipped in :mod:`repro.models`."""
+    from repro.models import (
+        aggregate_model,
+        oodb_model,
+        parallel_relational_model,
+        relational_model,
+        setops_model,
+    )
+
+    return [
+        ("relational", relational_model),
+        ("setops", setops_model),
+        ("parallel", parallel_relational_model),
+        ("oodb", oodb_model),
+        ("aggregates", aggregate_model),
+    ]
+
+
+_FALLBACK_ATTRIBUTES = ("spec", "model", "build")
+
+
+def load_spec(target: str) -> ModelSpecification:
+    """Resolve ``module:callable`` (or bare module) to a specification."""
+    module_name, _, attribute = target.partition(":")
+    module = importlib.import_module(module_name)
+    if attribute:
+        candidates = [attribute]
+    else:
+        candidates = [
+            name for name in _FALLBACK_ATTRIBUTES if hasattr(module, name)
+        ]
+        if not candidates:
+            raise ValueError(
+                f"{module_name} has none of {', '.join(_FALLBACK_ATTRIBUTES)}; "
+                "name the builder explicitly as module:callable"
+            )
+    value = getattr(module, candidates[0], None)
+    if value is None:
+        raise ValueError(f"{module_name} has no attribute {candidates[0]!r}")
+    if callable(value) and not isinstance(value, ModelSpecification):
+        value = value()
+    if not isinstance(value, ModelSpecification):
+        raise ValueError(
+            f"{target} resolved to {type(value).__name__}, "
+            "not a ModelSpecification"
+        )
+    return value
+
+
+def _list_codes() -> str:
+    lines = ["known diagnostic codes:"]
+    for code in sorted(CODE_REGISTRY):
+        info = CODE_REGISTRY[code]
+        lines.append(f"  {code} [{info.severity}] {info.title} — {info.hint}")
+    return "\n".join(lines)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Statically analyze optimizer model specifications.",
+    )
+    parser.add_argument(
+        "targets",
+        nargs="*",
+        metavar="module:callable",
+        help="import path of a specification builder to lint",
+    )
+    parser.add_argument(
+        "--all",
+        action="store_true",
+        help="lint every bundled model specification",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings as failures (infos never fail)",
+    )
+    parser.add_argument(
+        "--list-codes",
+        action="store_true",
+        help="print every diagnostic code with its fix hint and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the linter CLI; returns the process exit status (0/1/2)."""
+    parser = _build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_codes:
+        print(_list_codes())
+        return 0
+    if not options.targets and not options.all:
+        parser.print_usage()
+        print("error: nothing to lint; name a module:callable or pass --all")
+        return 2
+
+    jobs: List[Tuple[str, Callable[[], ModelSpecification]]] = []
+    if options.all:
+        jobs.extend(bundled_models())
+    for target in options.targets:
+        jobs.append((target, lambda target=target: load_spec(target)))
+
+    reports: List[LintReport] = []
+    for label, build in jobs:
+        try:
+            spec = build()
+        except Exception as error:
+            print(f"== {label} ==")
+            print(f"  failed to load: {error}")
+            return 2
+        reports.append(lint_spec(spec))
+
+    failed = False
+    for report in reports:
+        print(report.render())
+        if report.fails(strict=options.strict):
+            failed = True
+    total = sum(len(report) for report in reports)
+    errors = sum(len(report.errors) for report in reports)
+    warnings = sum(len(report.warnings) for report in reports)
+    print(
+        f"linted {len(reports)} model(s): {total} diagnostic(s), "
+        f"{errors} error(s), {warnings} warning(s)"
+    )
+    return 1 if failed else 0

@@ -1,0 +1,141 @@
+"""Rule-application graph over operator signatures.
+
+Transformation rules induce a directed graph on logical operator names:
+an edge ``a -> b`` means some rule matching a tree rooted in ``a`` can
+produce a tree containing ``b``.  A cycle of *unguarded* rules (no
+condition code) means the rule set can re-derive expressions forever and
+relies entirely on the memo's duplicate detection to terminate — which
+is fine for size-preserving rules like join commutativity (the finite
+expression space bounds the search) but dangerous for *growing* rules,
+whose output has more operator nodes than their pattern: the expression
+space itself is then unbounded.
+
+The linter builds the edges by probing each rule's rewrite function with
+synthetic bindings (see :mod:`repro.lint.analyzer`); this module only
+does the graph theory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+
+@dataclass(frozen=True)
+class RuleEdge:
+    """One probed rewrite: rule ``rule`` turns ``source`` trees into
+    trees containing each operator in ``targets``; ``grows`` records
+    whether the output had more operator nodes than the pattern."""
+
+    rule: str
+    source: str
+    targets: Tuple[str, ...]
+    grows: bool
+
+
+@dataclass
+class Cycle:
+    """A strongly connected component of the unguarded-rule graph."""
+
+    operators: FrozenSet[str]
+    rules: Tuple[str, ...]
+    grows: bool = field(default=False)
+
+    def describe(self) -> str:
+        """Human-readable summary naming the operators and rules involved."""
+        ops = " -> ".join(sorted(self.operators))
+        rules = ", ".join(sorted(set(self.rules)))
+        return f"operators [{ops}] via rules [{rules}]"
+
+
+def _strongly_connected_components(
+    graph: Dict[str, Set[str]]
+) -> List[FrozenSet[str]]:
+    """Tarjan's algorithm, iterative to dodge recursion limits."""
+    index_of: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    components: List[FrozenSet[str]] = []
+    counter = [0]
+
+    for root in graph:
+        if root in index_of:
+            continue
+        # Each frame: (node, iterator over successors).
+        work = [(root, iter(sorted(graph.get(root, ()))))]
+        index_of[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for successor in successors:
+                if successor not in graph:
+                    continue
+                if successor not in index_of:
+                    index_of[successor] = lowlink[successor] = counter[0]
+                    counter[0] += 1
+                    stack.append(successor)
+                    on_stack.add(successor)
+                    work.append(
+                        (successor, iter(sorted(graph.get(successor, ()))))
+                    )
+                    advanced = True
+                    break
+                if successor in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[successor])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                component: Set[str] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                components.append(frozenset(component))
+    return components
+
+
+def find_unguarded_cycles(edges: Iterable[RuleEdge]) -> List[Cycle]:
+    """Cycles in the graph formed by the given (unguarded) rule edges.
+
+    Returns one :class:`Cycle` per strongly connected component that
+    actually contains a cycle (more than one node, or a self-loop).  A
+    cycle ``grows`` if any participating edge does.
+    """
+    edge_list = list(edges)
+    graph: Dict[str, Set[str]] = {}
+    for edge in edge_list:
+        graph.setdefault(edge.source, set()).update(edge.targets)
+        for target in edge.targets:
+            graph.setdefault(target, set())
+
+    cycles: List[Cycle] = []
+    for component in _strongly_connected_components(graph):
+        is_cycle = len(component) > 1 or any(
+            node in graph[node] for node in component
+        )
+        if not is_cycle:
+            continue
+        participating = [
+            edge
+            for edge in edge_list
+            if edge.source in component
+            and any(target in component for target in edge.targets)
+        ]
+        cycles.append(
+            Cycle(
+                operators=component,
+                rules=tuple(edge.rule for edge in participating),
+                grows=any(edge.grows for edge in participating),
+            )
+        )
+    return cycles

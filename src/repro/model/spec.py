@@ -18,7 +18,7 @@ optimizer implementor provides:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.algebra.properties import ANY_PROPS, LogicalProperties, PhysProps
 from repro.errors import ModelSpecError
@@ -37,6 +37,20 @@ __all__ = [
 
 VARIADIC = None
 """Arity marker for operators with any number of inputs."""
+
+
+# Property *components* are short declarative labels naming one dimension
+# of the physical property vector: ``"sort"``, ``"partitioning"``, or
+# ``"flag:<name>"`` for model-defined flags.  They are introspection
+# hints only — the search engine never reads them — consumed by
+# ``repro.lint`` to check the paper's enforcer completeness condition
+# (every component an algorithm can require must be producible by some
+# algorithm or enforcer) without running a search.
+PropertyComponent = str
+
+
+def _component_set(components: Optional[Iterable[str]]) -> FrozenSet[str]:
+    return frozenset(components or ())
 
 
 @dataclass
@@ -101,16 +115,25 @@ class AlgorithmDef:
     ``derive_props(context, node, input_props)``
         The physical properties actually delivered, given the properties
         the chosen input plans deliver.
+    ``requires`` / ``delivers``
+        Declarative :data:`PropertyComponent` hints: components this
+        algorithm's applicability function may *newly* demand of its
+        inputs, and components its output can provide.  Optional; used
+        by ``repro.lint`` for the enforcer completeness check.
     """
 
     name: str
     applicability: Callable[[object, AlgorithmNode, PhysProps], Optional[List[InputRequirements]]]
     cost: Callable[[object, AlgorithmNode], Cost]
     derive_props: Callable[[object, AlgorithmNode, Tuple[PhysProps, ...]], PhysProps]
+    requires: FrozenSet[PropertyComponent] = frozenset()
+    delivers: FrozenSet[PropertyComponent] = frozenset()
 
     def __post_init__(self):
         if not self.name:
             raise ModelSpecError("algorithm needs a name")
+        self.requires = _component_set(self.requires)
+        self.delivers = _component_set(self.delivers)
 
 
 @dataclass(frozen=True)
@@ -150,16 +173,19 @@ class EnforcerDef:
     ``enforce(context, required, output_props)`` returns the list of
     :class:`EnforcerApplication` this enforcer offers for a required
     vector (usually zero or one).  ``cost(context, node)`` is its local
-    cost.
+    cost.  ``provides`` declares the :data:`PropertyComponent` labels
+    this enforcer can establish (introspection hint for ``repro.lint``).
     """
 
     name: str
     enforce: Callable[[object, PhysProps, LogicalProperties], List[EnforcerApplication]]
     cost: Callable[[object, AlgorithmNode], Cost]
+    provides: FrozenSet[PropertyComponent] = frozenset()
 
     def __post_init__(self):
         if not self.name:
             raise ModelSpecError("enforcer needs a name")
+        self.provides = _component_set(self.provides)
 
 
 def _default_cover(provided: PhysProps, required: PhysProps) -> bool:
@@ -236,6 +262,38 @@ class ModelSpecification:
             return self.enforcers[name]
         except KeyError:
             raise ModelSpecError(f"unknown enforcer: {name!r}") from None
+
+    def enforcer_applications(
+        self,
+        name: str,
+        context: object,
+        required: PhysProps,
+        output_props: LogicalProperties,
+    ) -> List[EnforcerApplication]:
+        """Run an enforcer's ``enforce`` hook and validate its promises.
+
+        The search engines call enforcers through this accessor so that a
+        model bug — an enforcer returning an application whose
+        ``delivered`` vector does not actually satisfy the ``required``
+        vector it was asked for, or one that fails to relax the goal —
+        surfaces as a :class:`ModelSpecError` naming the enforcer,
+        instead of a wrong plan or an unbounded search.
+        """
+        enforcer = self.enforcer(name)
+        applications = list(enforcer.enforce(context, required, output_props) or ())
+        for application in applications:
+            if not self.props_cover(application.delivered, required):
+                raise ModelSpecError(
+                    f"enforcer {name!r} returned an application delivering "
+                    f"[{application.delivered}], which does not satisfy the "
+                    f"required vector [{required}] it was asked to enforce"
+                )
+            if application.relaxed == required:
+                raise ModelSpecError(
+                    f"enforcer {name!r} did not relax the goal [{required}]; "
+                    f"optimizing its input would recurse forever"
+                )
+        return applications
 
     def transformations_for(self, operator_name: str) -> List[TransformationRule]:
         """Transformation rules whose pattern root is ``operator_name``."""

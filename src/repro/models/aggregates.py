@@ -169,7 +169,14 @@ def _stream_aggregate_algorithm(constants, max_permutations: int) -> AlgorithmDe
             order.append(kept)
         return PhysProps(sort_order=tuple(order))
 
-    return AlgorithmDef("stream_aggregate", applicability, cost, derive_props)
+    return AlgorithmDef(
+        "stream_aggregate",
+        applicability,
+        cost,
+        derive_props,
+        requires=frozenset({"sort"}),
+        delivers=frozenset({"sort"}),
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -131,7 +131,13 @@ def _assembled_navigate(options: OodbModelOptions) -> AlgorithmDef:
         # Navigation keeps the input's order and residency.
         return input_props[0]
 
-    return AlgorithmDef("assembled_navigate", applicability, cost, derive_props)
+    return AlgorithmDef(
+        "assembled_navigate",
+        applicability,
+        cost,
+        derive_props,
+        requires=frozenset({"flag:assembled"}),
+    )
 
 
 def _assembly_enforcer(options: OodbModelOptions) -> EnforcerDef:
@@ -166,7 +172,9 @@ def _assembly_enforcer(options: OodbModelOptions) -> EnforcerDef:
         cpu = source.cardinality * options.assembly_cpu_per_object
         return constants.make(cpu=cpu, io=pages)
 
-    return EnforcerDef("assembly", enforce, cost)
+    return EnforcerDef(
+        "assembly", enforce, cost, provides=frozenset({"flag:assembled"})
+    )
 
 
 def _select_past_materialize_rule() -> TransformationRule:

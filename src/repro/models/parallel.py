@@ -76,7 +76,9 @@ def _exchange_enforcer(options: ParallelModelOptions) -> EnforcerDef:
         cpu = source.cardinality * options.cpu_transfer + options.startup
         return constants.make(cpu=cpu)
 
-    return EnforcerDef("exchange", enforce, cost)
+    return EnforcerDef(
+        "exchange", enforce, cost, provides=frozenset({"partitioning"})
+    )
 
 
 def _parallel_hash_join(options: ParallelModelOptions) -> AlgorithmDef:
@@ -140,7 +142,14 @@ def _parallel_hash_join(options: ParallelModelOptions) -> AlgorithmDef:
             )
         )
 
-    return AlgorithmDef("parallel_hash_join", applicability, cost, derive_props)
+    return AlgorithmDef(
+        "parallel_hash_join",
+        applicability,
+        cost,
+        derive_props,
+        requires=frozenset({"partitioning"}),
+        delivers=frozenset({"partitioning"}),
+    )
 
 
 def parallel_relational_model(

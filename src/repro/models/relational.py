@@ -410,7 +410,14 @@ def _merge_join_algorithm(
             order.append(frozenset(merged))
         return PhysProps(sort_order=tuple(order))
 
-    return AlgorithmDef("merge_join", applicability, cost, derive_props)
+    return AlgorithmDef(
+        "merge_join",
+        applicability,
+        cost,
+        derive_props,
+        requires=frozenset({"sort"}),
+        delivers=frozenset({"sort"}),
+    )
 
 
 def _hash_join_algorithm(constants: CostConstants) -> AlgorithmDef:
@@ -484,7 +491,7 @@ def _sort_enforcer(constants: CostConstants) -> EnforcerDef:
         pages = _pages(source, context.catalog.page_size)
         return constants.make(cpu=cpu, io=2 * pages)
 
-    return EnforcerDef("sort", enforce, cost)
+    return EnforcerDef("sort", enforce, cost, provides=frozenset({"sort"}))
 
 
 # ---------------------------------------------------------------------------

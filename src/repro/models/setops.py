@@ -186,7 +186,14 @@ def _merge_set_algorithm(name, constants, limit, output_factor):
             order.append(frozenset(merged))
         return PhysProps(sort_order=tuple(order))
 
-    return AlgorithmDef(name, applicability, cost, derive_props)
+    return AlgorithmDef(
+        name,
+        applicability,
+        cost,
+        derive_props,
+        requires=frozenset({"sort"}),
+        delivers=frozenset({"sort"}),
+    )
 
 
 def _hash_set_algorithm(name, constants):

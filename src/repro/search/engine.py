@@ -30,7 +30,7 @@ from __future__ import annotations
 import time
 import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.algebra.expressions import LogicalExpression
 from repro.algebra.plans import PhysicalPlan
@@ -60,12 +60,20 @@ __all__ = [
 
 
 def _resolve_props(
-    props: Optional[PhysProps], required: Optional[PhysProps]
+    props: Optional[PhysProps],
+    required: Optional[PhysProps],
+    *,
+    stacklevel: int = 2,
 ) -> Optional[PhysProps]:
     """Fold the deprecated ``required=`` keyword into ``props``.
 
     Shared by every engine's :meth:`optimize` so the old call shape
     keeps working while the unified protocol signature takes over.
+
+    ``stacklevel`` follows :func:`warnings.warn` semantics *as seen from
+    the calling* ``optimize`` *method* (this helper's own frame is
+    compensated for): the default of 2 attributes the deprecation
+    warning to the line that called ``optimize``.
     """
     if required is None:
         return props
@@ -73,7 +81,7 @@ def _resolve_props(
         "the 'required' keyword of optimize() is deprecated; pass the "
         "property vector positionally or as 'props'",
         DeprecationWarning,
-        stacklevel=3,
+        stacklevel=stacklevel + 1,
     )
     if props is not None:
         raise TypeError("pass either 'props' or the deprecated 'required', not both")
@@ -293,6 +301,11 @@ class VolcanoOptimizer:
         self._implementations: Dict[str, List[ImplementationRule]] = {}
         for rule in spec.implementations:
             self._implementations.setdefault(rule.top_operator, []).append(rule)
+        # Post-optimize hooks: callables invoked with each
+        # OptimizationResult while its memo is still live.  This is the
+        # attachment point for runtime invariant checkers such as
+        # :class:`repro.lint.MemoAuditor`.
+        self.post_optimize_hooks: List[Callable[["OptimizationResult"], None]] = []
         # Per-run state, rebound by optimize().
         self._memo: Optional[Memo] = None
         self._context: Optional[OptimizerContext] = None
@@ -386,7 +399,7 @@ class VolcanoOptimizer:
                     f"chosen plan delivers [{winner.plan.properties}] which does "
                     f"not satisfy the goal [{required}]"
                 )
-            return OptimizationResult(
+            result = OptimizationResult(
                 plan=winner.plan,
                 cost=winner.cost,
                 required=required,
@@ -395,6 +408,9 @@ class VolcanoOptimizer:
                 trace=tracer.render() if tracer.enabled else None,
                 root_group=memo.canonical(root),
             )
+            for hook in self.post_optimize_hooks:
+                hook(result)
+            return result
         finally:
             self._memo = self._context = None
             self._stats = self._tracer = None
@@ -575,9 +591,9 @@ class VolcanoOptimizer:
                     bound = candidate.cost
         # Enforcer moves: "enforcers for required PhysProp".
         if not required.is_any:
-            for enforcer_name, enforcer in self.spec.enforcers.items():
-                for application in enforcer.enforce(
-                    self._context, required, group.logical_props
+            for enforcer_name in self.spec.enforcers:
+                for application in self.spec.enforcer_applications(
+                    enforcer_name, self._context, required, group.logical_props
                 ):
                     candidate = self._pursue_enforcer(
                         gid, enforcer_name, application, required, bound, excluded, depth

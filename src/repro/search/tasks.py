@@ -117,9 +117,9 @@ class _BeginGoal(_Task):
         engine._push(_FinishGoal(state))
         # Enforcer moves.
         if not state.required.is_any:
-            for name, enforcer in engine.spec.enforcers.items():
-                for application in enforcer.enforce(
-                    engine._context, state.required, group.logical_props
+            for name in engine.spec.enforcers:
+                for application in engine.spec.enforcer_applications(
+                    name, engine._context, state.required, group.logical_props
                 ):
                     engine._push(_CostEnforcer(state, name, application))
         # Algorithm moves, highest promise on top of the stack.

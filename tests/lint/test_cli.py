@@ -1,0 +1,69 @@
+"""Exit-code contract of ``python -m repro.lint``."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def run_lint(*args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src"), env.get("PYTHONPATH", "")]
+    ).rstrip(os.pathsep)
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *args],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+
+
+def test_all_strict_passes_on_bundled_models():
+    completed = run_lint("--all", "--strict")
+    assert completed.returncode == 0, completed.stdout + completed.stderr
+    assert "linted 5 model(s)" in completed.stdout
+    assert "0 error(s), 0 warning(s)" in completed.stdout
+
+
+def test_broken_fixture_fails_with_expected_code():
+    completed = run_lint("tests.lint.fixture_specs:broken_unknown_algorithm")
+    assert completed.returncode == 1, completed.stdout + completed.stderr
+    assert "V004" in completed.stdout
+
+
+def test_warning_fixture_needs_strict_to_fail():
+    target = "tests.lint.fixture_specs:broken_growing_cycle"
+    assert run_lint(target).returncode == 0
+    completed = run_lint(target, "--strict")
+    assert completed.returncode == 1
+    assert "V201" in completed.stdout
+
+
+def test_clean_user_module_passes():
+    completed = run_lint("tests.lint.fixture_specs:clean_spec")
+    assert completed.returncode == 0, completed.stdout + completed.stderr
+
+
+def test_unloadable_target_exits_2():
+    completed = run_lint("tests.lint.fixture_specs:does_not_exist")
+    assert completed.returncode == 2
+    completed = run_lint("no.such.module:thing")
+    assert completed.returncode == 2
+
+
+def test_no_arguments_exits_2():
+    assert run_lint().returncode == 2
+
+
+def test_list_codes_mentions_every_registered_code():
+    from repro.lint import CODE_REGISTRY
+
+    completed = run_lint("--list-codes")
+    assert completed.returncode == 0
+    for code in CODE_REGISTRY:
+        assert code in completed.stdout

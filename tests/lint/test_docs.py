@@ -1,0 +1,21 @@
+"""The documentation lists every diagnostic code the linter can emit."""
+
+from pathlib import Path
+
+from repro.lint import CODE_REGISTRY
+
+DOC = Path(__file__).resolve().parents[2] / "docs" / "writing-a-model.md"
+
+
+def test_every_code_is_documented():
+    text = DOC.read_text()
+    missing = [code for code in CODE_REGISTRY if f"`{code}`" not in text]
+    assert not missing, f"codes absent from writing-a-model.md: {missing}"
+
+
+def test_codes_are_stable_and_well_formed():
+    for code, info in CODE_REGISTRY.items():
+        assert code == info.code
+        assert code[0] in "VM"
+        assert code[1:].isdigit() and len(code) == 4
+        assert info.title and info.hint

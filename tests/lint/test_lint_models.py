@@ -1,0 +1,85 @@
+"""Every bundled model lints clean, across its whole option space."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.lint import lint_spec
+from repro.models import (
+    aggregate_model,
+    oodb_model,
+    parallel_relational_model,
+    relational_model,
+    setops_model,
+)
+from repro.models.oodb import OodbModelOptions
+from repro.models.parallel import ParallelModelOptions
+from repro.models.relational import RelationalModelOptions
+from repro.models.setops import SetOpsModelOptions
+
+BUILDERS = [
+    relational_model,
+    setops_model,
+    parallel_relational_model,
+    oodb_model,
+    aggregate_model,
+]
+
+
+def assert_strict_clean(spec):
+    report = lint_spec(spec)
+    problems = report.errors + report.warnings
+    assert not problems, "\n".join(d.render() for d in problems)
+
+
+@pytest.mark.parametrize("builder", BUILDERS, ids=lambda b: b.__name__)
+def test_bundled_model_lints_clean(builder):
+    assert_strict_clean(builder())
+
+
+relational_options = st.builds(
+    RelationalModelOptions,
+    allow_cross_products=st.booleans(),
+    enable_nested_loops=st.booleans(),
+    enable_filter_scan=st.booleans(),
+    select_pushdown=st.booleans(),
+    include_project=st.booleans(),
+    max_merge_key_permutations=st.integers(1, 4),
+).filter(lambda o: o.enable_nested_loops or not o.allow_cross_products)
+
+
+@settings(max_examples=20, deadline=None)
+@given(relational_options)
+def test_relational_variants_lint_clean(options):
+    assert_strict_clean(relational_model(options))
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    relational_options,
+    st.integers(2, 8),
+)
+def test_parallel_variants_lint_clean(relational, degree):
+    options = ParallelModelOptions(degree=degree, relational=relational)
+    assert_strict_clean(parallel_relational_model(options))
+
+
+@settings(max_examples=10, deadline=None)
+@given(relational_options, st.integers(1, 4))
+def test_setops_variants_lint_clean(relational, permutations):
+    options = SetOpsModelOptions(
+        max_order_permutations=permutations, relational=relational
+    )
+    assert_strict_clean(setops_model(options))
+
+
+@settings(max_examples=10, deadline=None)
+@given(relational_options)
+def test_oodb_variants_lint_clean(relational):
+    assert_strict_clean(oodb_model(OodbModelOptions(relational=relational)))
+
+
+@settings(max_examples=10, deadline=None)
+@given(relational_options)
+def test_aggregate_variants_lint_clean(relational):
+    assert_strict_clean(aggregate_model(relational))

@@ -1,0 +1,159 @@
+"""MemoAuditor: silent on honest memos, loud on tampered ones."""
+
+import dataclasses
+
+import pytest
+
+from repro.algebra.properties import ANY_PROPS, sorted_on
+from repro.lint import MemoAuditor
+from repro.models.relational import relational_model
+from repro.search.engine import VolcanoOptimizer
+from repro.search.memo import Winner
+from repro.search.tasks import TaskBasedOptimizer
+
+from tests.helpers import chain_query, make_catalog
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return make_catalog([("a", 1000), ("b", 5000), ("c", 200)])
+
+
+def optimize(catalog, engine_cls=VolcanoOptimizer, required=None):
+    optimizer = engine_cls(relational_model(), catalog)
+    query = chain_query(["a", "b", "c"])
+    if required is None:
+        return optimizer.optimize(query)
+    return optimizer.optimize(query, required)
+
+
+@pytest.mark.parametrize("engine_cls", [VolcanoOptimizer, TaskBasedOptimizer])
+def test_honest_runs_audit_clean(catalog, engine_cls):
+    optimizer = engine_cls(relational_model(), catalog)
+    auditor = MemoAuditor().attach(optimizer)
+    optimizer.optimize(chain_query(["a", "b", "c"]))
+    optimizer.optimize(chain_query(["a", "b"]), sorted_on("a.k"))
+    assert auditor.audits == 2
+    assert auditor.violations == []
+
+
+def test_attach_runs_via_post_optimize_hook(catalog):
+    optimizer = VolcanoOptimizer(relational_model(), catalog)
+    auditor = MemoAuditor().attach(optimizer)
+    assert auditor.audits == 0
+    optimize_result = optimizer.optimize(chain_query(["a", "b"]))
+    assert optimize_result is not None
+    assert auditor.audits == 1
+
+
+def test_results_without_memo_audit_clean(catalog):
+    result = dataclasses.replace(optimize(catalog), memo=None)
+    assert MemoAuditor().audit(result) == []
+
+
+def _some_winner_entry(memo):
+    for group in memo.groups():
+        for key, winner in group.winners.items():
+            return group, key, winner
+    raise AssertionError("no winners in memo")
+
+
+def test_merge_cycle_detected(catalog):
+    result = optimize(catalog)
+    memo = result.memo
+    ids = [gid for gid in memo._groups][:2]
+    memo._groups[ids[0]].merged_into = ids[1]
+    memo._groups[ids[1]].merged_into = ids[0]
+    codes = [v.code for v in MemoAuditor().audit(result)]
+    assert "M001" in codes
+
+
+def test_winner_goal_mismatch_detected(catalog):
+    result = optimize(catalog, required=sorted_on("a.k"))
+    root = result.memo.group(result.root_group)
+    for key, winner in list(root.winners.items()):
+        if not key[0].is_any:
+            bad_plan = dataclasses.replace(winner.plan, properties=ANY_PROPS)
+            root.winners[key] = Winner(bad_plan, winner.cost)
+    codes = [v.code for v in MemoAuditor().audit(result)]
+    assert "M002" in codes
+
+
+def test_winner_cost_mismatch_detected(catalog):
+    result = optimize(catalog)
+    group, key, winner = _some_winner_entry(result.memo)
+    group.winners[key] = Winner(winner.plan, winner.cost + winner.cost)
+    codes = [v.code for v in MemoAuditor().audit(result)]
+    assert "M003" in codes
+
+
+def test_nonmonotonic_plan_cost_detected(catalog):
+    result = optimize(catalog)
+    plan = result.plan
+    assert plan.inputs, "root plan should have inputs"
+    inflated_child = dataclasses.replace(
+        plan.inputs[0], cost=plan.cost + plan.cost
+    )
+    bad_plan = dataclasses.replace(
+        plan, inputs=(inflated_child,) + plan.inputs[1:]
+    )
+    root = result.memo.group(result.root_group)
+    for key, winner in list(root.winners.items()):
+        root.winners[key] = Winner(bad_plan, winner.cost)
+    codes = [v.code for v in MemoAuditor().audit(result)]
+    assert "M004" in codes
+
+
+def test_non_minimal_winner_detected(catalog):
+    result = optimize(catalog)
+    root = result.memo.group(result.root_group)
+    ((key, winner),) = [
+        (key, winner)
+        for key, winner in root.winners.items()
+        if key[1] is None and key[0].is_any
+    ]
+    # Plant a second, cheaper winner whose plan also satisfies ANY.
+    cheaper = Winner(
+        dataclasses.replace(winner.plan, cost=winner.cost - winner.cost),
+        winner.cost - winner.cost,
+    )
+    root.winners[(sorted_on("a.k"), None)] = cheaper
+    codes = [v.code for v in MemoAuditor().audit(result)]
+    assert "M005" in codes
+
+
+def test_shadowing_failure_detected(catalog):
+    result = optimize(catalog)
+    root = result.memo.group(result.root_group)
+    _, winner = next(iter(root.winners.items()))
+    # Claim ANY failed at a limit far above the achieved winner cost.
+    root.failures[(ANY_PROPS, None)] = winner.cost + winner.cost
+    codes = [v.code for v in MemoAuditor().audit(result)]
+    assert "M006" in codes
+
+
+def test_excluded_region_failures_are_not_shadowed(catalog):
+    result = optimize(catalog)
+    root = result.memo.group(result.root_group)
+    _, winner = next(iter(root.winners.items()))
+    # The winner's own properties fall inside the excluded vector, so it
+    # could never have satisfied this goal: no violation.
+    excluded = winner.plan.properties
+    root.failures[(ANY_PROPS, excluded)] = winner.cost + winner.cost
+    codes = [v.code for v in MemoAuditor().audit(result)]
+    assert "M006" not in codes
+
+
+def test_root_requirement_mismatch_detected(catalog):
+    result = optimize(catalog)
+    bad = dataclasses.replace(result, required=sorted_on("no.such"))
+    codes = [v.code for v in MemoAuditor().audit(bad)]
+    assert "M007" in codes
+
+
+def test_figure4_smoke_run_audits_clean():
+    from repro.bench.figure4 import Figure4Config, run_figure4
+
+    config = Figure4Config(sizes=(2, 3), queries_per_size=3)
+    result = run_figure4(config)
+    assert sum(row.audit_violations for row in result.rows) == 0

@@ -111,6 +111,10 @@ def test_task_engine_matches_recursive_engine(case, want_sorted):
     task_based = TaskBasedOptimizer(spec, catalog).optimize(query, required=required)
     # Optimal costs always agree; the *plan* may differ only when two
     # plans tie exactly (the agenda visits sibling moves in a different
-    # order, so ties break differently).
-    assert task_based.cost == recursive.cost
+    # order, so ties break differently).  The agenda also *sums* input
+    # costs in a different association order, so compare with a relative
+    # tolerance rather than exact float equality.
+    assert abs(task_based.cost.total() - recursive.cost.total()) <= 1e-9 * max(
+        1.0, recursive.cost.total()
+    )
     assert task_based.plan.properties.covers(required)
