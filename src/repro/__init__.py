@@ -63,6 +63,7 @@ from repro.catalog import (
     TableStatistics,
 )
 from repro.errors import (
+    BudgetExceededError,
     OptimizationFailedError,
     OptionsError,
     ReproError,
@@ -113,9 +114,11 @@ from repro.models import (
     setops_model,
 )
 from repro.search import (
+    BudgetReport,
     OptimizationResult,
     Optimizer,
     PreoptimizedPlan,
+    ResourceBudget,
     SearchOptions,
     TaskBasedOptimizer,
     VolcanoOptimizer,
@@ -154,6 +157,7 @@ __all__ = [
     "ColumnType",
     "Schema",
     "TableStatistics",
+    "BudgetExceededError",
     "OptimizationFailedError",
     "OptionsError",
     "ReproError",
@@ -202,6 +206,8 @@ __all__ = [
     "OptimizationResult",
     "Optimizer",
     "PreoptimizedPlan",
+    "ResourceBudget",
+    "BudgetReport",
     "SearchOptions",
     "TaskBasedOptimizer",
     "VolcanoOptimizer",

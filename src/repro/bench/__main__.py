@@ -17,6 +17,9 @@ Options:
                          (default 0.2-1.0; 0.5-1.0 keeps intermediates big)
   --key-fraction LO-HI   join-key distinct count as a fraction of rows
                          (default 0.25-1.0; 0.2-0.6 makes joins grow)
+  --deadline S   bounded-latency mode: give every Volcano run a
+                 ResourceBudget(deadline_seconds=S) and report how many
+                 answers were degraded (anytime) per complexity level
   --quick        shorthand for --queries 5 --sizes 2-6
 """
 
@@ -73,6 +76,12 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--csv", default=None, help="also write the figure4 rows to this CSV file"
     )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="per-query optimization deadline in seconds (figure4 only)",
+    )
     parser.add_argument("--quick", action="store_true")
     arguments = parser.parse_args(argv)
     if arguments.quick:
@@ -89,6 +98,7 @@ def main(argv=None) -> int:
                 selectivity_range=arguments.selectivity,
                 key_fraction_range=arguments.key_fraction,
             ),
+            deadline=arguments.deadline,
         )
         result = run_figure4(config, progress=lambda line: print(line, flush=True))
         print()

@@ -29,7 +29,7 @@ from typing import List, Optional, Sequence
 from repro.exodus import ExodusOptimizer, ExodusOptions
 from repro.lint.invariants import MemoAuditor
 from repro.models.relational import relational_model
-from repro.search import SearchOptions, VolcanoOptimizer
+from repro.search import ResourceBudget, SearchOptions, VolcanoOptimizer
 from repro.bench.reporting import Table, geometric_mean, render_log_chart
 from repro.workloads import QueryGenerator, WorkloadOptions
 
@@ -63,6 +63,12 @@ class Figure4Config:
     # relative to the search itself, and it turns the benchmark into a
     # soak test of the search invariants.
     audit_memos: bool = True
+    # Bounded-latency mode: when set, every Volcano run carries a
+    # ResourceBudget(deadline_seconds=deadline); degraded answers are
+    # counted per complexity level (``Figure4Row.volcano_degraded``) and
+    # their anytime plans still feed the cost columns, demonstrating the
+    # latency/quality trade of graceful degradation.
+    deadline: Optional[float] = None
 
 
 @dataclass
@@ -80,6 +86,7 @@ class Figure4Row:
     volcano_footprint: float            # memo groups + expressions (mean)
     exodus_footprint: Optional[float]   # MESH logical+physical (mean)
     audit_violations: int = 0           # MemoAuditor findings (should be 0)
+    volcano_degraded: int = 0           # budget-tripped anytime answers
 
 
 @dataclass
@@ -93,6 +100,11 @@ def run_figure4(config: Optional[Figure4Config] = None, progress=None) -> Figure
     config = config or Figure4Config()
     generator = QueryGenerator(config.workload)
     spec = relational_model()
+    volcano_options = config.volcano
+    if config.deadline is not None:
+        volcano_options = volcano_options.replace(
+            budget=ResourceBudget(deadline_seconds=config.deadline)
+        )
     result = Figure4Result(config=config)
     for size in config.sizes:
         volcano_times: List[float] = []
@@ -103,11 +115,12 @@ def run_figure4(config: Optional[Figure4Config] = None, progress=None) -> Figure
         exodus_footprints: List[float] = []
         ratios: List[float] = []
         aborts = 0
+        degraded = 0
         auditor = MemoAuditor() if config.audit_memos else None
         for query in generator.generate_batch(
             size, config.queries_per_size, seed=config.seed
         ):
-            volcano = VolcanoOptimizer(spec, query.catalog, config.volcano)
+            volcano = VolcanoOptimizer(spec, query.catalog, volcano_options)
             if auditor is not None:
                 auditor.attach(volcano)
             started = time.perf_counter()
@@ -115,6 +128,8 @@ def run_figure4(config: Optional[Figure4Config] = None, progress=None) -> Figure
             volcano_times.append(time.perf_counter() - started)
             volcano_costs.append(volcano_result.cost.total())
             volcano_footprints.append(volcano_result.stats.memo_footprint())
+            if volcano_result.degraded:
+                degraded += 1
 
             exodus = ExodusOptimizer(spec, query.catalog, config.exodus)
             started = time.perf_counter()
@@ -146,6 +161,7 @@ def run_figure4(config: Optional[Figure4Config] = None, progress=None) -> Figure
                 statistics.mean(exodus_footprints) if exodus_footprints else None
             ),
             audit_violations=len(auditor.violations) if auditor else 0,
+            volcano_degraded=degraded,
         )
         result.rows.append(row)
         if progress is not None:
@@ -158,6 +174,11 @@ def run_figure4(config: Optional[Figure4Config] = None, progress=None) -> Figure
                     else "all aborted"
                 )
                 + f", aborts {aborts}/{config.queries_per_size}"
+                + (
+                    f", degraded {degraded}/{config.queries_per_size}"
+                    if config.deadline is not None
+                    else ""
+                )
                 + (
                     f", AUDIT VIOLATIONS {row.audit_violations}"
                     if row.audit_violations
@@ -202,6 +223,13 @@ def render_figure4(result: Figure4Result) -> str:
     table.add_note(
         "EXODUS columns average only completed optimizations, as in the paper."
     )
+    if result.config.deadline is not None:
+        total_degraded = sum(row.volcano_degraded for row in result.rows)
+        table.add_note(
+            f"Bounded-latency mode: deadline {result.config.deadline * 1000:.0f} ms "
+            f"per query; {total_degraded} degraded (anytime) Volcano answers "
+            "feed the cost columns."
+        )
     total_violations = sum(row.audit_violations for row in result.rows)
     if result.config.audit_memos:
         table.add_note(
@@ -260,7 +288,7 @@ def figure4_to_csv(result: Figure4Result) -> str:
     lines = [
         "n_relations,queries,volcano_ms,exodus_ms,volcano_cost,exodus_cost,"
         "quality_ratio,exodus_aborts,volcano_footprint,exodus_footprint,"
-        "audit_violations"
+        "audit_violations,volcano_degraded"
     ]
     for row in result.rows:
         cells = [
@@ -275,6 +303,7 @@ def figure4_to_csv(result: Figure4Result) -> str:
             round(row.volcano_footprint, 1),
             round(row.exodus_footprint, 1) if row.exodus_footprint is not None else "",
             row.audit_violations,
+            row.volcano_degraded,
         ]
         lines.append(",".join(str(cell) for cell in cells))
     return "\n".join(lines) + "\n"

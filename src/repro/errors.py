@@ -25,6 +25,7 @@ __all__ = [
     "ExecutionError",
     "SqlError",
     "MemoryLimitExceededError",
+    "BudgetExceededError",
     "WorkloadError",
     "OptionsError",
     "ServiceError",
@@ -146,6 +147,24 @@ class MemoryLimitExceededError(SearchError):
         )
         self.node_count = node_count
         self.budget = budget
+
+
+class BudgetExceededError(SearchError):
+    """A resource budget tripped and no valid plan exists at all.
+
+    Raised only when graceful degradation is impossible: the Volcano
+    engine first tries to complete a plan from memoized winners and a
+    greedy implementation pass over the explored memo, and only raises
+    this when even that yields nothing (or the engine — System R, or
+    EXODUS with ``best_effort=False`` — does not degrade).  ``report``
+    carries the :class:`~repro.options.BudgetReport` naming the tripped
+    limit; ``stats`` the partial search statistics.
+    """
+
+    def __init__(self, message, report=None, stats=None):
+        super().__init__(message)
+        self.report = report
+        self.stats = stats
 
 
 class WorkloadError(ReproError):

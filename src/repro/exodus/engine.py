@@ -27,6 +27,13 @@ functions) but searches the way the EXODUS prototype did:
   the plan-quality gap in Figure 4.
 * **Memory aborts.**  A node budget models "the EXODUS optimizer
   generator aborted due to lack of memory" for complex queries.
+
+Like the Volcano engine, this baseline is reentrant (per-run state lives
+in a run object, not on the engine) and budget-governed: a
+:class:`~repro.options.ResourceBudget` on :class:`ExodusOptions` bounds
+the forward-chaining loop, and under ``best_effort`` a budget trip is
+just another abort reason — the best plan found so far comes back with
+``degraded=True`` and a :class:`~repro.options.BudgetReport`.
 """
 
 from __future__ import annotations
@@ -41,12 +48,23 @@ from repro.algebra.plans import PhysicalPlan
 from repro.algebra.properties import ANY_PROPS, PhysProps
 from repro.catalog.catalog import Catalog
 from repro.catalog.selectivity import SelectivityEstimator
-from repro.errors import MemoryLimitExceededError, OptimizationFailedError
+from repro.errors import (
+    BudgetExceededError,
+    MemoryLimitExceededError,
+    OptimizationFailedError,
+    ReproError,
+)
 from repro.exodus.mesh import Mesh, MeshNode, MeshStats, PhysicalChoice
 from repro.model.context import OptimizerContext
 from repro.model.cost import Cost
 from repro.model.spec import AlgorithmNode, ModelSpecification
-from repro.options import OptionsBase, check_positive
+from repro.options import (
+    BudgetMeter,
+    BudgetTripped,
+    OptionsBase,
+    ResourceBudget,
+    check_positive,
+)
 from repro.search.engine import OptimizationResult, _resolve_props
 
 __all__ = ["ExodusOptions", "ExodusResult", "ExodusOptimizer"]
@@ -62,14 +80,20 @@ class ExodusOptions(OptionsBase):
     ``transformation_budget``
         Optional cap on rule applications (models "was aborted because it
         ran much longer").
+    ``budget``
+        A :class:`~repro.options.ResourceBudget` bounding the
+        forward-chaining loop (deadline, costings, rule firings); under
+        ``best_effort`` a trip aborts gracefully with ``degraded=True``.
     ``best_effort``
         When True (default), an abort returns the best plan found so far
         with ``aborted=True``; when False, the abort raises
-        :class:`MemoryLimitExceededError`.
+        :class:`MemoryLimitExceededError` (or
+        :class:`~repro.errors.BudgetExceededError` for budget trips).
     """
 
     node_budget: Optional[int] = 20_000
     transformation_budget: Optional[int] = None
+    budget: Optional[ResourceBudget] = None
     best_effort: bool = True
 
     def validate(self) -> None:
@@ -84,7 +108,8 @@ class ExodusResult(OptimizationResult):
 
     A plain :class:`~repro.search.OptimizationResult` (``stats`` holds
     :class:`MeshStats`; there is no memo) extended with the prototype's
-    abort reporting.
+    abort reporting.  A budget trip under ``best_effort`` sets both
+    ``aborted`` and ``degraded`` (with ``budget_report``).
     """
 
     aborted: bool = False
@@ -93,6 +118,27 @@ class ExodusResult(OptimizationResult):
     def __str__(self) -> str:
         status = f" (ABORTED: {self.abort_reason})" if self.aborted else ""
         return f"plan cost {self.cost}{status}\n{self.plan.pretty()}"
+
+
+class _ExodusRun:
+    """All per-run state of one EXODUS ``optimize()`` call."""
+
+    __slots__ = ("options", "mesh", "context", "queue", "counter", "applied", "meter")
+
+    def __init__(
+        self,
+        options: ExodusOptions,
+        mesh: Mesh,
+        context: OptimizerContext,
+        meter: BudgetMeter,
+    ):
+        self.options = options
+        self.mesh = mesh
+        self.context = context
+        self.queue: List = []
+        self.counter = 0
+        self.applied: Set = set()
+        self.meter = meter
 
 
 class ExodusOptimizer:
@@ -116,12 +162,6 @@ class ExodusOptimizer:
         self._implementations = {}
         for rule in spec.implementations:
             self._implementations.setdefault(rule.top_operator, []).append(rule)
-        # Per-run state.
-        self._mesh: Optional[Mesh] = None
-        self._context: Optional[OptimizerContext] = None
-        self._queue: List = []
-        self._counter = 0
-        self._applied: Set = set()
 
     # ------------------------------------------------------------------
 
@@ -143,107 +183,122 @@ class ExodusOptimizer:
         one call, and ``required=`` survives as a deprecation shim.
         """
         props = _resolve_props(props, required)
-        if options is None:
-            return self._optimize(query, props)
-        previous = self.options
-        self.options = options
-        try:
-            return self._optimize(query, props)
-        finally:
-            self.options = previous
+        return self._optimize(query, props, options if options is not None else self.options)
 
     def _optimize(
         self,
         query: LogicalExpression,
         required: Optional[PhysProps],
+        options: ExodusOptions,
     ) -> ExodusResult:
         required = required if required is not None else self.spec.any_props
         started = time.perf_counter()
         stats = MeshStats()
         context = OptimizerContext(self.spec, self.catalog, self.estimator)
-        mesh = Mesh(stats, node_budget=self.options.node_budget)
+        mesh = Mesh(stats, node_budget=options.node_budget)
         context.group_props_resolver = lambda node_id: mesh.nodes[node_id].props
-        self._mesh, self._context = mesh, context
-        self._queue, self._counter, self._applied = [], 0, set()
-        aborted, abort_reason = False, None
+        run = _ExodusRun(options, mesh, context, BudgetMeter(options.budget))
+        aborted, abort_reason, report = False, None, None
         root = None
         try:
-            root = self._materialize(query)
-            self._forward_chain()
-        except MemoryLimitExceededError:
-            if not self.options.best_effort or root is None:
-                self._mesh = self._context = None
-                raise
-            aborted, abort_reason = True, "memory"
-        if (
-            not aborted
-            and self.options.transformation_budget is not None
-            and stats.transformations_applied >= self.options.transformation_budget
-        ):
-            aborted, abort_reason = True, "transformations"
-        stats.elapsed_seconds = time.perf_counter() - started
-        try:
-            plan = self._extract(root.eq, required)
-        except RuntimeError as error:  # no analyzed plan at all
-            raise OptimizationFailedError(f"EXODUS found no plan: {error}") from error
+            try:
+                root = self._materialize(run, query)
+                self._forward_chain(run)
+            except MemoryLimitExceededError:
+                if not options.best_effort or root is None:
+                    raise
+                aborted, abort_reason = True, "memory"
+            except BudgetTripped as trip:
+                report = run.meter.report(trip.phase)
+                if not options.best_effort or root is None:
+                    raise BudgetExceededError(
+                        f"EXODUS optimization budget exhausted "
+                        f"({report.tripped} during {report.phase})",
+                        report=report,
+                        stats=stats,
+                    ) from None
+                aborted, abort_reason = True, trip.tripped
+            if (
+                not aborted
+                and options.transformation_budget is not None
+                and stats.transformations_applied >= options.transformation_budget
+            ):
+                aborted, abort_reason = True, "transformations"
+            try:
+                plan = self._extract(run, root.eq, required)
+            except RuntimeError as error:  # no analyzed plan at all
+                raise OptimizationFailedError(
+                    f"EXODUS found no plan: {error}"
+                ) from error
+            return ExodusResult(
+                plan=plan,
+                cost=plan.cost,
+                required=required,
+                stats=stats,
+                aborted=aborted,
+                abort_reason=abort_reason,
+                degraded=report is not None,
+                budget_report=report,
+            )
+        except ReproError as error:
+            if getattr(error, "stats", None) is None:
+                error.stats = stats
+            raise
         finally:
-            self._mesh = self._context = None
-        return ExodusResult(
-            plan=plan,
-            cost=plan.cost,
-            required=required,
-            stats=stats,
-            aborted=aborted,
-            abort_reason=abort_reason,
-        )
+            stats.elapsed_seconds = time.perf_counter() - started
 
     # ------------------------------------------------------------------
     # Construction and analysis
     # ------------------------------------------------------------------
 
-    def _derive_props(self, operator, args, input_props):
-        return self._context.derive_logical_props(operator, args, input_props)
+    def _derive_props(self, run: _ExodusRun, operator, args, input_props):
+        return run.context.derive_logical_props(operator, args, input_props)
 
-    def _materialize(self, expression: LogicalExpression) -> MeshNode:
+    def _materialize(self, run: _ExodusRun, expression: LogicalExpression) -> MeshNode:
         """Insert a tree, analyzing and queueing every new node bottom-up."""
-        mesh = self._mesh
+        mesh = run.mesh
         if expression.operator == GROUP_LEAF:
             return mesh.nodes[expression.args[0]]
         children = tuple(
-            self._materialize(node).id for node in expression.inputs
+            self._materialize(run, node).id for node in expression.inputs
         )
         input_props = tuple(mesh.nodes[child].props for child in children)
-        props = self._derive_props(expression.operator, expression.args, input_props)
+        props = self._derive_props(
+            run, expression.operator, expression.args, input_props
+        )
         node, is_new = mesh.intern(
             expression.operator, expression.args, children, props
         )
         if is_new:
-            self._analyze(node)
-            self._enqueue_transformations(node)
+            self._analyze(run, node)
+            self._enqueue_transformations(run, node)
         return node
 
-    def _eq_members_view(self, node_id: int):
+    def _eq_members_view(self, run: _ExodusRun, node_id: int):
         """Pattern-matching callback over equivalence-set members."""
-        for member in self._mesh.eq_members(self._mesh.nodes[node_id].eq):
-            member_node = self._mesh.nodes[member]
+        for member in run.mesh.eq_members(run.mesh.nodes[node_id].eq):
+            member_node = run.mesh.nodes[member]
             yield member_node.operator, member_node.args, member_node.inputs
 
-    def _match(self, rule, node: MeshNode):
+    def _match(self, run: _ExodusRun, rule, node: MeshNode):
         from repro.model.patterns import match_memo
 
         return match_memo(
-            rule.pattern, node.operator, node.args, node.inputs,
-            self._eq_members_view,
+            rule.pattern,
+            node.operator,
+            node.args,
+            node.inputs,
+            lambda node_id: self._eq_members_view(run, node_id),
         )
 
-    def _analyze(self, node: MeshNode, reanalysis: bool = False) -> bool:
+    def _analyze(self, run: _ExodusRun, node: MeshNode, reanalysis: bool = False) -> bool:
         """Algorithm selection and cost analysis for one node.
 
         Returns True when the node's best choice changed.  This is where
         EXODUS's property handling lives: children are taken as they
         come, and unmet input orders are priced as embedded sorts.
         """
-        mesh, context, stats = self._mesh, self._context, self._mesh.stats
+        context, stats = run.context, run.mesh.stats
         if reanalysis:
             stats.reanalyses += 1
         else:
@@ -252,7 +307,7 @@ class ExodusOptimizer:
         node.physical.clear()
         node.best = None
         for rule in self._implementations.get(node.operator, ()):
-            for binding in self._match(rule, node):
+            for binding in self._match(run, rule, node):
                 if not rule.applies(binding, context):
                     continue
                 args = (
@@ -263,16 +318,16 @@ class ExodusOptimizer:
                 input_nodes = tuple(
                     binding[name].args[0] for name in rule.input_names
                 )
-                self._cost_algorithm(node, rule.algorithm, args, input_nodes)
+                self._cost_algorithm(run, node, rule.algorithm, args, input_nodes)
         changed = (
             node.best is not None
             and (previous is None or node.best.total_cost != previous)
         )
         return changed
 
-    def _cost_algorithm(self, node, algorithm_name, args, input_nodes) -> None:
+    def _cost_algorithm(self, run: _ExodusRun, node, algorithm_name, args, input_nodes) -> None:
         """EXODUS-style costing of one (node, algorithm) combination."""
-        mesh, context = self._mesh, self._context
+        mesh, context = run.mesh, run.context
         algorithm = self.spec.algorithm(algorithm_name)
         input_props = tuple(mesh.nodes[i].props for i in input_nodes)
         algorithm_node = AlgorithmNode(args, node.props, input_props)
@@ -280,6 +335,7 @@ class ExodusOptimizer:
         if not alternatives:
             return
         for requirements in alternatives:
+            run.meter.charge_costing()
             total = algorithm.cost(context, algorithm_node)
             actual_inputs: List[PhysProps] = []
             implicit: List[bool] = []
@@ -294,7 +350,7 @@ class ExodusOptimizer:
                     actual_inputs.append(child_choice.delivered)
                     implicit.append(False)
                     continue
-                sort_cost = self._implicit_enforcer_cost(child, requirement)
+                sort_cost = self._implicit_enforcer_cost(run, child, requirement)
                 if sort_cost is None:
                     feasible = False
                     break
@@ -325,9 +381,11 @@ class ExodusOptimizer:
             if node.best is None or choice.total_cost < node.best.total_cost:
                 node.best = choice
 
-    def _implicit_enforcer_cost(self, child: MeshNode, requirement) -> Optional[Cost]:
+    def _implicit_enforcer_cost(
+        self, run: _ExodusRun, child: MeshNode, requirement
+    ) -> Optional[Cost]:
         """Cost of enforcing ``requirement`` on a child, folded in as EXODUS did."""
-        context = self._context
+        context = run.context
         for name, enforcer in self.spec.enforcers.items():
             for application in self.spec.enforcer_applications(
                 name, context, requirement, child.props
@@ -343,49 +401,50 @@ class ExodusOptimizer:
     def _freeze_binding(self, binding) -> Tuple:
         return tuple(sorted((name, value) for name, value in binding.items()))
 
-    def _enqueue_transformations(self, node: MeshNode) -> None:
+    def _enqueue_transformations(self, run: _ExodusRun, node: MeshNode) -> None:
         for rule in self._transformations.get(node.operator, ()):
-            for binding in self._match(rule, node):
+            for binding in self._match(run, rule, node):
                 fingerprint = (rule.name, node.id, self._freeze_binding(binding))
-                if fingerprint in self._applied:
+                if fingerprint in run.applied:
                     continue
-                improvement = self._expected_improvement(rule, node)
-                self._counter += 1
+                improvement = self._expected_improvement(run, rule, node)
+                run.counter += 1
                 heapq.heappush(
-                    self._queue,
-                    (-improvement, self._counter, node.id, rule, dict(binding)),
+                    run.queue,
+                    (-improvement, run.counter, node.id, rule, dict(binding)),
                 )
-                self._mesh.stats.queue_pushes += 1
+                run.mesh.stats.queue_pushes += 1
 
-    def _expected_improvement(self, rule, node: MeshNode) -> float:
+    def _expected_improvement(self, run: _ExodusRun, rule, node: MeshNode) -> float:
         """factor × current total cost — the EXODUS move-ordering heuristic."""
         try:
-            best = self._mesh.eq_best_node(node.eq).best
+            best = run.mesh.eq_best_node(node.eq).best
         except RuntimeError:
             return rule.factor
         return rule.factor * best.total_cost.total()
 
-    def _forward_chain(self) -> None:
-        mesh, context, stats = self._mesh, self._context, self._mesh.stats
-        budget = self.options.transformation_budget
-        while self._queue:
+    def _forward_chain(self, run: _ExodusRun) -> None:
+        mesh, context, stats = run.mesh, run.context, run.mesh.stats
+        budget = run.options.transformation_budget
+        while run.queue:
+            run.meter.check("forward_chaining")
             if budget is not None and stats.transformations_applied >= budget:
                 return
-            priority, _, node_id, rule, binding = heapq.heappop(self._queue)
+            priority, _, node_id, rule, binding = heapq.heappop(run.queue)
             node = mesh.nodes[node_id]
             fingerprint = (rule.name, node_id, self._freeze_binding(binding))
-            if fingerprint in self._applied:
+            if fingerprint in run.applied:
                 continue
             # Lazy priority maintenance: re-push when the node's cost moved.
-            current = -self._expected_improvement(rule, node)
-            if abs(current - priority) > 1e-9 and self._queue:
+            current = -self._expected_improvement(run, rule, node)
+            if abs(current - priority) > 1e-9 and run.queue:
                 stats.queue_stale_pops += 1
-                self._counter += 1
+                run.counter += 1
                 heapq.heappush(
-                    self._queue, (current, self._counter, node_id, rule, binding)
+                    run.queue, (current, run.counter, node_id, rule, binding)
                 )
                 continue
-            self._applied.add(fingerprint)
+            run.applied.add(fingerprint)
             if not rule.applies(binding, context):
                 continue
             results = rule.rewrite(binding, context)
@@ -394,20 +453,21 @@ class ExodusOptimizer:
             if isinstance(results, LogicalExpression):
                 results = [results]
             stats.transformations_applied += 1
+            run.meter.charge_rule_firing()
             for expression in results:
-                new_node = self._materialize(expression)
+                new_node = self._materialize(run, expression)
                 if mesh.eq_root(new_node.eq) != mesh.eq_root(node.eq):
                     merged = mesh.merge_eq(node.eq, new_node.eq)
-                    self._propagate_from(merged)
+                    self._propagate_from(run, merged)
                 # New class members can enable new nested-pattern matches
                 # on every consumer of the class.
                 for parent_id in mesh.eq_parents(node.eq):
-                    self._enqueue_transformations(mesh.nodes[parent_id])
-                self._enqueue_transformations(new_node)
+                    self._enqueue_transformations(run, mesh.nodes[parent_id])
+                self._enqueue_transformations(run, new_node)
 
-    def _propagate_from(self, eq_id: int) -> None:
+    def _propagate_from(self, run: _ExodusRun, eq_id: int) -> None:
         """Reanalyze consumers transitively after a class's best changed."""
-        mesh = self._mesh
+        mesh = run.mesh
         pending = set(mesh.eq_parents(eq_id))
         seen_rounds = 0
         while pending:
@@ -416,15 +476,17 @@ class ExodusOptimizer:
                 raise RuntimeError("reanalysis did not converge")
             parent_id = pending.pop()
             parent = mesh.nodes[parent_id]
-            if self._analyze(parent, reanalysis=True):
+            if self._analyze(run, parent, reanalysis=True):
                 pending |= mesh.eq_parents(parent.eq)
 
     # ------------------------------------------------------------------
     # Plan extraction
     # ------------------------------------------------------------------
 
-    def _extract(self, eq_id: int, required: PhysProps = ANY_PROPS) -> PhysicalPlan:
-        mesh, context = self._mesh, self._context
+    def _extract(
+        self, run: _ExodusRun, eq_id: int, required: PhysProps = ANY_PROPS
+    ) -> PhysicalPlan:
+        mesh, context = run.mesh, run.context
         node = mesh.eq_best_node(eq_id)
         choice = node.best
         input_plans = []
@@ -433,9 +495,9 @@ class ExodusOptimizer:
         for input_id, requirement in zip(
             choice.input_nodes, choice.input_requirements
         ):
-            child_plan = self._extract(mesh.nodes[input_id].eq, requirement)
+            child_plan = self._extract(run, mesh.nodes[input_id].eq, requirement)
             if not child_plan.properties.covers(requirement):
-                child_plan = self._wrap_enforcer(child_plan, requirement, input_id)
+                child_plan = self._wrap_enforcer(run, child_plan, requirement, input_id)
             total = total + child_plan.cost
             input_plans.append(child_plan)
             actual_inputs.append(child_plan.properties)
@@ -456,13 +518,14 @@ class ExodusOptimizer:
             cost=total,
         )
         if not plan.properties.covers(required):
-            plan = self._wrap_enforcer(plan, required, None, node=node)
+            plan = self._wrap_enforcer(run, plan, required, None, node=node)
         return plan
 
     def _wrap_enforcer(
-        self, plan: PhysicalPlan, requirement: PhysProps, input_id, node=None
+        self, run: _ExodusRun, plan: PhysicalPlan, requirement: PhysProps,
+        input_id, node=None,
     ) -> PhysicalPlan:
-        mesh, context = self._mesh, self._context
+        mesh, context = run.mesh, run.context
         props = (
             mesh.nodes[input_id].props if input_id is not None else node.props
         )

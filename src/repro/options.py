@@ -1,4 +1,4 @@
-"""Shared machinery for optimizer option blocks.
+"""Shared machinery for optimizer option blocks and resource budgets.
 
 Every engine in this package is configured through a small frozen
 dataclass of knobs (:class:`~repro.search.SearchOptions`,
@@ -17,15 +17,36 @@ factored here:
 * **updatable by replacement** — :meth:`~OptionsBase.replace` derives a
   new options value with some fields changed (re-validated), the only
   way to "mutate" one.
+
+This module also defines the resource-governance layer every engine
+shares: :class:`ResourceBudget` (the frozen specification: wall-clock
+deadline, costing quota, rule-firing quota), :class:`BudgetMeter` (the
+per-run tracker that charges work against a budget), and
+:class:`BudgetReport` (the typed account of a trip).  The paper's
+``FindBestPlan`` already accepts a per-goal cost limit — "the user
+interface may permit users to set their own limits to 'catch'
+unreasonable queries"; a :class:`ResourceBudget` bounds the *search
+effort itself* the same way, so optimization latency stays predictable
+under load.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import time
+from typing import Optional
 
 from repro.errors import OptionsError
 
-__all__ = ["OptionsBase", "check_positive", "check_fraction"]
+__all__ = [
+    "OptionsBase",
+    "check_positive",
+    "check_fraction",
+    "ResourceBudget",
+    "BudgetReport",
+    "BudgetMeter",
+    "BudgetTripped",
+]
 
 
 def check_positive(name: str, value) -> None:
@@ -58,3 +79,181 @@ class OptionsBase:
     def replace(self, **changes) -> "OptionsBase":
         """A copy of these options with ``changes`` applied (re-validated)."""
         return dataclasses.replace(self, **changes)
+
+
+@dataclasses.dataclass(frozen=True, kw_only=True)
+class ResourceBudget(OptionsBase):
+    """A frozen per-query bound on optimization effort.
+
+    Every engine option block carries an optional budget; each limit is
+    independent, and the first one hit trips the whole budget.
+
+    ``deadline_seconds``
+        Wall-clock bound on the optimization (not the produced plan's
+        execution), measured from the engine's entry.
+    ``max_costings``
+        Quota on cost-function invocations (algorithm + enforcer
+        costings), the dominant work unit of the costing phase.
+    ``max_rule_firings``
+        Quota on transformation-rule firings, the dominant work unit of
+        logical exploration.
+
+    The composable memory bound stays where it was: ``max_groups`` on
+    :class:`~repro.search.SearchOptions` and ``node_budget`` on
+    :class:`~repro.exodus.ExodusOptions`.
+    """
+
+    deadline_seconds: Optional[float] = None
+    max_costings: Optional[int] = None
+    max_rule_firings: Optional[int] = None
+
+    def validate(self) -> None:
+        """Check field invariants; raise :class:`OptionsError` on failure."""
+        check_positive("deadline_seconds", self.deadline_seconds)
+        check_positive("max_costings", self.max_costings)
+        check_positive("max_rule_firings", self.max_rule_firings)
+
+    @property
+    def is_unbounded(self) -> bool:
+        """True when no limit is set (the meter becomes a no-op)."""
+        return (
+            self.deadline_seconds is None
+            and self.max_costings is None
+            and self.max_rule_firings is None
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class BudgetReport:
+    """The typed account of a budget trip.
+
+    ``tripped`` names the limit that fired (``"deadline"``,
+    ``"costings"``, or ``"rule_firings"``); ``phase`` says how far the
+    search had progressed (``"exploration"`` before any costing,
+    ``"costing"`` mid-``FindBestPlan``, ``"forward_chaining"`` /
+    ``"enumeration"`` in the baselines).  ``best_cost`` is the
+    best-so-far total for the root goal — ``None`` means no complete
+    plan existed when the budget tripped (infinite best-so-far), in
+    which case a degrading engine fell back to its greedy pass.
+    """
+
+    tripped: str
+    phase: str
+    elapsed_seconds: float
+    costings: int
+    rule_firings: int
+    budget: ResourceBudget
+    best_cost: Optional[object] = None
+
+    def __str__(self) -> str:
+        best = str(self.best_cost) if self.best_cost is not None else "inf"
+        return (
+            f"budget tripped: {self.tripped} during {self.phase} "
+            f"after {self.elapsed_seconds:.4f}s "
+            f"({self.costings} costings, {self.rule_firings} rule firings; "
+            f"best-so-far {best})"
+        )
+
+
+class BudgetTripped(Exception):
+    """Internal control-flow signal: a budget limit was hit mid-search.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: engines
+    always catch it at their entry point and either degrade gracefully
+    or convert it into the public
+    :class:`~repro.errors.BudgetExceededError`.  It must never escape
+    an ``optimize()`` call.
+    """
+
+    def __init__(self, tripped: str, phase: str):
+        super().__init__(f"{tripped} budget tripped during {phase}")
+        self.tripped = tripped
+        self.phase = phase
+
+
+class BudgetMeter:
+    """Per-run tracker charging work against a :class:`ResourceBudget`.
+
+    One meter is created per ``optimize()`` call (budgets themselves are
+    frozen values and shareable).  Engines charge the two work units at
+    the sites where the matching :class:`~repro.search.SearchStats`
+    counters move, and call :meth:`check` at every move boundary;
+    ``check`` raises :class:`BudgetTripped` on the first limit hit and
+    keeps raising on subsequent calls (a tripped meter stays tripped).
+
+    With no budget (or an unbounded one) every method is a cheap no-op,
+    so metering adds no measurable cost to unbounded searches.
+    """
+
+    __slots__ = (
+        "budget",
+        "started",
+        "costings",
+        "rule_firings",
+        "tripped",
+        "_armed",
+        "_deadline_at",
+        "_clock",
+    )
+
+    def __init__(
+        self,
+        budget: Optional[ResourceBudget],
+        *,
+        clock=time.perf_counter,
+    ):
+        self.budget = budget
+        self._clock = clock
+        self.started = clock()
+        self.costings = 0
+        self.rule_firings = 0
+        self.tripped: Optional[str] = None
+        self._armed = budget is not None and not budget.is_unbounded
+        self._deadline_at = (
+            self.started + budget.deadline_seconds
+            if self._armed and budget.deadline_seconds is not None
+            else None
+        )
+
+    def elapsed(self) -> float:
+        """Seconds since the meter was armed."""
+        return self._clock() - self.started
+
+    def charge_costing(self) -> None:
+        """Account one cost-function invocation."""
+        self.costings += 1
+
+    def charge_rule_firing(self) -> None:
+        """Account one transformation-rule firing."""
+        self.rule_firings += 1
+
+    def check(self, phase: str) -> None:
+        """Raise :class:`BudgetTripped` when any limit has been hit."""
+        if not self._armed:
+            return
+        if self.tripped is not None:
+            raise BudgetTripped(self.tripped, phase)
+        budget = self.budget
+        if budget.max_costings is not None and self.costings >= budget.max_costings:
+            self.tripped = "costings"
+        elif (
+            budget.max_rule_firings is not None
+            and self.rule_firings >= budget.max_rule_firings
+        ):
+            self.tripped = "rule_firings"
+        elif self._deadline_at is not None and self._clock() >= self._deadline_at:
+            self.tripped = "deadline"
+        if self.tripped is not None:
+            raise BudgetTripped(self.tripped, phase)
+
+    def report(self, phase: str, best_cost=None) -> BudgetReport:
+        """The typed account of this meter's trip (or current standing)."""
+        return BudgetReport(
+            tripped=self.tripped if self.tripped is not None else "none",
+            phase=phase,
+            elapsed_seconds=self.elapsed(),
+            costings=self.costings,
+            rule_firings=self.rule_firings,
+            budget=self.budget if self.budget is not None else ResourceBudget(),
+            best_cost=best_cost,
+        )

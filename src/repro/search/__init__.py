@@ -13,6 +13,7 @@ from typing import Optional, Protocol, runtime_checkable
 
 from repro.algebra.expressions import LogicalExpression
 from repro.algebra.properties import PhysProps
+from repro.options import BudgetReport, ResourceBudget
 from repro.search.engine import (
     OptimizationResult,
     PreoptimizedPlan,
@@ -37,6 +38,8 @@ __all__ = [
     "Winner",
     "SearchStats",
     "Tracer",
+    "ResourceBudget",
+    "BudgetReport",
 ]
 
 

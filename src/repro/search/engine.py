@@ -23,6 +23,23 @@ goal-*directed* part of "directed dynamic programming" — optimizing only
 the (class, property) pairs that larger plans actually request — is
 preserved untouched and is where the efficiency against EXODUS comes
 from.
+
+Two production concerns layer on top of the paper's algorithm:
+
+* **Reentrancy.**  All per-run state (memo, context, stats, tracer,
+  budget meter, the task driver's agenda) lives in a :class:`_SearchRun`
+  object created by ``optimize()`` and threaded through the search, so
+  one engine instance can serve concurrent ``optimize()`` calls — each
+  with its own ``options=`` override — without interference.
+* **Resource governance.**  A :class:`~repro.options.ResourceBudget` on
+  :class:`SearchOptions` bounds wall-clock time, costings, and rule
+  firings.  When a budget trips, the engine *degrades* instead of dying:
+  it stops opening new moves, reuses any memoized winner for the root
+  goal, falls back to a deterministic greedy implementation pass over
+  the explored memo (:func:`repro.search.extract.greedy_plan`), and
+  returns a result flagged ``degraded=True`` with a typed
+  :class:`~repro.options.BudgetReport`.  Only when no valid plan exists
+  at all does it raise :class:`~repro.errors.BudgetExceededError`.
 """
 
 from __future__ import annotations
@@ -38,8 +55,10 @@ from repro.algebra.properties import ANY_PROPS, PhysProps
 from repro.catalog.catalog import Catalog
 from repro.catalog.selectivity import SelectivityEstimator
 from repro.errors import (
+    BudgetExceededError,
     OptimizationFailedError,
     PlanValidationError,
+    ReproError,
     SearchError,
 )
 from repro.model.context import OptimizerContext
@@ -47,7 +66,14 @@ from repro.model.cost import Cost, INFINITE_COST
 from repro.model.patterns import match_memo
 from repro.model.rules import ImplementationRule, TransformationRule
 from repro.model.spec import AlgorithmNode, EnforcerApplication, ModelSpecification
-from repro.options import OptionsBase, check_positive
+from repro.options import (
+    BudgetMeter,
+    BudgetReport,
+    BudgetTripped,
+    OptionsBase,
+    ResourceBudget,
+    check_positive,
+)
 from repro.search.memo import GoalKey, Group, Memo, Winner
 from repro.search.tracing import SearchStats, Tracer
 
@@ -118,6 +144,11 @@ class SearchOptions(OptionsBase):
     ``max_groups``
         Memory budget expressed in equivalence classes; exceeding it
         raises :class:`~repro.errors.SearchError`.
+    ``budget``
+        A :class:`~repro.options.ResourceBudget` bounding search effort
+        (wall-clock deadline, costing quota, rule-firing quota).  When a
+        limit trips, the engine degrades gracefully and flags the result
+        ``degraded=True``; see :mod:`repro.search.engine`.
     ``trace``
         Record a human-readable search trace (slow; for debugging).
     """
@@ -127,6 +158,7 @@ class SearchOptions(OptionsBase):
     min_promise: Optional[float] = None
     check_consistency: bool = True
     max_groups: Optional[int] = None
+    budget: Optional[ResourceBudget] = None
     trace: bool = False
 
     def validate(self) -> None:
@@ -147,6 +179,11 @@ class OptimizationResult:
     benchmarks rely on.  ``memo``/``root_group`` are only populated by
     the memo-based engines; the harvesting helpers raise
     :class:`~repro.errors.SearchError` without them.
+
+    ``degraded`` marks an *anytime* answer: a resource budget tripped
+    mid-search and the plan is valid (it satisfies ``required``) but not
+    proven optimal; ``budget_report`` then records which limit fired and
+    how far the search had progressed.
     """
 
     plan: PhysicalPlan
@@ -156,9 +193,12 @@ class OptimizationResult:
     memo: Optional[Memo] = None
     trace: Optional[str] = None
     root_group: Optional[int] = None
+    degraded: bool = False
+    budget_report: Optional[BudgetReport] = None
 
     def __str__(self) -> str:
-        return f"plan cost {self.cost}\n{self.plan.pretty()}"
+        status = " (DEGRADED)" if self.degraded else ""
+        return f"plan cost {self.cost}{status}\n{self.plan.pretty()}"
 
     def harvest(
         self,
@@ -272,13 +312,53 @@ class _AlgorithmMove:
     promise: float
 
 
+class _SearchRun:
+    """All per-run state of one ``optimize()`` call.
+
+    Created at the entry point and threaded through every search method,
+    so engine instances hold no mutable per-query state: two threads (or
+    a re-entrant caller) can optimize through one engine concurrently,
+    each run carrying its own memo, stats, tracer, budget meter, and —
+    for the task driver — agenda.
+    """
+
+    __slots__ = ("options", "memo", "context", "stats", "tracer", "meter", "agenda")
+
+    def __init__(
+        self,
+        options: SearchOptions,
+        memo: Memo,
+        context: OptimizerContext,
+        stats: SearchStats,
+        tracer: Tracer,
+        meter: BudgetMeter,
+    ):
+        self.options = options
+        self.memo = memo
+        self.context = context
+        self.stats = stats
+        self.tracer = tracer
+        self.meter = meter
+        # The task driver's agenda (None in the recursive engine).
+        self.agenda: Optional[List] = None
+
+    def expressions_of(self, gid: int):
+        """Pattern-matching callback: a group's expressions as triples."""
+        for mexpr in self.memo.group(gid).expressions:
+            yield mexpr.operator, mexpr.args, mexpr.input_groups
+
+    def trace(self, kind: str, detail: str, depth: int) -> None:
+        if self.tracer.enabled:
+            self.tracer.emit(kind, detail, depth)
+
+
 class VolcanoOptimizer:
     """A generated optimizer: model-specific tables + the shared engine.
 
     Instances are produced by :func:`repro.generator.generate_optimizer`
-    (or constructed directly); one instance can optimize many queries.
-    Per the paper, the memo of partial results "is reinitialized for each
-    query being optimized".
+    (or constructed directly); one instance can optimize many queries,
+    sequentially or concurrently.  Per the paper, the memo of partial
+    results "is reinitialized for each query being optimized".
     """
 
     def __init__(
@@ -306,11 +386,6 @@ class VolcanoOptimizer:
         # attachment point for runtime invariant checkers such as
         # :class:`repro.lint.MemoAuditor`.
         self.post_optimize_hooks: List[Callable[["OptimizationResult"], None]] = []
-        # Per-run state, rebound by optimize().
-        self._memo: Optional[Memo] = None
-        self._context: Optional[OptimizerContext] = None
-        self._stats: Optional[SearchStats] = None
-        self._tracer: Optional[Tracer] = None
 
     # ------------------------------------------------------------------
     # Public entry point
@@ -348,17 +423,18 @@ class VolcanoOptimizer:
         explicitly hands over survives.
 
         Raises :class:`OptimizationFailedError` when no plan satisfying
-        the goal exists within the limit.
+        the goal exists within the limit, and
+        :class:`~repro.errors.BudgetExceededError` when a resource
+        budget tripped *and* not even a degraded plan could be built.
         """
         props = _resolve_props(props, required)
-        if options is None:
-            return self._optimize(query, props, limit, preoptimized)
-        previous = self.options
-        self.options = options
-        try:
-            return self._optimize(query, props, limit, preoptimized)
-        finally:
-            self.options = previous
+        return self._optimize(
+            query,
+            props,
+            limit,
+            preoptimized,
+            options if options is not None else self.options,
+        )
 
     def _optimize(
         self,
@@ -366,33 +442,40 @@ class VolcanoOptimizer:
         required: Optional[PhysProps],
         limit: Cost,
         preoptimized: Sequence["PreoptimizedPlan"],
+        options: SearchOptions,
     ) -> OptimizationResult:
         required = required if required is not None else self.spec.any_props
         started = time.perf_counter()
         stats = SearchStats()
-        tracer = Tracer(enabled=self.options.trace)
+        tracer = Tracer(enabled=options.trace)
         context = OptimizerContext(self.spec, self.catalog, self.estimator)
         memo = Memo(
             context,
             stats=stats,
-            check_consistency=self.options.check_consistency,
-            max_groups=self.options.max_groups,
+            check_consistency=options.check_consistency,
+            max_groups=options.max_groups,
         )
         context.group_props_resolver = lambda gid: memo.logical_props(gid)
-        self._memo, self._context = memo, context
-        self._stats, self._tracer = stats, tracer
+        run = _SearchRun(
+            options, memo, context, stats, tracer, BudgetMeter(options.budget)
+        )
         try:
             root = memo.insert_expression(query)
-            self._explore_closure(root)
-            if preoptimized:
-                self._plant_preoptimized(root, preoptimized)
-            winner = self._find_best_plan(root, required, limit, excluded=None, depth=0)
-            stats.elapsed_seconds = time.perf_counter() - started
+            report: Optional[BudgetReport] = None
+            try:
+                self._explore_closure(run, root)
+                if preoptimized:
+                    self._plant_preoptimized(run, root, preoptimized)
+                winner = self._find_best_plan(
+                    run, root, required, limit, excluded=None, depth=0
+                )
+            except BudgetTripped as trip:
+                winner, report = self._degrade(run, root, required, limit, trip)
             if winner is None:
                 raise OptimizationFailedError(
                     f"no plan for goal [{required}] within limit {limit}"
                 )
-            if self.options.check_consistency and not self.spec.props_cover(
+            if options.check_consistency and not self.spec.props_cover(
                 winner.plan.properties, required
             ):
                 raise PlanValidationError(
@@ -407,25 +490,85 @@ class VolcanoOptimizer:
                 memo=memo,
                 trace=tracer.render() if tracer.enabled else None,
                 root_group=memo.canonical(root),
+                degraded=report is not None,
+                budget_report=report,
             )
             for hook in self.post_optimize_hooks:
                 hook(result)
             return result
+        except ReproError as error:
+            # Aborted searches still report how far they got: partial
+            # stats (with wall-clock) ride on the raised error.
+            if getattr(error, "stats", None) is None:
+                error.stats = stats
+            raise
         finally:
-            self._memo = self._context = None
-            self._stats = self._tracer = None
+            # Success, degradation, and abort all account elapsed time
+            # (the stats object is shared with the result).
+            stats.elapsed_seconds = time.perf_counter() - started
 
-    def _plant_preoptimized(self, root, preoptimized) -> None:
+    # ------------------------------------------------------------------
+    # Anytime degradation (resource governance)
+    # ------------------------------------------------------------------
+
+    def _degrade(
+        self,
+        run: _SearchRun,
+        root: int,
+        required: PhysProps,
+        limit: Cost,
+        trip: BudgetTripped,
+    ) -> Tuple[Winner, BudgetReport]:
+        """Best-effort completion after a budget trip.
+
+        In order of preference: the root goal's memoized winner (the
+        trip happened after it was solved, e.g. while re-optimizing
+        under a caller's limit), else a deterministic greedy
+        implementation pass over whatever the search explored
+        (:func:`repro.search.extract.greedy_plan`).  Nothing found is
+        the only case that escalates to
+        :class:`~repro.errors.BudgetExceededError` — and nothing is
+        memoized on this path, so a degraded dead end is never confused
+        with a proven optimization failure.
+        """
+        from repro.search.extract import greedy_plan
+
+        run.stats.budget_trips += 1
+        memo = run.memo
+        gid = memo.canonical(root)
+        winner = memo.group(gid).winners.get((required, None))
+        if winner is not None and not winner.cost <= limit:
+            winner = None
+        if winner is None:
+            plan = greedy_plan(memo, run.context, gid, required)
+            if plan is not None and plan.cost <= limit:
+                run.stats.greedy_plans += 1
+                winner = Winner(plan, plan.cost)
+        report = run.meter.report(
+            trip.phase, best_cost=winner.cost if winner is not None else None
+        )
+        run.trace("budget", str(report), 0)
+        if winner is None:
+            raise BudgetExceededError(
+                f"optimization budget exhausted ({report.tripped} during "
+                f"{report.phase}) and no valid plan exists for goal "
+                f"[{required}] within limit {limit}",
+                report=report,
+                stats=run.stats,
+            )
+        return winner, report
+
+    def _plant_preoptimized(self, run: _SearchRun, root, preoptimized) -> None:
         """Seed trusted winners into the memo (after logical closure).
 
         Inserting a seed expression may add new logical content; closure
         is re-run so any merges settle *before* the winners are planted
         (merges clear cached winners, so planting must come last).
         """
-        memo = self._memo
+        memo = run.memo
         for seed in preoptimized:
             memo.insert_expression(seed.expression)
-        self._explore_closure(root)
+        self._explore_closure(run, root)
         for seed in preoptimized:
             gid = memo.insert_expression(seed.expression)
             winners = memo.group(gid).winners
@@ -433,25 +576,26 @@ class VolcanoOptimizer:
             if existing is not None and existing.cost <= seed.cost:
                 continue
             winners[(seed.required, None)] = Winner(seed.plan, seed.cost)
-            self._stats.seeds_planted += 1
+            run.stats.seeds_planted += 1
 
     # ------------------------------------------------------------------
     # Logical exploration (transformation moves)
     # ------------------------------------------------------------------
 
-    def _explore_closure(self, root: int) -> None:
+    def _explore_closure(self, run: _SearchRun, root: int) -> None:
         """Apply transformation rules to fixpoint over the reachable memo."""
-        memo, stats = self._memo, self._stats
+        memo, stats = run.memo, run.stats
         changed = True
         while changed:
             changed = False
             stats.exploration_passes += 1
             for gid in memo.reachable(root):
-                changed |= self._explore_group(gid)
+                changed |= self._explore_group(run, gid)
 
-    def _explore_group(self, gid: int) -> bool:
+    def _explore_group(self, run: _SearchRun, gid: int) -> bool:
         """One pass of rule application over a group; True when it changed."""
-        memo, stats, context = self._memo, self._stats, self._context
+        memo, stats, context = run.memo, run.stats, run.context
+        options, meter = run.options, run.meter
         gid = memo.canonical(gid)
         if memo.group(gid).explored:
             return False
@@ -465,9 +609,10 @@ class VolcanoOptimizer:
             mexpr = group.expressions[index]
             index += 1
             for rule in self._transformations.get(mexpr.operator, ()):
+                meter.check("exploration")
                 if (
-                    self.options.min_promise is not None
-                    and rule.promise < self.options.min_promise
+                    options.min_promise is not None
+                    and rule.promise < options.min_promise
                 ):
                     stats.moves_pruned += 1
                     continue
@@ -476,7 +621,7 @@ class VolcanoOptimizer:
                     mexpr.operator,
                     mexpr.args,
                     mexpr.input_groups,
-                    self._expressions_of,
+                    run.expressions_of,
                 ):
                     fingerprint = (
                         rule.name,
@@ -496,6 +641,7 @@ class VolcanoOptimizer:
                         results = [results]
                     for new_expression in results:
                         stats.rules_fired += 1
+                        meter.charge_rule_firing()
                         if memo.add_expression_to_group(new_expression, gid):
                             changed = True
                         gid = memo.canonical(gid)
@@ -503,29 +649,26 @@ class VolcanoOptimizer:
         memo.group(gid).explored = True
         return changed
 
-    def _expressions_of(self, gid: int):
-        """Pattern-matching callback: a group's expressions as triples."""
-        for mexpr in self._memo.group(gid).expressions:
-            yield mexpr.operator, mexpr.args, mexpr.input_groups
-
     # ------------------------------------------------------------------
     # FindBestPlan (Figure 2)
     # ------------------------------------------------------------------
 
     def _find_best_plan(
         self,
+        run: _SearchRun,
         gid: int,
         required: PhysProps,
         limit: Cost,
         excluded: Optional[PhysProps],
         depth: int,
     ) -> Optional[Winner]:
-        memo, stats = self._memo, self._stats
+        memo, stats = run.memo, run.stats
         gid = memo.canonical(gid)
         group = memo.group(gid)
         key: GoalKey = (required, excluded)
         stats.find_best_plan_calls += 1
-        self._trace("goal", f"g{gid} [{required}] limit={limit}", depth)
+        run.meter.check("costing")
+        run.trace("goal", f"g{gid} [{required}] limit={limit}", depth)
 
         # "if the pair LogExpr and PhysProp is in the look-up table"
         winner = group.winners.get(key)
@@ -534,7 +677,7 @@ class VolcanoOptimizer:
             if winner.cost <= limit:
                 return winner
             return None
-        if self.options.cache_failures:
+        if run.options.cache_failures:
             failed_at = group.failures.get(key)
             if failed_at is not None and limit <= failed_at:
                 stats.failure_hits += 1
@@ -546,24 +689,27 @@ class VolcanoOptimizer:
 
         group.mark_in_progress(key)
         try:
-            best = self._optimize_goal(gid, required, limit, excluded, depth)
+            best = self._optimize_goal(run, gid, required, limit, excluded, depth)
         finally:
+            # Unwinds on success AND on a budget trip propagating through,
+            # so aborted searches leave no stale in-progress marks.
             memo.group(gid).unmark_in_progress(key)
 
         group = memo.group(gid)
         if best is not None:
             group.winners[key] = best
-            self._trace("winner", f"g{gid} [{required}] cost={best.cost}", depth)
+            run.trace("winner", f"g{gid} [{required}] cost={best.cost}", depth)
             return best
-        if self.options.cache_failures:
+        if run.options.cache_failures:
             previous = group.failures.get(key)
             if previous is None or previous < limit:
                 group.failures[key] = limit
-        self._trace("failure", f"g{gid} [{required}] limit={limit}", depth)
+        run.trace("failure", f"g{gid} [{required}] limit={limit}", depth)
         return None
 
     def _optimize_goal(
         self,
+        run: _SearchRun,
         gid: int,
         required: PhysProps,
         limit: Cost,
@@ -571,46 +717,49 @@ class VolcanoOptimizer:
         depth: int,
     ) -> Optional[Winner]:
         """Generate, order, and pursue moves for one goal."""
-        memo = self._memo
+        memo = run.memo
         group = memo.group(gid)
-        moves = self._algorithm_moves(group)
+        moves = self._algorithm_moves(run, group)
         # "order the set of moves by promise"
         moves.sort(key=lambda move: -move.promise)
 
         best: Optional[Winner] = None
-        bound = limit if self.options.branch_and_bound else INFINITE_COST
+        bound = limit if run.options.branch_and_bound else INFINITE_COST
         for move in moves:
+            run.meter.check("costing")
             candidate = self._pursue_algorithm(
-                group, move, required, bound, excluded, depth
+                run, group, move, required, bound, excluded, depth
             )
             if candidate is None:
                 continue
             if best is None or candidate.cost < best.cost:
                 best = candidate
-                if self.options.branch_and_bound and candidate.cost < bound:
+                if run.options.branch_and_bound and candidate.cost < bound:
                     bound = candidate.cost
         # Enforcer moves: "enforcers for required PhysProp".
         if not required.is_any:
             for enforcer_name in self.spec.enforcers:
                 for application in self.spec.enforcer_applications(
-                    enforcer_name, self._context, required, group.logical_props
+                    enforcer_name, run.context, required, group.logical_props
                 ):
+                    run.meter.check("costing")
                     candidate = self._pursue_enforcer(
-                        gid, enforcer_name, application, required, bound, excluded, depth
+                        run, gid, enforcer_name, application, required, bound,
+                        excluded, depth,
                     )
                     if candidate is None:
                         continue
                     if best is None or candidate.cost < best.cost:
                         best = candidate
-                        if self.options.branch_and_bound and candidate.cost < bound:
+                        if run.options.branch_and_bound and candidate.cost < bound:
                             bound = candidate.cost
         if best is not None and not best.cost <= limit:
             return None
         return best
 
-    def _algorithm_moves(self, group: Group) -> List[_AlgorithmMove]:
+    def _algorithm_moves(self, run: _SearchRun, group: Group) -> List[_AlgorithmMove]:
         """Implementation-rule bindings over every expression of a group."""
-        context = self._context
+        context = run.context
         moves: List[_AlgorithmMove] = []
         seen = set()
         for mexpr in group.expressions:
@@ -620,9 +769,9 @@ class VolcanoOptimizer:
                     mexpr.operator,
                     mexpr.args,
                     mexpr.input_groups,
-                    self._expressions_of,
+                    run.expressions_of,
                 ):
-                    self._stats.rule_bindings_tried += 1
+                    run.stats.rule_bindings_tried += 1
                     if not rule.applies(binding, context):
                         continue
                     if rule.build_args is not None:
@@ -630,7 +779,7 @@ class VolcanoOptimizer:
                     else:
                         args = mexpr.args
                     input_groups = tuple(
-                        self._memo.canonical(binding[name].args[0])
+                        run.memo.canonical(binding[name].args[0])
                         for name in rule.input_names
                     )
                     fingerprint = (rule.algorithm, args, input_groups)
@@ -644,6 +793,7 @@ class VolcanoOptimizer:
 
     def _pursue_algorithm(
         self,
+        run: _SearchRun,
         group: Group,
         move: _AlgorithmMove,
         required: PhysProps,
@@ -651,7 +801,7 @@ class VolcanoOptimizer:
         excluded: Optional[PhysProps],
         depth: int,
     ) -> Optional[Winner]:
-        memo, context, stats = self._memo, self._context, self._stats
+        memo, context, stats = run.memo, run.context, run.stats
         algorithm = self.spec.algorithm(move.rule.algorithm)
         node = AlgorithmNode(
             move.args,
@@ -670,9 +820,10 @@ class VolcanoOptimizer:
                     f"{len(move.input_groups)} inputs"
                 )
             stats.algorithm_costings += 1
+            run.meter.charge_costing()
             # "TotalCost := cost of the algorithm"
             total = algorithm.cost(context, node)
-            if self.options.branch_and_bound and bound < total:
+            if run.options.branch_and_bound and bound < total:
                 stats.moves_pruned += 1
                 continue
             # "for each input I while TotalCost < Limit …"
@@ -682,7 +833,7 @@ class VolcanoOptimizer:
                 move.input_groups, input_requirements
             ):
                 sub = self._find_best_plan(
-                    input_gid, input_required, bound - total, None, depth + 1
+                    run, input_gid, input_required, bound - total, None, depth + 1
                 )
                 if sub is None:
                     stats.inputs_abandoned += 1
@@ -690,7 +841,7 @@ class VolcanoOptimizer:
                     break
                 total = total + sub.cost
                 input_winners.append(sub)
-                if self.options.branch_and_bound and bound < total:
+                if run.options.branch_and_bound and bound < total:
                     stats.inputs_abandoned += 1
                     abandoned = True
                     break
@@ -725,6 +876,7 @@ class VolcanoOptimizer:
 
     def _pursue_enforcer(
         self,
+        run: _SearchRun,
         gid: int,
         enforcer_name: str,
         application: EnforcerApplication,
@@ -733,7 +885,7 @@ class VolcanoOptimizer:
         excluded: Optional[PhysProps],
         depth: int,
     ) -> Optional[Winner]:
-        memo, context, stats = self._memo, self._context, self._stats
+        memo, context, stats = run.memo, run.context, run.stats
         enforcer = self.spec.enforcer(enforcer_name)
         if application.relaxed == required:
             raise SearchError(
@@ -749,20 +901,22 @@ class VolcanoOptimizer:
             application.args, group.logical_props, (group.logical_props,)
         )
         stats.enforcer_costings += 1
+        run.meter.charge_costing()
         # "TotalCost := cost of the enforcer" …
         total = enforcer.cost(context, node)
-        if self.options.branch_and_bound and bound < total:
+        if run.options.branch_and_bound and bound < total:
             stats.moves_pruned += 1
             return None
         # … "call FindBestPlan for LogExpr with new [relaxed] PhysProp",
         # excluding algorithms that could satisfy the enforced property.
         sub = self._find_best_plan(
-            gid, application.relaxed, bound - total, application.excluded, depth + 1
+            run, gid, application.relaxed, bound - total, application.excluded,
+            depth + 1,
         )
         if sub is None:
             return None
         total = total + sub.cost
-        if self.options.branch_and_bound and bound < total:
+        if run.options.branch_and_bound and bound < total:
             return None
         if not self.spec.props_cover(application.delivered, required):
             return None
@@ -775,9 +929,3 @@ class VolcanoOptimizer:
             is_enforcer=True,
         )
         return Winner(plan, total)
-
-    # ------------------------------------------------------------------
-
-    def _trace(self, kind: str, detail: str, depth: int) -> None:
-        if self._tracer is not None and self._tracer.enabled:
-            self._tracer.emit(kind, detail, depth)

@@ -24,7 +24,7 @@ from repro.model.spec import AlgorithmNode, ModelSpecification
 from repro.search.engine import OptimizationResult
 from repro.search.memo import Memo
 
-__all__ = ["alternative_plans", "count_logical_expressions"]
+__all__ = ["alternative_plans", "count_logical_expressions", "greedy_plan"]
 
 
 def count_logical_expressions(memo: Memo, root: int) -> int:
@@ -128,6 +128,194 @@ def alternative_plans(
                     if len(plans) >= limit:
                         return plans
     return plans
+
+
+def greedy_plan(
+    memo: Memo,
+    context: OptimizerContext,
+    gid: int,
+    required: PhysProps,
+) -> Optional[PhysicalPlan]:
+    """A deterministic first-feasible plan over a (partially) explored memo.
+
+    The anytime-degradation fallback of the resource-governance layer
+    (see :mod:`repro.search.engine`): when a budget trips before the
+    root goal has a memoized winner, this builds *some* valid plan from
+    whatever logical content exploration produced, without opening the
+    costing search again.  The policy is greedy and deterministic:
+
+    * memoized winners are reused wherever they exist (they are sound —
+      the trip cannot corrupt completed goals);
+    * otherwise each goal takes the *first feasible* implementation
+      move, trying moves in descending rule promise (ties broken by
+      discovery order) and alternatives in the algorithm's own order;
+    * when no algorithm can deliver the goal's properties, enforcers
+      are tried with their relaxed/excluding vectors, exactly like the
+      real search.
+
+    Costs are computed with the same support functions, so the returned
+    plan's ``cost`` is honest — just not proven minimal.  Returns
+    ``None`` when no valid plan exists in the explored space.
+    """
+    spec = context.spec
+    implementations: dict = {}
+    for rule in spec.implementations:
+        implementations.setdefault(rule.top_operator, []).append(rule)
+
+    def expressions_of(inner_gid):
+        for mexpr in memo.group(inner_gid).expressions:
+            yield mexpr.operator, mexpr.args, mexpr.input_groups
+
+    # (gid, required, excluded) -> plan or None; a None is only cached
+    # when the failure did not hinge on a cycle refusal (see below).
+    cache: dict = {}
+    refusals = [0]
+
+    def moves_of(group):
+        moves = []
+        seen = set()
+        for mexpr in group.expressions:
+            for rule in implementations.get(mexpr.operator, ()):
+                for binding in match_memo(
+                    rule.pattern,
+                    mexpr.operator,
+                    mexpr.args,
+                    mexpr.input_groups,
+                    expressions_of,
+                ):
+                    if not rule.applies(binding, context):
+                        continue
+                    args = (
+                        tuple(rule.build_args(binding, context))
+                        if rule.build_args is not None
+                        else mexpr.args
+                    )
+                    input_groups = tuple(
+                        memo.canonical(binding[name].args[0])
+                        for name in rule.input_names
+                    )
+                    fingerprint = (rule.algorithm, args, input_groups)
+                    if fingerprint in seen:
+                        continue
+                    seen.add(fingerprint)
+                    moves.append((rule, args, input_groups))
+        # Stable sort: descending promise, discovery order within ties.
+        moves.sort(key=lambda move: -move[0].promise)
+        return moves
+
+    def solve(goal_gid, goal_required, excluded, path):
+        goal_gid = memo.canonical(goal_gid)
+        key = (goal_gid, goal_required, excluded)
+        if key in cache:
+            return cache[key]
+        if key in path:
+            # A cycle through equivalent goals: refuse here, the outer
+            # attempt decides.  Not a definitive failure, so not cached.
+            refusals[0] += 1
+            return None
+        group = memo.group(goal_gid)
+        winner = group.winners.get((goal_required, excluded))
+        if winner is not None:
+            cache[key] = winner.plan
+            return winner.plan
+        path.add(key)
+        before = refusals[0]
+        try:
+            for rule, args, input_groups in moves_of(group):
+                algorithm = spec.algorithm(rule.algorithm)
+                node = AlgorithmNode(
+                    args,
+                    group.logical_props,
+                    tuple(memo.logical_props(g) for g in input_groups),
+                )
+                for requirements in (
+                    algorithm.applicability(context, node, goal_required) or ()
+                ):
+                    if len(requirements) != len(input_groups):
+                        continue
+                    input_plans = []
+                    total = algorithm.cost(context, node)
+                    feasible = True
+                    for input_gid, input_required in zip(
+                        input_groups, requirements
+                    ):
+                        sub = solve(input_gid, input_required, None, path)
+                        if sub is None:
+                            feasible = False
+                            break
+                        input_plans.append(sub)
+                        total = total + sub.cost
+                    if not feasible:
+                        continue
+                    delivered = algorithm.derive_props(
+                        context,
+                        node,
+                        tuple(plan.properties for plan in input_plans),
+                    )
+                    if not spec.props_cover(delivered, goal_required):
+                        continue
+                    if excluded is not None and spec.props_cover(
+                        delivered, excluded
+                    ):
+                        continue
+                    plan = PhysicalPlan(
+                        algorithm.name,
+                        args,
+                        tuple(input_plans),
+                        properties=delivered,
+                        cost=total,
+                    )
+                    cache[key] = plan
+                    return plan
+            # Enforcer fallback, mirroring the real search's moves.
+            if not goal_required.is_any:
+                for name in spec.enforcers:
+                    for application in spec.enforcer_applications(
+                        name, context, goal_required, group.logical_props
+                    ):
+                        if application.relaxed == goal_required:
+                            continue
+                        if excluded is not None and spec.props_cover(
+                            application.delivered, excluded
+                        ):
+                            continue
+                        sub = solve(
+                            goal_gid,
+                            application.relaxed,
+                            application.excluded,
+                            path,
+                        )
+                        if sub is None:
+                            continue
+                        if not spec.props_cover(
+                            application.delivered, goal_required
+                        ):
+                            continue
+                        enforcer = spec.enforcer(name)
+                        node = AlgorithmNode(
+                            application.args,
+                            group.logical_props,
+                            (group.logical_props,),
+                        )
+                        total = enforcer.cost(context, node) + sub.cost
+                        plan = PhysicalPlan(
+                            name,
+                            application.args,
+                            (sub,),
+                            properties=application.delivered,
+                            cost=total,
+                            is_enforcer=True,
+                        )
+                        cache[key] = plan
+                        return plan
+            if refusals[0] == before:
+                # No cycle refusal influenced this failure: definitive.
+                cache[key] = None
+            return None
+        finally:
+            path.discard(key)
+
+    return solve(gid, required, None, set())
 
 
 def _root_group(memo: Memo) -> int:

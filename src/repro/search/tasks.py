@@ -25,6 +25,13 @@ control flow differs:
 The *scheduler* is the parameterization hook: LIFO reproduces the
 recursive engine's order exactly; a priority scheduler can reorder
 sibling moves globally by promise.
+
+Per-run state (memo, stats, agenda, budget meter) travels in the
+:class:`~repro.search.engine._SearchRun` object every task receives, so
+the task driver is as reentrant as the recursive engine.  A budget trip
+raises through the agenda loop before ``_FinishGoal`` runs, which means
+an interrupted goal memoizes *neither* a winner nor a failure — exactly
+the non-poisoning guarantee the recursive engine gives.
 """
 
 from __future__ import annotations
@@ -35,7 +42,7 @@ from repro.algebra.plans import PhysicalPlan
 from repro.errors import SearchError
 from repro.model.cost import Cost, INFINITE_COST
 from repro.model.spec import AlgorithmNode, EnforcerApplication
-from repro.search.engine import VolcanoOptimizer, _AlgorithmMove
+from repro.search.engine import VolcanoOptimizer, _AlgorithmMove, _SearchRun
 from repro.search.memo import GoalKey, Winner
 
 __all__ = ["TaskBasedOptimizer", "lifo_scheduler"]
@@ -75,12 +82,31 @@ class _GoalState:
 
 
 class _Task:
-    """Base task; ``run`` may push follow-up tasks onto the agenda."""
+    """Base task; ``step`` may push follow-up tasks onto the run's agenda."""
 
     __slots__ = ()
 
-    def run(self, engine: "TaskBasedOptimizer") -> None:
+    def step(self, engine: "TaskBasedOptimizer", run: _SearchRun) -> None:
         raise NotImplementedError
+
+
+def _lookup(run: _SearchRun, gid, required, excluded) -> Optional[Winner]:
+    group = run.memo.group(gid)
+    return group.winners.get((required, excluded))
+
+
+def _known_failure(run: _SearchRun, gid, required, excluded, limit) -> bool:
+    """A cached failure applies at this limit.
+
+    With failure caching off this always answers False; the resume
+    tasks' ``started`` flags then distinguish "not yet attempted"
+    from "attempted and failed".
+    """
+    if not run.options.cache_failures:
+        return False
+    group = run.memo.group(gid)
+    failed_at = group.failures.get((required, excluded))
+    return failed_at is not None and limit <= failed_at
 
 
 class _BeginGoal(_Task):
@@ -89,22 +115,22 @@ class _BeginGoal(_Task):
     def __init__(self, state: _GoalState):
         self.state = state
 
-    def run(self, engine) -> None:
+    def step(self, engine, run) -> None:
         state = self.state
-        memo = engine._memo
+        memo = run.memo
         group = memo.group(state.gid)
         key = state.key
         winner = group.winners.get(key)
         if winner is not None:
-            engine._stats.winner_hits += 1
+            run.stats.winner_hits += 1
             if winner.cost <= state.limit:
                 state.best = winner
             state.finished = True
             return
-        if engine.options.cache_failures:
+        if run.options.cache_failures:
             failed_at = group.failures.get(key)
             if failed_at is not None and state.limit <= failed_at:
-                engine._stats.failure_hits += 1
+                run.stats.failure_hits += 1
                 state.finished = True
                 return
         if group.is_in_progress(key):
@@ -112,21 +138,21 @@ class _BeginGoal(_Task):
             state.finished = True
             return
         group.mark_in_progress(key)
-        engine._stats.find_best_plan_calls += 1
+        run.stats.find_best_plan_calls += 1
         # Finish runs after every move task (stack discipline: push first).
-        engine._push(_FinishGoal(state))
+        run.agenda.append(_FinishGoal(state))
         # Enforcer moves.
         if not state.required.is_any:
             for name in engine.spec.enforcers:
                 for application in engine.spec.enforcer_applications(
-                    name, engine._context, state.required, group.logical_props
+                    name, run.context, state.required, group.logical_props
                 ):
-                    engine._push(_CostEnforcer(state, name, application))
+                    run.agenda.append(_CostEnforcer(state, name, application))
         # Algorithm moves, highest promise on top of the stack.
-        moves = engine._algorithm_moves(group)
+        moves = engine._algorithm_moves(run, group)
         moves.sort(key=lambda move: move.promise)
         for move in moves:
-            engine._push(_ExpandMove(state, move))
+            run.agenda.append(_ExpandMove(state, move))
 
 
 class _ExpandMove(_Task):
@@ -138,9 +164,9 @@ class _ExpandMove(_Task):
         self.state = state
         self.move = move
 
-    def run(self, engine) -> None:
+    def step(self, engine, run) -> None:
         state, move = self.state, self.move
-        memo = engine._memo
+        memo = run.memo
         group = memo.group(state.gid)
         algorithm = engine.spec.algorithm(move.rule.algorithm)
         node = AlgorithmNode(
@@ -148,9 +174,7 @@ class _ExpandMove(_Task):
             group.logical_props,
             tuple(memo.logical_props(gid) for gid in move.input_groups),
         )
-        alternatives = algorithm.applicability(
-            engine._context, node, state.required
-        )
+        alternatives = algorithm.applicability(run.context, node, state.required)
         for requirements in alternatives or ():
             if len(requirements) != len(move.input_groups):
                 raise SearchError(
@@ -158,9 +182,10 @@ class _ExpandMove(_Task):
                     f"{len(requirements)} input requirements for "
                     f"{len(move.input_groups)} inputs"
                 )
-            engine._stats.algorithm_costings += 1
-            local = algorithm.cost(engine._context, node)
-            engine._push(
+            run.stats.algorithm_costings += 1
+            run.meter.charge_costing()
+            local = algorithm.cost(run.context, node)
+            run.agenda.append(
                 _CostAlternative(
                     state, move, node, tuple(requirements), local, (), 0
                 )
@@ -191,22 +216,22 @@ class _CostAlternative(_Task):
         self.index = index
         self.started = False
 
-    def run(self, engine) -> None:
+    def step(self, engine, run) -> None:
         state = self.state
-        if engine.options.branch_and_bound and state.bound < self.total:
-            engine._stats.moves_pruned += 1
+        if run.options.branch_and_bound and state.bound < self.total:
+            run.stats.moves_pruned += 1
             return
         if self.index == len(self.requirements):
-            self._finalize(engine)
+            self._finalize(engine, run)
             return
         input_gid = self.move.input_groups[self.index]
         required = self.requirements[self.index]
-        winner = engine._lookup(input_gid, required, None)
+        winner = _lookup(run, input_gid, required, None)
         if winner is not None:
             if not winner.cost <= state.bound - self.total:
-                engine._stats.inputs_abandoned += 1
+                run.stats.inputs_abandoned += 1
                 return
-            engine._push(
+            run.agenda.append(
                 _CostAlternative(
                     state,
                     self.move,
@@ -218,11 +243,11 @@ class _CostAlternative(_Task):
                 )
             )
             return
-        if self.started or engine._known_failure(
-            input_gid, required, None, state.bound - self.total
+        if self.started or _known_failure(
+            run, input_gid, required, None, state.bound - self.total
         ):
             # The subgoal already ran (or a cached failure applies).
-            engine._stats.inputs_abandoned += 1
+            run.stats.inputs_abandoned += 1
             return
         # The input goal is unsolved: suspend behind its tasks.
         subgoal = _GoalState(
@@ -230,17 +255,17 @@ class _CostAlternative(_Task):
             required,
             None,
             state.bound - self.total,
-            engine.options.branch_and_bound,
+            run.options.branch_and_bound,
         )
         self.started = True
-        engine._push(self)  # resume afterwards (winner will be memoized)
-        engine._push(_BeginGoal(subgoal))
+        run.agenda.append(self)  # resume afterwards (winner will be memoized)
+        run.agenda.append(_BeginGoal(subgoal))
 
-    def _finalize(self, engine) -> None:
+    def _finalize(self, engine, run) -> None:
         state = self.state
         algorithm = engine.spec.algorithm(self.move.rule.algorithm)
         delivered = algorithm.derive_props(
-            engine._context,
+            run.context,
             self.node,
             tuple(plan.properties for plan in self.plans),
         )
@@ -249,7 +274,7 @@ class _CostAlternative(_Task):
         if state.excluded is not None and engine.spec.props_cover(
             delivered, state.excluded
         ):
-            engine._stats.moves_pruned += 1
+            run.stats.moves_pruned += 1
             return
         plan = PhysicalPlan(
             algorithm.name,
@@ -258,7 +283,7 @@ class _CostAlternative(_Task):
             properties=delivered,
             cost=self.total,
         )
-        state.offer(Winner(plan, self.total), engine.options.branch_and_bound)
+        state.offer(Winner(plan, self.total), run.options.branch_and_bound)
 
 
 class _CostEnforcer(_Task):
@@ -271,7 +296,7 @@ class _CostEnforcer(_Task):
         self.local: Optional[Cost] = None
         self.started = False
 
-    def run(self, engine) -> None:
+    def step(self, engine, run) -> None:
         state = self.state
         application = self.application
         if application.relaxed == state.required:
@@ -282,42 +307,44 @@ class _CostEnforcer(_Task):
         if state.excluded is not None and engine.spec.props_cover(
             application.delivered, state.excluded
         ):
-            engine._stats.moves_pruned += 1
+            run.stats.moves_pruned += 1
             return
-        memo = engine._memo
+        memo = run.memo
         group = memo.group(state.gid)
         if self.local is None:
             node = AlgorithmNode(
                 application.args, group.logical_props, (group.logical_props,)
             )
-            engine._stats.enforcer_costings += 1
-            self.local = engine.spec.enforcer(self.name).cost(engine._context, node)
-        if engine.options.branch_and_bound and state.bound < self.local:
-            engine._stats.moves_pruned += 1
+            run.stats.enforcer_costings += 1
+            run.meter.charge_costing()
+            self.local = engine.spec.enforcer(self.name).cost(run.context, node)
+        if run.options.branch_and_bound and state.bound < self.local:
+            run.stats.moves_pruned += 1
             return
-        winner = engine._lookup(state.gid, application.relaxed, application.excluded)
+        winner = _lookup(run, state.gid, application.relaxed, application.excluded)
         if winner is None:
-            if self.started or engine._known_failure(
+            if self.started or _known_failure(
+                run,
                 state.gid,
                 application.relaxed,
                 application.excluded,
                 state.bound - self.local,
             ):
-                engine._stats.inputs_abandoned += 1
+                run.stats.inputs_abandoned += 1
                 return
             subgoal = _GoalState(
                 state.gid,
                 application.relaxed,
                 application.excluded,
                 state.bound - self.local,
-                engine.options.branch_and_bound,
+                run.options.branch_and_bound,
             )
             self.started = True
-            engine._push(self)
-            engine._push(_BeginGoal(subgoal))
+            run.agenda.append(self)
+            run.agenda.append(_BeginGoal(subgoal))
             return
         total = self.local + winner.cost
-        if engine.options.branch_and_bound and state.bound < total:
+        if run.options.branch_and_bound and state.bound < total:
             return
         if not engine.spec.props_cover(application.delivered, state.required):
             return
@@ -329,7 +356,7 @@ class _CostEnforcer(_Task):
             cost=total,
             is_enforcer=True,
         )
-        state.offer(Winner(plan, total), engine.options.branch_and_bound)
+        state.offer(Winner(plan, total), run.options.branch_and_bound)
 
 
 class _FinishGoal(_Task):
@@ -338,17 +365,16 @@ class _FinishGoal(_Task):
     def __init__(self, state: _GoalState):
         self.state = state
 
-    def run(self, engine) -> None:
+    def step(self, engine, run) -> None:
         state = self.state
-        memo = engine._memo
-        group = memo.group(state.gid)
+        group = run.memo.group(state.gid)
         group.unmark_in_progress(state.key)
         state.finished = True
         if state.best is not None and state.best.cost <= state.limit:
             group.winners[state.key] = state.best
             return
         state.best = None
-        if engine.options.cache_failures:
+        if run.options.cache_failures:
             previous = group.failures.get(state.key)
             if previous is None or previous < state.limit:
                 group.failures[state.key] = state.limit
@@ -372,42 +398,21 @@ class TaskBasedOptimizer(VolcanoOptimizer):
     def __init__(self, *args, scheduler: Callable = lifo_scheduler, **kwargs):
         super().__init__(*args, **kwargs)
         self._scheduler = scheduler
-        self._agenda: List[_Task] = []
-
-    # -- agenda ----------------------------------------------------------
-
-    def _push(self, task: _Task) -> None:
-        self._agenda.append(task)
-
-    def _lookup(self, gid, required, excluded) -> Optional[Winner]:
-        group = self._memo.group(gid)
-        return group.winners.get((required, excluded))
-
-    def _known_failure(self, gid, required, excluded, limit) -> bool:
-        """A cached failure applies at this limit.
-
-        With failure caching off this always answers False; the resume
-        tasks' ``started`` flags then distinguish "not yet attempted"
-        from "attempted and failed".
-        """
-        if not self.options.cache_failures:
-            return False
-        group = self._memo.group(gid)
-        failed_at = group.failures.get((required, excluded))
-        return failed_at is not None and limit <= failed_at
 
     # -- entry point -------------------------------------------------------
 
-    def _find_best_plan(self, gid, required, limit, excluded, depth):
+    def _find_best_plan(self, run, gid, required, limit, excluded, depth):
         """Drive the task agenda instead of recursing."""
-        state = _GoalState(
-            gid, required, excluded, limit, self.options.branch_and_bound
-        )
-        self._agenda = []
-        self._push(_BeginGoal(state))
-        while self._agenda:
-            task = self._scheduler(self._agenda)
-            task.run(self)
+        state = _GoalState(gid, required, excluded, limit, run.options.branch_and_bound)
+        saved = run.agenda
+        run.agenda = [_BeginGoal(state)]
+        try:
+            while run.agenda:
+                run.meter.check("costing")
+                task = self._scheduler(run.agenda)
+                task.step(self, run)
+        finally:
+            run.agenda = saved
         if not state.finished:
             raise SearchError("task agenda drained before the goal finished")
         return state.best

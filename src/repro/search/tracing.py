@@ -50,6 +50,9 @@ class SearchStats:
     # Cross-query reuse counters (the service's memo persistence hooks).
     seeds_planted: int = 0
     winners_harvested: int = 0
+    # Resource-governance counters (repro.options.ResourceBudget).
+    budget_trips: int = 0
+    greedy_plans: int = 0
     # Wall-clock, filled in by the engine.
     elapsed_seconds: float = 0.0
 
@@ -76,6 +79,8 @@ class SearchStats:
             "exploration_passes": self.exploration_passes,
             "seeds_planted": self.seeds_planted,
             "winners_harvested": self.winners_harvested,
+            "budget_trips": self.budget_trips,
+            "greedy_plans": self.greedy_plans,
             "elapsed_seconds": self.elapsed_seconds,
         }
 
@@ -91,18 +96,34 @@ class SearchStats:
 
 
 class Tracer:
-    """Collects :class:`TraceEvent` items when enabled; no-op otherwise."""
+    """Collects :class:`TraceEvent` items when enabled; no-op otherwise.
+
+    The event list is bounded by ``limit``; events past it are counted
+    in ``dropped`` rather than silently discarded, and :meth:`render`
+    closes a truncated trace with a single terminal ``truncated`` event
+    carrying the count.
+    """
 
     def __init__(self, enabled: bool = False, limit: int = 100_000):
         self.enabled = enabled
         self.limit = limit
         self.events: List[TraceEvent] = []
+        self.dropped = 0
 
     def emit(self, kind: str, detail: str, depth: int = 0) -> None:
-        """Record one event (no-op when disabled or over the limit)."""
-        if self.enabled and len(self.events) < self.limit:
+        """Record one event (counted, not kept, once over the limit)."""
+        if not self.enabled:
+            return
+        if len(self.events) < self.limit:
             self.events.append(TraceEvent(kind, detail, depth))
+        else:
+            self.dropped += 1
 
     def render(self) -> str:
         """The recorded events as indented text."""
-        return "\n".join(str(event) for event in self.events)
+        lines = [str(event) for event in self.events]
+        if self.dropped:
+            lines.append(
+                str(TraceEvent("truncated", f"{self.dropped} events dropped"))
+            )
+        return "\n".join(lines)

@@ -33,7 +33,11 @@ class CacheStats:
     parameterized template counts under ``parameterized_hits`` (the
     service tries exact first, then the template).  ``invalidations``
     counts entries dropped because a table's statistics version moved,
-    ``evictions`` entries dropped by the LRU bound.
+    ``evictions`` entries dropped by the LRU bound.  ``degraded`` counts
+    engine answers produced under a tripped resource budget — the
+    service serves them but never caches them, so the counter lets
+    operators tell fast-because-cached answers from
+    fast-because-degraded ones.
     """
 
     lookups: int = 0
@@ -43,6 +47,7 @@ class CacheStats:
     insertions: int = 0
     evictions: int = 0
     invalidations: int = 0
+    degraded: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -61,6 +66,7 @@ class CacheStats:
             "insertions": self.insertions,
             "evictions": self.evictions,
             "invalidations": self.invalidations,
+            "degraded": self.degraded,
             "hit_rate": self.hit_rate,
         }
 

@@ -40,7 +40,7 @@ from repro.algebra.properties import ANY_PROPS, PhysProps
 from repro.catalog.catalog import Catalog
 from repro.dynamic import bind_plan
 from repro.errors import ServiceError
-from repro.options import OptionsBase, check_positive
+from repro.options import OptionsBase, ResourceBudget, check_positive
 from repro.search.engine import OptimizationResult, PreoptimizedPlan
 from repro.service.cache import CacheEntry, CacheStats, PlanCache
 from repro.service.fingerprint import Fingerprint, fingerprint, table_dependencies
@@ -76,6 +76,12 @@ class ServiceOptions(OptionsBase):
         Bound of the harvested-winner library.
     ``max_seeds_per_query``
         At most this many seeds are planted into any one search.
+    ``budget``
+        Default :class:`~repro.options.ResourceBudget` applied to every
+        engine run through this service (a per-request ``budget=`` on
+        :meth:`OptimizerService.optimize` overrides it).  Degraded
+        answers are served but never cached or harvested — a budget
+        trip must not poison the cache with suboptimal plans.
     """
 
     max_entries: int = 512
@@ -84,6 +90,7 @@ class ServiceOptions(OptionsBase):
     reuse_subplans: bool = False
     max_subplans: int = 256
     max_seeds_per_query: int = 32
+    budget: Optional[ResourceBudget] = None
 
     def validate(self) -> None:
         """Check field invariants; raise :class:`OptionsError` on failure."""
@@ -102,6 +109,8 @@ class ServedResult:
     literals were re-bound.  ``result`` carries the engine's full
     :class:`~repro.search.OptimizationResult` for fresh answers and is
     None for cache hits (the memo is not retained in the cache).
+    ``degraded`` marks a fresh answer produced under a tripped resource
+    budget: valid, but not proven optimal, and never cached.
     """
 
     plan: PhysicalPlan
@@ -110,6 +119,7 @@ class ServedResult:
     fingerprint: Fingerprint
     cached: bool
     parameterized: bool = False
+    degraded: bool = False
     elapsed_seconds: float = 0.0
     result: Optional[OptimizationResult] = None
 
@@ -224,6 +234,8 @@ class OptimizerService:
         self,
         query: LogicalExpression,
         props: Optional[PhysProps] = None,
+        *,
+        budget: Optional[ResourceBudget] = None,
     ) -> ServedResult:
         """Serve the cheapest plan for ``query``, from cache when possible.
 
@@ -231,6 +243,12 @@ class OptimizerService:
         then — when enabled — the literal-normalized template at the
         query's selectivity bucket (plan re-bound to these literals).
         A miss runs the wrapped engine and caches both forms.
+
+        ``budget`` bounds this one engine run (overriding the service's
+        default ``options.budget``).  A degraded answer — the engine's
+        budget tripped and it fell back to its anytime plan — is served
+        with ``degraded=True`` but neither cached nor harvested, and is
+        counted in ``stats.degraded``.
         """
         props = props if props is not None else self._default_props()
         started = time.perf_counter()
@@ -276,15 +294,20 @@ class OptimizerService:
                         elapsed_seconds=time.perf_counter() - started,
                     )
 
-        result = self._run_engine(query, props)
-        self._store(exact, template_key, normalized, result, props)
-        self._harvest(result)
+        result = self._run_engine(query, props, budget)
+        degraded = bool(getattr(result, "degraded", False))
+        if degraded:
+            self.cache.stats.degraded += 1
+        else:
+            self._store(exact, template_key, normalized, result, props)
+            self._harvest(result)
         return ServedResult(
             plan=result.plan,
             cost=result.cost,
             required=result.required,
             fingerprint=exact,
             cached=False,
+            degraded=degraded,
             elapsed_seconds=time.perf_counter() - started,
             result=result,
         )
@@ -334,15 +357,27 @@ class OptimizerService:
             self._seen_version = version
 
     def _run_engine(
-        self, query: LogicalExpression, props: PhysProps
+        self,
+        query: LogicalExpression,
+        props: PhysProps,
+        budget: Optional[ResourceBudget] = None,
     ) -> OptimizationResult:
+        budget = budget if budget is not None else self.options.budget
+        kwargs = {}
+        if budget is not None:
+            # Every engine options class carries a ``budget`` field, so
+            # the override composes with whatever options the wrapped
+            # engine was built with.
+            kwargs["options"] = self.optimizer.options.replace(budget=budget)
         if self.options.reuse_subplans and self._engine_seeds:
             seeds = self.subplans.seeds_for(
                 query, self.catalog, limit=self.options.max_seeds_per_query
             )
             if seeds:
-                return self.optimizer.optimize(query, props, preoptimized=seeds)
-        return self.optimizer.optimize(query, props)
+                return self.optimizer.optimize(
+                    query, props, preoptimized=seeds, **kwargs
+                )
+        return self.optimizer.optimize(query, props, **kwargs)
 
     def _store(
         self,

@@ -30,11 +30,16 @@ from repro.algebra.plans import PhysicalPlan
 from repro.algebra.predicates import Predicate, conjunction_of
 from repro.algebra.properties import ANY_PROPS, LogicalProperties, PhysProps
 from repro.catalog.catalog import Catalog
-from repro.errors import OptimizationFailedError, SearchError
+from repro.errors import (
+    BudgetExceededError,
+    OptimizationFailedError,
+    ReproError,
+    SearchError,
+)
 from repro.model.context import OptimizerContext
 from repro.model.cost import Cost
 from repro.model.spec import AlgorithmNode, ModelSpecification
-from repro.options import OptionsBase
+from repro.options import BudgetMeter, BudgetTripped, OptionsBase, ResourceBudget
 from repro.search.engine import OptimizationResult, _resolve_props
 
 __all__ = ["SystemROptions", "SystemRStats", "SystemRResult", "SystemROptimizer", "decompose_join_query"]
@@ -51,10 +56,17 @@ class SystemROptions(OptionsBase):
     ``allow_cross_products``
         Consider predicate-less subset combinations (System R avoided
         Cartesian products unless unavoidable; we reject them outright).
+    ``budget``
+        A :class:`~repro.options.ResourceBudget` bounding the
+        enumeration (deadline, costings, rule firings).  Bottom-up DP
+        has no complete plan until the final level, so there is no
+        anytime degradation here: a trip raises
+        :class:`~repro.errors.BudgetExceededError` with partial stats.
     """
 
     bushy: bool = False
     allow_cross_products: bool = False
+    budget: Optional[ResourceBudget] = None
 
 
 @dataclass
@@ -136,89 +148,112 @@ class SystemROptimizer:
         for one call; ``required=`` survives as a deprecation shim.
         """
         props = _resolve_props(props, required)
-        if options is None:
-            return self._optimize(query, props)
-        previous = self.options
-        self.options = options
-        try:
-            return self._optimize(query, props)
-        finally:
-            self.options = previous
+        return self._optimize(
+            query, props, options if options is not None else self.options
+        )
 
     def _optimize(
         self,
         query: LogicalExpression,
         required: Optional[PhysProps],
+        options: SystemROptions,
     ) -> SystemRResult:
         required = required if required is not None else ANY_PROPS
         started = time.perf_counter()
         stats = SystemRStats()
-        context = OptimizerContext(self.spec, self.catalog)
-        leaves, conjuncts = decompose_join_query(query)
-        if not leaves:
-            raise OptimizationFailedError("query has no relations")
-        columns = [frozenset(context.logical_props(leaf).column_names) for leaf in leaves]
+        meter = BudgetMeter(options.budget)
+        try:
+            context = OptimizerContext(self.spec, self.catalog)
+            leaves, conjuncts = decompose_join_query(query)
+            if not leaves:
+                raise OptimizationFailedError("query has no relations")
+            columns = [
+                frozenset(context.logical_props(leaf).column_names) for leaf in leaves
+            ]
 
-        # Logical properties per subset, derived once.
-        props: Dict[FrozenSet[int], LogicalProperties] = {}
-        # DP table: subset -> delivered sort order -> best entry.
-        table: Dict[FrozenSet[int], Dict[Tuple, _Entry]] = {}
+            # Logical properties per subset, derived once.
+            props: Dict[FrozenSet[int], LogicalProperties] = {}
+            # DP table: subset -> delivered sort order -> best entry.
+            table: Dict[FrozenSet[int], Dict[Tuple, _Entry]] = {}
 
-        for index, leaf in enumerate(leaves):
-            subset = frozenset((index,))
-            props[subset] = context.logical_props(leaf)
-            table[subset] = {}
-            self._add_entry(
-                table[subset], self._leaf_plan(context, leaf, props[subset]), stats
+            for index, leaf in enumerate(leaves):
+                subset = frozenset((index,))
+                props[subset] = context.logical_props(leaf)
+                table[subset] = {}
+                self._add_entry(
+                    table[subset], self._leaf_plan(context, leaf, props[subset]), stats
+                )
+
+            all_indices = frozenset(range(len(leaves)))
+            try:
+                for size in range(2, len(leaves) + 1):
+                    for subset_tuple in itertools.combinations(
+                        sorted(all_indices), size
+                    ):
+                        meter.check("enumeration")
+                        subset = frozenset(subset_tuple)
+                        entries: Dict[Tuple, _Entry] = {}
+                        stats.subsets_considered += 1
+                        for left, right, predicate in self._splits(
+                            subset, columns, conjuncts, options
+                        ):
+                            if left not in table or right not in table:
+                                continue
+                            if subset not in props:
+                                props[subset] = context.derive_logical_props(
+                                    "join", (predicate,), (props[left], props[right])
+                                )
+                            self._combine(
+                                context,
+                                entries,
+                                table[left],
+                                table[right],
+                                predicate,
+                                props[subset],
+                                props[left],
+                                props[right],
+                                stats,
+                                meter,
+                            )
+                        if entries:
+                            table[subset] = entries
+            except BudgetTripped as trip:
+                # Bottom-up DP has no complete plan until the last DP
+                # level, so there is nothing to degrade to.
+                report = meter.report(trip.phase)
+                raise BudgetExceededError(
+                    f"System R enumeration budget exhausted "
+                    f"({report.tripped} during {report.phase}) after "
+                    f"{stats.subsets_considered} subsets",
+                    report=report,
+                    stats=stats,
+                ) from None
+            final = table.get(all_indices)
+            if not final:
+                raise OptimizationFailedError(
+                    "no connected join order found (cross products disabled)"
+                )
+            best = self._pick_final(context, final, props[all_indices], required)
+            return SystemRResult(
+                plan=best.plan, cost=best.cost, required=required, stats=stats
             )
-
-        all_indices = frozenset(range(len(leaves)))
-        for size in range(2, len(leaves) + 1):
-            for subset_tuple in itertools.combinations(sorted(all_indices), size):
-                subset = frozenset(subset_tuple)
-                entries: Dict[Tuple, _Entry] = {}
-                stats.subsets_considered += 1
-                for left, right, predicate in self._splits(subset, columns, conjuncts):
-                    if left not in table or right not in table:
-                        continue
-                    if subset not in props:
-                        props[subset] = context.derive_logical_props(
-                            "join", (predicate,), (props[left], props[right])
-                        )
-                    self._combine(
-                        context,
-                        entries,
-                        table[left],
-                        table[right],
-                        predicate,
-                        props[subset],
-                        props[left],
-                        props[right],
-                        stats,
-                    )
-                if entries:
-                    table[subset] = entries
-        final = table.get(all_indices)
-        if not final:
-            raise OptimizationFailedError(
-                "no connected join order found (cross products disabled)"
-            )
-        best = self._pick_final(context, final, props[all_indices], required)
-        stats.elapsed_seconds = time.perf_counter() - started
-        return SystemRResult(
-            plan=best.plan, cost=best.cost, required=required, stats=stats
-        )
+        except ReproError as error:
+            if getattr(error, "stats", None) is None:
+                error.stats = stats
+            raise
+        finally:
+            stats.elapsed_seconds = time.perf_counter() - started
 
     # ------------------------------------------------------------------
 
-    def _splits(self, subset, columns, conjuncts):
+    def _splits(self, subset, columns, conjuncts, options):
         """(left, right, predicate) decompositions of a subset."""
         members = sorted(subset)
         for size in range(1, len(members)):
             for left_tuple in itertools.combinations(members, size):
                 left = frozenset(left_tuple)
                 right = subset - left
-                if not self.options.bushy and len(left) > 1 and len(right) > 1:
+                if not options.bushy and len(left) > 1 and len(right) > 1:
                     continue  # left-deep: one side must be a single relation
                 predicate = self._predicate_between(left, right, columns, conjuncts)
                 if predicate is None and not self.options.allow_cross_products:
@@ -259,6 +294,7 @@ class SystemROptimizer:
         left_props,
         right_props,
         stats,
+        meter,
     ) -> None:
         node = AlgorithmNode((predicate,), output_props, (left_props, right_props))
         for name in ("hybrid_hash_join", "merge_join", "nested_loops_join"):
@@ -281,6 +317,7 @@ class SystemROptimizer:
                         if right_plan is None:
                             continue
                         stats.joins_costed += 1
+                        meter.charge_costing()
                         total = local + left_plan.cost + right_plan.cost
                         delivered = algorithm.derive_props(
                             context,
