@@ -6,7 +6,15 @@ have zero or more inputs; the number of inputs is not restricted."
 (paper, Section 2.2)
 
 Expressions are frozen and hashable; the memo derives its hash-table keys
-from them.  Two special pseudo-operators support the rule machinery:
+from them.  Because expression trees are hashed constantly on the search
+hot path (every memo insertion, every rule-application fingerprint), the
+structural hash is computed once at construction and cached — ``hash()``
+on an expression is a single attribute read, and equality checks bail out
+early on hash mismatch before comparing structure.  Cached hashes are
+process-local (Python randomizes string hashes per process), so pickling
+drops them and unpickling recomputes.
+
+Two special pseudo-operators support the rule machinery:
 
 * ``GROUP_LEAF`` — a leaf that refers to a memo group by id.  Rule rewrite
   results are expressed over such leaves when matching inside the memo.
@@ -26,7 +34,7 @@ GROUP_LEAF = "$group"
 """Operator name of a leaf referring to a memo group (rule-internal)."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class LogicalExpression:
     """A node of a logical algebra expression tree.
 
@@ -39,6 +47,9 @@ class LogicalExpression:
         them opaquely, exactly as the paper treats operator arguments.
     ``inputs``
         Input expressions; empty for leaves.
+
+    Equality is structural; the hash is precomputed at construction so
+    repeated hashing (the memo's hot path) costs one attribute read.
     """
 
     operator: str
@@ -58,6 +69,38 @@ class LogicalExpression:
                     f"inputs of {self.operator!r} must be LogicalExpression, "
                     f"got {type(node).__name__}"
                 )
+        object.__setattr__(
+            self, "_hash", hash((self.operator, self.args, self.inputs))
+        )
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
+
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, LogicalExpression):
+            return NotImplemented
+        if self._hash != other._hash:  # type: ignore[attr-defined]
+            return False
+        return (
+            self.operator == other.operator
+            and self.args == other.args
+            and self.inputs == other.inputs
+        )
+
+    def __getstate__(self):
+        # String hashes are randomized per process: never ship a cached
+        # hash across a pickle boundary (the parallel driver does).
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        object.__setattr__(
+            self, "_hash", hash((self.operator, self.args, self.inputs))
+        )
 
     @property
     def arity(self) -> int:
@@ -119,9 +162,23 @@ class LogicalExpression:
         return self.to_sexpr()
 
 
+_GROUP_LEAVES: dict = {}
+
+
 def group_leaf(group_id: int) -> LogicalExpression:
-    """A leaf expression referring to memo group ``group_id``."""
-    return LogicalExpression(GROUP_LEAF, (group_id,))
+    """A leaf expression referring to memo group ``group_id``.
+
+    Leaves are interned: the same group id always returns the identical
+    object, so the rule machinery's binding fingerprints (which contain
+    group leaves) hash and compare at pointer speed.  The table is tiny —
+    one entry per distinct group id ever referenced — and group ids are
+    small consecutive integers, so it is kept for the process lifetime.
+    """
+    leaf = _GROUP_LEAVES.get(group_id)
+    if leaf is None:
+        leaf = LogicalExpression(GROUP_LEAF, (group_id,))
+        _GROUP_LEAVES[group_id] = leaf
+    return leaf
 
 
 def is_group_leaf(expression: LogicalExpression) -> bool:

@@ -7,6 +7,13 @@ logical expressions (and memo keys derived from them) are hashable.
 The mini-language is deliberately small: column references, literals,
 binary comparisons, and boolean connectives — enough for the paper's
 select–join workloads, the SQL front-end, and the executor.
+
+Predicates ride inside operator-argument tuples, so they are hashed on
+every memo insertion and rule-application fingerprint.  The composite
+classes therefore cache their structural hash (and the derived
+``columns()`` sets the rewrite rules query constantly) per instance;
+caches are process-local and stripped on pickling (string hashes are
+randomized per process).
 """
 
 from __future__ import annotations
@@ -43,7 +50,45 @@ __all__ = [
 # ---------------------------------------------------------------------------
 
 
-class Scalar:
+def _cached_hash(self) -> int:
+    """Shared ``__hash__`` body: structural hash computed once per instance.
+
+    Classes opting in set ``_hash_fields`` and assign
+    ``__hash__ = _cached_hash`` in their body (an explicit ``__hash__``
+    stops ``@dataclass`` from generating its own).  The hash mixes the
+    class name so structurally identical nodes of different classes
+    stay distinct, matching the generated ``__eq__``'s class check.
+    """
+    cached = self.__dict__.get("_hash")
+    if cached is None:
+        fields = tuple(getattr(self, name) for name in self._hash_fields)
+        cached = hash((type(self).__name__, fields))
+        object.__setattr__(self, "_hash", cached)
+    return cached
+
+
+class _PickleWithoutCaches:
+    """Strip per-instance caches (``_hash`` etc.) on pickling.
+
+    Cached hashes are process-local (string hashing is randomized per
+    process); shipping one across a pickle boundary — as the parallel
+    multi-query driver does — would poison the receiving process's hash
+    tables.  Dropping every underscore key restores the lazy caches to
+    their unset state on the other side.
+    """
+
+    def __getstate__(self):
+        return {
+            key: value
+            for key, value in self.__dict__.items()
+            if not key.startswith("_")
+        }
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+
+
+class Scalar(_PickleWithoutCaches):
     """Base class for scalar expressions (column references and literals)."""
 
     def columns(self) -> FrozenSet[str]:
@@ -60,6 +105,9 @@ class ColumnRef(Scalar):
     """A reference to a column by (possibly qualified) name."""
 
     name: str
+
+    _hash_fields = ("name",)
+    __hash__ = _cached_hash
 
     def columns(self) -> FrozenSet[str]:
         """The singleton set of this column's name."""
@@ -141,7 +189,7 @@ _FLIPPED = {
 }
 
 
-class Predicate:
+class Predicate(_PickleWithoutCaches):
     """Base class for boolean predicates."""
 
     def columns(self) -> FrozenSet[str]:
@@ -196,9 +244,16 @@ class Comparison(Predicate):
     left: Scalar
     right: Scalar
 
+    _hash_fields = ("op", "left", "right")
+    __hash__ = _cached_hash
+
     def columns(self) -> FrozenSet[str]:
-        """Columns referenced on either side."""
-        return self.left.columns() | self.right.columns()
+        """Columns referenced on either side (computed once per instance)."""
+        cached = self.__dict__.get("_columns")
+        if cached is None:
+            cached = self.left.columns() | self.right.columns()
+            object.__setattr__(self, "_columns", cached)
+        return cached
 
     def evaluate(self, row: Mapping[str, object]) -> bool:
         """Apply the comparison to the row's values."""
@@ -222,7 +277,11 @@ class Comparison(Predicate):
         return None
 
     def __str__(self) -> str:
-        return f"{self.left} {self.op.value} {self.right}"
+        cached = self.__dict__.get("_str")
+        if cached is None:
+            cached = f"{self.left} {self.op.value} {self.right}"
+            object.__setattr__(self, "_str", cached)
+        return cached
 
 
 @dataclass(frozen=True)
@@ -231,27 +290,37 @@ class Conjunction(Predicate):
 
     parts: Tuple[Predicate, ...]
 
+    _hash_fields = ("parts",)
+    __hash__ = _cached_hash
+
     def __post_init__(self):
         if len(self.parts) < 2:
             raise PredicateError("a conjunction needs at least two parts")
 
     def columns(self) -> FrozenSet[str]:
-        """Union of the parts' columns."""
-        result: FrozenSet[str] = frozenset()
-        for part in self.parts:
-            result |= part.columns()
-        return result
+        """Union of the parts' columns (computed once per instance)."""
+        cached = self.__dict__.get("_columns")
+        if cached is None:
+            cached = frozenset()
+            for part in self.parts:
+                cached |= part.columns()
+            object.__setattr__(self, "_columns", cached)
+        return cached
 
     def evaluate(self, row: Mapping[str, object]) -> bool:
         """True when every part holds."""
         return all(part.evaluate(row) for part in self.parts)
 
     def conjuncts(self) -> Tuple[Predicate, ...]:
-        """The flattened parts."""
-        result = []
-        for part in self.parts:
-            result.extend(part.conjuncts())
-        return tuple(result)
+        """The flattened parts (computed once per instance)."""
+        cached = self.__dict__.get("_conjuncts")
+        if cached is None:
+            result = []
+            for part in self.parts:
+                result.extend(part.conjuncts())
+            cached = tuple(result)
+            object.__setattr__(self, "_conjuncts", cached)
+        return cached
 
     def __str__(self) -> str:
         return " and ".join(
@@ -266,16 +335,22 @@ class Disjunction(Predicate):
 
     parts: Tuple[Predicate, ...]
 
+    _hash_fields = ("parts",)
+    __hash__ = _cached_hash
+
     def __post_init__(self):
         if len(self.parts) < 2:
             raise PredicateError("a disjunction needs at least two parts")
 
     def columns(self) -> FrozenSet[str]:
-        """Union of the parts' columns."""
-        result: FrozenSet[str] = frozenset()
-        for part in self.parts:
-            result |= part.columns()
-        return result
+        """Union of the parts' columns (computed once per instance)."""
+        cached = self.__dict__.get("_columns")
+        if cached is None:
+            cached = frozenset()
+            for part in self.parts:
+                cached |= part.columns()
+            object.__setattr__(self, "_columns", cached)
+        return cached
 
     def evaluate(self, row: Mapping[str, object]) -> bool:
         """True when any part holds."""
@@ -290,6 +365,9 @@ class Negation(Predicate):
     """The NOT of a predicate."""
 
     part: Predicate
+
+    _hash_fields = ("part",)
+    __hash__ = _cached_hash
 
     def columns(self) -> FrozenSet[str]:
         """Columns of the negated predicate."""

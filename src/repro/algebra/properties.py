@@ -123,6 +123,26 @@ class PhysProps:
     def __post_init__(self):
         object.__setattr__(self, "sort_order", _normalize_order(self.sort_order))
         object.__setattr__(self, "flags", frozenset(self.flags))
+        # Property vectors are goal-key components: they are hashed on
+        # every winner/failure lookup, so the structural hash is paid
+        # once here.  Process-local; see __getstate__.
+        object.__setattr__(
+            self, "_hash", hash((self.sort_order, self.partitioning, self.flags))
+        )
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        object.__setattr__(
+            self, "_hash", hash((self.sort_order, self.partitioning, self.flags))
+        )
 
     # -- queries ----------------------------------------------------------
 
@@ -242,7 +262,11 @@ class LogicalProperties:
 
     @property
     def column_names(self) -> FrozenSet[str]:
-        return frozenset(self.schema.column_names)
+        cached = self.__dict__.get("_column_names")
+        if cached is None:
+            cached = frozenset(self.schema.column_names)
+            object.__setattr__(self, "_column_names", cached)
+        return cached
 
     def column_stat(self, name: str) -> Optional[ColumnStatistics]:
         """Statistics for column ``name``, or None when unknown."""

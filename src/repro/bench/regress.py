@@ -1,0 +1,442 @@
+"""Benchmark-regression harness: ``python -m repro.bench regress``.
+
+Runs a small, fixed suite — the paper's Figure 4 points plus targeted
+microbenchmarks of the optimizer's hot paths — and emits a JSON report
+(``BENCH_results.json``) of medians, 95th percentiles, memo sizes, and
+derivation-cache hit rates.  Compared against a committed baseline
+(``BENCH_baseline.json``), it turns "the optimizer got slower" from a
+vibe into a failing exit code.
+
+Two kinds of metric, two kinds of tolerance:
+
+* **wall-clock** metrics (``*_ms``, ``queries_per_second``) are noisy
+  and machine-dependent, so the band is generous (default: fail only
+  beyond 2.5x the baseline — wide enough for CI-runner variance, tight
+  enough to catch a 3x slowdown);
+* **count** metrics (memo groups/expressions, costings, union-find
+  hops) are deterministic for a fixed seed, so the band is tight — a
+  drift here means the *search* changed, not the machine;
+* **hit-rate** metrics fail only when they drop (a cache getting
+  *better* is not a regression).
+
+The suite:
+
+``figure4_n{4,6,8}``
+    The Volcano engine over the paper's workload at three complexity
+    levels, with :class:`repro.lint.MemoAuditor` attached to every run
+    (``audit_violations`` must stay zero).
+``memo_insert``
+    Interning a deep join tree into a fresh memo — the hash-consing
+    fast path.
+``memo_merge``
+    A long group-merge chain followed by canonical() resolution of
+    every stale id — guards the union-find path compression
+    (``canonical_hops`` grows linearly, not quadratically).
+``binding_enum``
+    A full rule-binding sweep over a solved memo, twice — the second
+    sweep must be served almost entirely by the probe-validated
+    binding cache.
+``batch_throughput``
+    :meth:`OptimizerService.optimize_many` over a shared-catalog batch,
+    serial always, parallel when the machine has the cores for it
+    (parallel numbers are recorded but never compared — they measure
+    the machine, not the code).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import statistics
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.lint.invariants import MemoAuditor
+from repro.model.context import OptimizerContext
+from repro.models.relational import relational_model
+from repro.search import SearchOptions, VolcanoOptimizer
+from repro.search.memo import Memo
+from repro.service import OptimizerService, ServiceOptions
+from repro.workloads import QueryGenerator
+
+__all__ = [
+    "RegressConfig",
+    "run_regress",
+    "compare",
+    "render_report",
+    "apply_inflation",
+]
+
+Progress = Optional[Callable[[str], None]]
+
+
+@dataclass(frozen=True)
+class RegressConfig:
+    """Suite parameters and tolerance bands."""
+
+    sizes: Sequence[int] = (4, 6, 8)
+    queries_per_size: int = 10
+    seed: int = 1993
+    micro_repeats: int = 5
+    batch_queries: int = 16
+    # Fail a wall-clock metric beyond baseline * (1 + time_tolerance).
+    time_tolerance: float = 1.5
+    # Fail a count metric outside baseline * (1 ± count_tolerance).
+    count_tolerance: float = 0.05
+    # Fail a hit-rate metric below baseline - rate_tolerance.
+    rate_tolerance: float = 0.15
+
+
+def _median_ms(samples: List[float]) -> float:
+    return statistics.median(samples) * 1000.0
+
+
+def _p95_ms(samples: List[float]) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(0.95 * (len(ordered) - 1))))
+    return ordered[index] * 1000.0
+
+
+def _rate(hits: int, misses: int) -> float:
+    total = hits + misses
+    return hits / total if total else 0.0
+
+
+# ---------------------------------------------------------------------------
+# The benches
+# ---------------------------------------------------------------------------
+
+
+def _bench_figure4(config: RegressConfig, size: int) -> Dict[str, float]:
+    """One Figure 4 point: Volcano over the paper's workload, audited."""
+    spec = relational_model()
+    generator = QueryGenerator()
+    options = SearchOptions(check_consistency=False)
+    times: List[float] = []
+    groups: List[int] = []
+    expressions: List[int] = []
+    costings = 0
+    binding_hits = binding_misses = 0
+    moves_hits = moves_misses = 0
+    violations = 0
+    for query in generator.generate_batch(
+        size, config.queries_per_size, seed=config.seed
+    ):
+        optimizer = VolcanoOptimizer(spec, query.catalog, options)
+        auditor = MemoAuditor()
+        auditor.attach(optimizer)
+        started = time.perf_counter()
+        result = optimizer.optimize(query.query, query.required)
+        times.append(time.perf_counter() - started)
+        stats = result.stats
+        groups.append(stats.groups_created)
+        expressions.append(stats.expressions_created)
+        costings += stats.algorithm_costings
+        binding_hits += stats.binding_cache_hits
+        binding_misses += stats.binding_cache_misses
+        moves_hits += stats.moves_cache_hits
+        moves_misses += stats.moves_cache_misses
+        violations += len(auditor.violations)
+    return {
+        "median_ms": _median_ms(times),
+        "p95_ms": _p95_ms(times),
+        "mean_groups": statistics.mean(groups),
+        "mean_expressions": statistics.mean(expressions),
+        "costings": costings,
+        "binding_hit_rate": _rate(binding_hits, binding_misses),
+        "moves_hit_rate": _rate(moves_hits, moves_misses),
+        "audit_violations": violations,
+    }
+
+
+def _deep_join(names: Sequence[str]):
+    from repro.models.relational import get, join
+    from repro.algebra.predicates import eq
+
+    tree = get(names[0])
+    for index in range(1, len(names)):
+        tree = join(
+            tree, get(names[index]), eq(f"{names[0]}.k", f"{names[index]}.k")
+        )
+    return tree
+
+
+def _micro_memo(config: RegressConfig, workload) -> Memo:
+    spec = relational_model()
+    context = OptimizerContext(spec, workload.catalog)
+    memo = Memo(context, check_consistency=False)
+    context.group_props_resolver = memo.logical_props
+    return memo
+
+
+def _bench_memo_insert(config: RegressConfig) -> Dict[str, float]:
+    """Hash-consing fast path: intern one deep join tree, repeatedly."""
+    workload = QueryGenerator().generate_shared(
+        count=1, seed=config.seed, n_tables=8
+    )
+    names = [f"t{i}" for i in range(8)]
+    tree = _deep_join(names)
+    times: List[float] = []
+    groups = expressions = 0
+    for _ in range(max(config.micro_repeats, 3)):
+        memo = _micro_memo(config, workload)
+        started = time.perf_counter()
+        for _ in range(50):
+            memo.insert_expression(tree)
+        times.append(time.perf_counter() - started)
+        groups = memo.group_count()
+        expressions = memo.expression_count()
+    return {
+        "median_ms": _median_ms(times),
+        "groups": groups,
+        "expressions": expressions,
+    }
+
+
+def _bench_memo_merge(config: RegressConfig) -> Dict[str, float]:
+    """Union-find under a long merge chain: hops must stay linear."""
+    workload = QueryGenerator().generate_shared(
+        count=1, seed=config.seed, n_tables=8
+    )
+    chain = 200
+    times: List[float] = []
+    hops = 0
+    for _ in range(max(config.micro_repeats, 3)):
+        memo = _micro_memo(config, workload)
+        from repro.models.relational import get, select
+        from repro.algebra.predicates import Comparison, ComparisonOp, col, lit
+
+        # ``chain`` structurally distinct single-table groups ...
+        roots = [
+            memo.insert_expression(
+                select(
+                    get("t0"),
+                    Comparison(ComparisonOp.LE, col("t0.v"), lit(float(i))),
+                )
+            )
+            for i in range(chain)
+        ]
+        started = time.perf_counter()
+        # ... merged into one long union-find chain, then every stale id
+        # resolved.  Path compression keeps total hops O(chain); without
+        # it this loop is quadratic.
+        for left, right in zip(roots, roots[1:]):
+            memo._merge(left, right)
+        for gid in roots:
+            memo.canonical(gid)
+        times.append(time.perf_counter() - started)
+        hops = memo.stats.canonical_hops
+    return {
+        "median_ms": _median_ms(times),
+        "canonical_hops": hops,
+    }
+
+
+def _bench_binding_enum(config: RegressConfig) -> Dict[str, float]:
+    """Rule-binding sweeps over a solved memo; pass 2 must hit the cache."""
+    spec = relational_model()
+    query = QueryGenerator().generate(6, seed=config.seed)
+    optimizer = VolcanoOptimizer(
+        spec, query.catalog, SearchOptions(check_consistency=False)
+    )
+    result = optimizer.optimize(query.query, query.required)
+    memo = result.memo
+    rules = spec.transformations
+    times: List[float] = []
+    hits_before = memo.stats.binding_cache_hits
+    misses_before = memo.stats.binding_cache_misses
+    for _ in range(max(config.micro_repeats, 3)):
+        started = time.perf_counter()
+        bindings = 0
+        for group in memo.groups():
+            for mexpr in list(group.expressions):
+                for rule in rules:
+                    for _binding in memo.rule_bindings(
+                        rule.name, rule.pattern, mexpr
+                    ):
+                        bindings += 1
+        times.append(time.perf_counter() - started)
+    return {
+        "median_ms": _median_ms(times),
+        "sweep_hit_rate": _rate(
+            memo.stats.binding_cache_hits - hits_before,
+            memo.stats.binding_cache_misses - misses_before,
+        ),
+    }
+
+
+def _bench_batch_throughput(config: RegressConfig) -> Dict[str, float]:
+    """optimize_many over a shared-catalog batch, serial (and parallel)."""
+    spec = relational_model()
+    workload = QueryGenerator().generate_shared(
+        count=config.batch_queries,
+        seed=config.seed,
+        n_tables=8,
+        relations=(3, 6),
+    )
+    queries = [q.query for q in workload.queries]
+    required = workload.queries[0].required
+
+    def service() -> OptimizerService:
+        optimizer = VolcanoOptimizer(
+            spec, workload.catalog, SearchOptions(check_consistency=False)
+        )
+        return OptimizerService(
+            optimizer, options=ServiceOptions(parameterized=False)
+        )
+
+    started = time.perf_counter()
+    service().optimize_many(queries, required)
+    serial = time.perf_counter() - started
+    metrics = {
+        "median_ms": serial * 1000.0 / len(queries),
+        "queries_per_second": len(queries) / serial,
+    }
+    # Parallel numbers measure the machine more than the code: recorded
+    # for the curious, never compared against the baseline.
+    if len(os.sched_getaffinity(0)) >= 4:
+        started = time.perf_counter()
+        service().optimize_many(queries, required, max_workers=4)
+        parallel = time.perf_counter() - started
+        metrics["parallel_queries_per_second"] = len(queries) / parallel
+        metrics["parallel_speedup"] = serial / parallel
+    return metrics
+
+
+# ---------------------------------------------------------------------------
+# Orchestration, comparison, reporting
+# ---------------------------------------------------------------------------
+
+
+def run_regress(
+    config: Optional[RegressConfig] = None, progress: Progress = None
+) -> Dict:
+    """Run the whole suite; returns the report as a JSON-ready dict."""
+    config = config or RegressConfig()
+
+    def note(line: str) -> None:
+        if progress is not None:
+            progress(line)
+
+    benches: Dict[str, Dict[str, float]] = {}
+    for size in config.sizes:
+        name = f"figure4_n{size}"
+        benches[name] = _bench_figure4(config, size)
+        note(f"{name}: {benches[name]['median_ms']:.1f} ms median")
+    for name, runner in (
+        ("memo_insert", _bench_memo_insert),
+        ("memo_merge", _bench_memo_merge),
+        ("binding_enum", _bench_binding_enum),
+        ("batch_throughput", _bench_batch_throughput),
+    ):
+        benches[name] = runner(config)
+        note(f"{name}: {benches[name]['median_ms']:.1f} ms median")
+    return {
+        "schema": 1,
+        "environment": {
+            "python": platform.python_version(),
+            "cpus": len(os.sched_getaffinity(0)),
+        },
+        "config": {
+            "sizes": list(config.sizes),
+            "queries_per_size": config.queries_per_size,
+            "seed": config.seed,
+        },
+        "benches": benches,
+    }
+
+
+# Parallel throughput measures core count, not code quality.
+_NEVER_COMPARED = {"parallel_queries_per_second", "parallel_speedup"}
+_COUNT_METRICS = {
+    "mean_groups",
+    "mean_expressions",
+    "costings",
+    "groups",
+    "expressions",
+    "canonical_hops",
+}
+
+
+def compare(
+    current: Dict, baseline: Dict, config: Optional[RegressConfig] = None
+) -> List[str]:
+    """Regressions of ``current`` against ``baseline`` (empty = pass)."""
+    config = config or RegressConfig()
+    failures: List[str] = []
+    for bench, expected in baseline.get("benches", {}).items():
+        actual = current.get("benches", {}).get(bench)
+        if actual is None:
+            failures.append(f"{bench}: bench missing from current results")
+            continue
+        for metric, base_value in expected.items():
+            if metric in _NEVER_COMPARED:
+                continue
+            value = actual.get(metric)
+            if value is None:
+                failures.append(f"{bench}.{metric}: metric missing")
+                continue
+            label = f"{bench}.{metric}: {value:.3f} vs baseline {base_value:.3f}"
+            if metric == "audit_violations":
+                if value > base_value:
+                    failures.append(f"{label} (invariant violations)")
+            elif metric.endswith("_ms"):
+                if value > base_value * (1.0 + config.time_tolerance):
+                    failures.append(
+                        f"{label} (beyond +{config.time_tolerance:.0%} band)"
+                    )
+            elif metric == "queries_per_second":
+                if value < base_value / (1.0 + config.time_tolerance):
+                    failures.append(
+                        f"{label} (beyond +{config.time_tolerance:.0%} band)"
+                    )
+            elif metric.endswith("hit_rate"):
+                if value < base_value - config.rate_tolerance:
+                    failures.append(
+                        f"{label} (dropped more than {config.rate_tolerance})"
+                    )
+            elif metric in _COUNT_METRICS:
+                low = base_value * (1.0 - config.count_tolerance)
+                high = base_value * (1.0 + config.count_tolerance)
+                if not (low <= value <= high):
+                    failures.append(
+                        f"{label} (outside ±{config.count_tolerance:.0%}; "
+                        "the search changed, not the machine)"
+                    )
+    return failures
+
+
+def apply_inflation(results: Dict, factor: float) -> Dict:
+    """Scale every wall-clock metric by ``factor`` (synthetic slowdown).
+
+    Exists so the harness can be demonstrated to *fail*: a CI step runs
+    ``regress --inflate 3`` and asserts a non-zero exit, proving the
+    tolerance band is a band and not a rubber stamp.
+    """
+    inflated = json.loads(json.dumps(results))
+    for metrics in inflated.get("benches", {}).values():
+        for metric in list(metrics):
+            if metric in _NEVER_COMPARED:
+                continue
+            if metric.endswith("_ms"):
+                metrics[metric] *= factor
+            elif metric == "queries_per_second":
+                metrics[metric] /= factor
+    return inflated
+
+
+def render_report(results: Dict, failures: List[str]) -> str:
+    """A human-readable summary of one run (plus its verdict)."""
+    lines = ["benchmark-regression suite", ""]
+    for bench, metrics in results["benches"].items():
+        parts = [f"{metric}={value:.3f}" for metric, value in metrics.items()]
+        lines.append(f"  {bench:18s} " + "  ".join(parts))
+    lines.append("")
+    if failures:
+        lines.append(f"FAIL: {len(failures)} regression(s)")
+        lines.extend(f"  - {failure}" for failure in failures)
+    else:
+        lines.append("PASS: within tolerance of baseline")
+    return "\n".join(lines)

@@ -84,6 +84,7 @@ class Schema:
                 raise SchemaError(f"duplicate column name: {column.name!r}")
             index[column.name] = position
         object.__setattr__(self, "_index", index)
+        object.__setattr__(self, "_column_names", tuple(index))
 
     @classmethod
     def of(cls, *specs) -> "Schema":
@@ -105,7 +106,7 @@ class Schema:
 
     @property
     def column_names(self) -> Tuple[str, ...]:
-        return tuple(column.name for column in self.columns)
+        return self._column_names  # type: ignore[attr-defined]
 
     @property
     def row_width(self) -> int:

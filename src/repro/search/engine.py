@@ -322,7 +322,16 @@ class _SearchRun:
     for the task driver — agenda.
     """
 
-    __slots__ = ("options", "memo", "context", "stats", "tracer", "meter", "agenda")
+    __slots__ = (
+        "options",
+        "memo",
+        "context",
+        "stats",
+        "tracer",
+        "meter",
+        "agenda",
+        "move_cache",
+    )
 
     def __init__(
         self,
@@ -341,6 +350,12 @@ class _SearchRun:
         self.meter = meter
         # The task driver's agenda (None in the recursive engine).
         self.agenda: Optional[List] = None
+        # Applicability/cost memoization per (algorithm, group, args,
+        # inputs, required) — these model calls are pure within a run,
+        # and the same move is revisited once per property goal on its
+        # group.  Costing starts only after logical closure, so group
+        # ids and logical properties are stable for the cache lifetime.
+        self.move_cache: Dict = {}
 
     def expressions_of(self, gid: int):
         """Pattern-matching callback: a group's expressions as triples."""
@@ -616,13 +631,7 @@ class VolcanoOptimizer:
                 ):
                     stats.moves_pruned += 1
                     continue
-                for binding in match_memo(
-                    rule.pattern,
-                    mexpr.operator,
-                    mexpr.args,
-                    mexpr.input_groups,
-                    run.expressions_of,
-                ):
+                for binding in memo.rule_bindings(rule.name, rule.pattern, mexpr):
                     fingerprint = (
                         rule.name,
                         mexpr,
@@ -665,10 +674,11 @@ class VolcanoOptimizer:
         memo, stats = run.memo, run.stats
         gid = memo.canonical(gid)
         group = memo.group(gid)
-        key: GoalKey = (required, excluded)
+        key: GoalKey = memo.goal_key(required, excluded)
         stats.find_best_plan_calls += 1
         run.meter.check("costing")
-        run.trace("goal", f"g{gid} [{required}] limit={limit}", depth)
+        if run.tracer.enabled:  # skip f-string rendering on the hot path
+            run.trace("goal", f"g{gid} [{required}] limit={limit}", depth)
 
         # "if the pair LogExpr and PhysProp is in the look-up table"
         winner = group.winners.get(key)
@@ -698,13 +708,15 @@ class VolcanoOptimizer:
         group = memo.group(gid)
         if best is not None:
             group.winners[key] = best
-            run.trace("winner", f"g{gid} [{required}] cost={best.cost}", depth)
+            if run.tracer.enabled:
+                run.trace("winner", f"g{gid} [{required}] cost={best.cost}", depth)
             return best
         if run.options.cache_failures:
             previous = group.failures.get(key)
             if previous is None or previous < limit:
                 group.failures[key] = limit
-        run.trace("failure", f"g{gid} [{required}] limit={limit}", depth)
+        if run.tracer.enabled:
+            run.trace("failure", f"g{gid} [{required}] limit={limit}", depth)
         return None
 
     def _optimize_goal(
@@ -758,8 +770,22 @@ class VolcanoOptimizer:
         return best
 
     def _algorithm_moves(self, run: _SearchRun, group: Group) -> List[_AlgorithmMove]:
-        """Implementation-rule bindings over every expression of a group."""
-        context = run.context
+        """Implementation-rule bindings over every expression of a group.
+
+        Memoized per group: the same group is typically optimized for
+        several property goals, and the binding enumeration is identical
+        for each (promises are goal-independent).  The cache records
+        which groups the pattern matcher read and is dropped exactly
+        when any of them changes — see
+        :meth:`repro.search.memo.Memo.cached_moves`.  A fresh list is
+        returned on every call so drivers may sort it in place.
+        """
+        memo, context = run.memo, run.context
+        cached = memo.cached_moves(group.id)
+        if cached is not None:
+            return list(cached)
+        probes = {group.id: group.version}
+        expressions_of = memo.probing_expressions_of(probes)
         moves: List[_AlgorithmMove] = []
         seen = set()
         for mexpr in group.expressions:
@@ -769,7 +795,7 @@ class VolcanoOptimizer:
                     mexpr.operator,
                     mexpr.args,
                     mexpr.input_groups,
-                    run.expressions_of,
+                    expressions_of,
                 ):
                     run.stats.rule_bindings_tried += 1
                     if not rule.applies(binding, context):
@@ -779,7 +805,7 @@ class VolcanoOptimizer:
                     else:
                         args = mexpr.args
                     input_groups = tuple(
-                        run.memo.canonical(binding[name].args[0])
+                        memo.canonical(binding[name].args[0])
                         for name in rule.input_names
                     )
                     fingerprint = (rule.algorithm, args, input_groups)
@@ -789,7 +815,42 @@ class VolcanoOptimizer:
                     moves.append(
                         _AlgorithmMove(rule, args, input_groups, rule.promise)
                     )
+        memo.store_moves(group.id, probes, tuple(moves))
         return moves
+
+    def _move_applicability(
+        self,
+        run: _SearchRun,
+        group: Group,
+        move: _AlgorithmMove,
+        required: PhysProps,
+    ):
+        """Cached ``(algorithm, node, alternatives, local_cost)`` for a move.
+
+        ``applicability`` and ``cost`` are pure functions of the
+        algorithm node and the required properties, and the same move is
+        re-evaluated once per property goal on its group (and again on
+        re-entries with widened cost limits) — memoizing them per run
+        removes the bulk of repeated model-code work.  Budget accounting
+        is untouched: callers still charge one costing per alternative
+        pursued, so degraded/anytime semantics are byte-compatible.
+        """
+        key = (move.rule.algorithm, group.id, move.args, move.input_groups, required)
+        entry = run.move_cache.get(key)
+        if entry is not None:
+            return entry
+        memo = run.memo
+        algorithm = self.spec.algorithm(move.rule.algorithm)
+        node = AlgorithmNode(
+            move.args,
+            group.logical_props,
+            tuple(memo.logical_props(gid) for gid in move.input_groups),
+        )
+        alternatives = algorithm.applicability(run.context, node, required)
+        local = algorithm.cost(run.context, node) if alternatives else None
+        entry = (algorithm, node, alternatives, local)
+        run.move_cache[key] = entry
+        return entry
 
     def _pursue_algorithm(
         self,
@@ -801,14 +862,10 @@ class VolcanoOptimizer:
         excluded: Optional[PhysProps],
         depth: int,
     ) -> Optional[Winner]:
-        memo, context, stats = run.memo, run.context, run.stats
-        algorithm = self.spec.algorithm(move.rule.algorithm)
-        node = AlgorithmNode(
-            move.args,
-            group.logical_props,
-            tuple(memo.logical_props(gid) for gid in move.input_groups),
+        context, stats = run.context, run.stats
+        algorithm, node, alternatives, local = self._move_applicability(
+            run, group, move, required
         )
-        alternatives = algorithm.applicability(context, node, required)
         if not alternatives:
             return None
         best: Optional[Winner] = None
@@ -822,7 +879,7 @@ class VolcanoOptimizer:
             stats.algorithm_costings += 1
             run.meter.charge_costing()
             # "TotalCost := cost of the algorithm"
-            total = algorithm.cost(context, node)
+            total = local
             if run.options.branch_and_bound and bound < total:
                 stats.moves_pruned += 1
                 continue

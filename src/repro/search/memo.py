@@ -20,6 +20,22 @@ When a transformation derives an expression that already exists in a
 (the flip side of Figure 3, where associativity *creates* a new class).
 Merging invalidates cached winners and failures of the merged class, so
 the engine performs all logical exploration before any costing.
+
+Performance internals (see docs/search-internals.md):
+
+* **Hash-consing.**  :class:`GroupExpression` precomputes its structural
+  hash, and the memo *interns* every canonical group expression — one
+  object per structural form — so hash-table probes run at pointer
+  speed and equality checks short-circuit on identity.
+* **Derivation caches.**  Logical-property derivation, transformation-
+  rule binding enumeration, and the per-group implementation-move lists
+  are memoized.  Each cache is invalidated *exactly*: binding and move
+  caches record which groups they probed (with content versions) and
+  the ``_invalidate_ancestors`` machinery clears per-group caches
+  whenever new logical knowledge appears below a group.
+* **Union-find path compression** in :meth:`Memo.canonical` keeps merge
+  chains O(α); ``SearchStats.canonical_hops`` counts chain links
+  actually chased, so tests can assert the amortized bound.
 """
 
 from __future__ import annotations
@@ -33,18 +49,57 @@ from repro.algebra.properties import LogicalProperties, PhysProps
 from repro.errors import SearchError
 from repro.model.context import OptimizerContext
 from repro.model.cost import Cost
+from repro.model.patterns import match_memo
 from repro.search.tracing import SearchStats
 
-__all__ = ["GroupExpression", "Winner", "Group", "Memo"]
+__all__ = ["GroupExpression", "Winner", "Group", "Memo", "GoalKey"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class GroupExpression:
-    """A logical expression whose inputs are equivalence classes."""
+    """A logical expression whose inputs are equivalence classes.
+
+    Structural equality; the hash is precomputed at construction (these
+    are the memo's hash-table keys, probed on every insertion), and the
+    memo interns canonical instances so most equality checks are
+    identity checks.
+    """
 
     operator: str
     args: Tuple
     input_groups: Tuple[int, ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "_hash", hash((self.operator, self.args, self.input_groups))
+        )
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
+
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, GroupExpression):
+            return NotImplemented
+        if self._hash != other._hash:  # type: ignore[attr-defined]
+            return False
+        return (
+            self.operator == other.operator
+            and self.args == other.args
+            and self.input_groups == other.input_groups
+        )
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        object.__setattr__(
+            self, "_hash", hash((self.operator, self.args, self.input_groups))
+        )
 
     def __str__(self) -> str:
         inputs = " ".join(f"g{gid}" for gid in self.input_groups)
@@ -82,6 +137,7 @@ class Group:
         "exploring",
         "in_progress",
         "merged_into",
+        "version",
     )
 
     def __init__(self, group_id: int, logical_props: LogicalProperties):
@@ -102,6 +158,11 @@ class Group:
         # the paper marks goals "in progress" to break cycles.
         self.in_progress: Dict[GoalKey, int] = {}
         self.merged_into: Optional[int] = None
+        # Content version: bumped whenever the expression list changes.
+        # Derivation caches record (group id, version) pairs for every
+        # group they read, so a version mismatch — or a merge — is the
+        # exact signal that a cached result may be stale.
+        self.version = 0
 
     def mark_in_progress(self, key: GoalKey) -> None:
         """Push an in-progress mark for a goal (reference counted)."""
@@ -143,21 +204,48 @@ class Memo:
         # input, needed to rewrite the table when groups merge.
         self._parents: Dict[int, Set[GroupExpression]] = {}
         self._next_id = 0
+        # Hash-consing tables: one canonical GroupExpression instance per
+        # structural form, and one canonical GoalKey tuple per goal, so
+        # the hot dict lookups resolve on identity instead of structure.
+        self._interned: Dict[GroupExpression, GroupExpression] = {}
+        self._goal_keys: Dict[GoalKey, GoalKey] = {}
+        # Derivation caches (exact invalidation via probe records; see
+        # rule_bindings / cached_moves below).
+        self._props_cache: Dict[GroupExpression, LogicalProperties] = {}
+        self._binding_cache: Dict[Tuple, Tuple[Dict[int, int], List[dict]]] = {}
+        self._moves_cache: Dict[int, Tuple[Dict[int, int], tuple]] = {}
 
     # -- basic access --------------------------------------------------------
 
     def canonical(self, group_id: int) -> int:
         """Resolve a (possibly merged-away) group id to its representative."""
+        target = self._groups[group_id].merged_into
+        if target is None:
+            return group_id
         seen = []
-        while True:
-            group = self._groups[group_id]
-            if group.merged_into is None:
-                break
+        while target is not None:
             seen.append(group_id)
-            group_id = group.merged_into
+            group_id = target
+            target = self._groups[group_id].merged_into
+        self.stats.canonical_hops += len(seen)
         for stale in seen:  # path compression
             self._groups[stale].merged_into = group_id
         return group_id
+
+    def goal_key(
+        self, required: PhysProps, excluded: Optional[PhysProps] = None
+    ) -> GoalKey:
+        """The interned (required, excluded) key for winner/failure tables.
+
+        One tuple instance per distinct goal, so the per-goal dict
+        lookups that dominate ``FindBestPlan`` compare keys by identity.
+        """
+        key = (required, excluded)
+        interned = self._goal_keys.get(key)
+        if interned is None:
+            self._goal_keys[key] = key
+            return key
+        return interned
 
     def group(self, group_id: int) -> Group:
         """The live group for an id (following merges)."""
@@ -197,7 +285,9 @@ class Memo:
                 continue
             seen_set.add(gid)
             seen.append(gid)
-            for mexpr in self.group(gid).expressions:
+            # gid is already canonical: index the group table directly
+            # instead of re-resolving through the union-find.
+            for mexpr in self._groups[gid].expressions:
                 for input_gid in mexpr.input_groups:
                     stack.append(input_gid)
         return seen
@@ -282,6 +372,7 @@ class Memo:
     def _attach(self, mexpr: GroupExpression, group: Group) -> None:
         group.expressions.append(mexpr)
         group.expression_set.add(mexpr)
+        group.version += 1
         self._table[mexpr] = group.id
         for input_gid in set(mexpr.input_groups):
             self._parents.setdefault(input_gid, set()).add(mexpr)
@@ -293,7 +384,12 @@ class Memo:
         self._invalidate_ancestors(group.id)
 
     def _invalidate_ancestors(self, gid: int) -> None:
-        """Clear the ``explored`` flag of every group reachable upward."""
+        """Clear the ``explored`` flag of every group reachable upward.
+
+        Binding and move caches need no explicit treatment here: they
+        record (group, version) probes, and the version bump on the
+        changed group invalidates exactly the entries that read it.
+        """
         stack = [gid]
         seen = set()
         while stack:
@@ -305,21 +401,124 @@ class Memo:
                 owner = self._table.get(mexpr)
                 if owner is None:
                     continue  # the expression was rewritten away by a merge
-                owner_group = self.group(owner)
+                owner_group = self._groups[self.canonical(owner)]
                 owner_group.explored = False
                 stack.append(owner_group.id)
 
     def _canonical_mexpr(self, mexpr: GroupExpression) -> GroupExpression:
-        canonical_inputs = tuple(self.canonical(gid) for gid in mexpr.input_groups)
-        if canonical_inputs == mexpr.input_groups:
-            return mexpr
-        return GroupExpression(mexpr.operator, mexpr.args, canonical_inputs)
+        groups = self._groups
+        for gid in mexpr.input_groups:
+            if groups[gid].merged_into is not None:
+                canonical_inputs = tuple(
+                    self.canonical(g) for g in mexpr.input_groups
+                )
+                mexpr = GroupExpression(mexpr.operator, mexpr.args, canonical_inputs)
+                break
+        interned = self._interned.get(mexpr)
+        if interned is not None:
+            return interned
+        self._interned[mexpr] = mexpr
+        return mexpr
 
     def _derive_props(self, mexpr: GroupExpression) -> LogicalProperties:
+        # Memoized per interned expression.  Input groups' logical
+        # properties never change after creation (merges keep the
+        # keeper's, which consistency requires to agree), and a merge
+        # re-canonicalizes the expression into a fresh interned key, so
+        # entries never go stale.
+        cached = self._props_cache.get(mexpr)
+        if cached is not None:
+            self.stats.props_cache_hits += 1
+            return cached
         input_props = tuple(
             self.group(gid).logical_props for gid in mexpr.input_groups
         )
-        return self.context.derive_logical_props(mexpr.operator, mexpr.args, input_props)
+        derived = self.context.derive_logical_props(
+            mexpr.operator, mexpr.args, input_props
+        )
+        self._props_cache[mexpr] = derived
+        return derived
+
+    # -- derivation caches (probe-validated) ----------------------------------
+
+    def probing_expressions_of(self, probes: Dict[int, int]):
+        """An ``expressions_of`` callback that records which groups it reads.
+
+        Each read group's (canonical id, version) lands in ``probes`` —
+        recorded at *first* read, so a mid-enumeration mutation leaves a
+        stale version behind and conservatively invalidates the entry.
+        """
+
+        def expressions_of(gid: int):
+            group = self._groups[self.canonical(gid)]
+            probes.setdefault(group.id, group.version)
+            for mexpr in group.expressions:
+                yield mexpr.operator, mexpr.args, mexpr.input_groups
+
+        return expressions_of
+
+    def probes_valid(self, probes: Dict[int, int]) -> bool:
+        """True while every probed group is unmerged at its recorded version."""
+        groups = self._groups
+        for gid, version in probes.items():
+            group = groups[gid]
+            if group.merged_into is not None or group.version != version:
+                return False
+        return True
+
+    def rule_bindings(self, rule_name: str, pattern, mexpr: GroupExpression):
+        """Memoized transformation-rule binding enumeration.
+
+        Returns an iterable of binding dicts, identical to what
+        :func:`~repro.model.patterns.match_memo` would enumerate right
+        now.  Cache entries are keyed by (rule, interned expression) and
+        validated against the recorded probes, so a hit is only served
+        while every group the original enumeration read is unchanged —
+        exactly the condition under which re-matching would reproduce
+        the same bindings.  On a miss the enumeration stays *lazy* (the
+        engine fires rules mid-iteration and the live generator must see
+        their effects), filling the cache as it yields.
+        """
+        key = (rule_name, mexpr)
+        entry = self._binding_cache.get(key)
+        if entry is not None:
+            probes, bindings = entry
+            if self.probes_valid(probes):
+                self.stats.binding_cache_hits += 1
+                return [dict(binding) for binding in bindings]
+            del self._binding_cache[key]
+        self.stats.binding_cache_misses += 1
+        return self._enumerate_bindings(key, pattern, mexpr)
+
+    def _enumerate_bindings(self, key, pattern, mexpr: GroupExpression):
+        probes: Dict[int, int] = {}
+        expressions_of = self.probing_expressions_of(probes)
+        collected: List[dict] = []
+        for binding in match_memo(
+            pattern, mexpr.operator, mexpr.args, mexpr.input_groups, expressions_of
+        ):
+            collected.append(dict(binding))
+            yield binding
+        # Only a run-to-completion enumeration is cached; an abandoned
+        # generator (budget trip) stores nothing.
+        self._binding_cache[key] = (probes, collected)
+
+    def cached_moves(self, gid: int):
+        """The memoized move list for a group, or None when stale/absent."""
+        entry = self._moves_cache.get(gid)
+        if entry is None:
+            return None
+        probes, moves = entry
+        if self.probes_valid(probes):
+            self.stats.moves_cache_hits += 1
+            return moves
+        del self._moves_cache[gid]
+        return None
+
+    def store_moves(self, gid: int, probes: Dict[int, int], moves: tuple) -> None:
+        """Memoize a group's move list together with its probe record."""
+        self.stats.moves_cache_misses += 1
+        self._moves_cache[gid] = (probes, moves)
 
     def _check_consistency(self, group: Group, mexpr: GroupExpression) -> None:
         """Paper's consistency check: all class members agree on properties."""
@@ -371,6 +570,10 @@ class Memo:
                 f"properties: [{keeper.logical_props}] vs [{dead.logical_props}]"
             )
         dead.merged_into = keeper.id
+        # Both groups' contents change: stale any probe-validated cache
+        # entry that read either of them.
+        keeper.version += 1
+        dead.version += 1
         # Move the expressions across.
         for mexpr in dead.expressions:
             self._table.pop(mexpr, None)
@@ -412,6 +615,7 @@ class Memo:
                 continue  # already rewritten via another path
             owner = self.canonical(owner)
             owner_group = self._groups[owner]
+            owner_group.version += 1
             rewritten = self._canonical_mexpr(parent)
             if parent in owner_group.expression_set:
                 owner_group.expression_set.discard(parent)
@@ -456,7 +660,7 @@ class Memo:
         if gid in _path:
             raise SearchError(f"group {gid} only has cyclic expressions")
         path = _path + (gid,)
-        for mexpr in self.group(gid).expressions:
+        for mexpr in self._groups[gid].expressions:
             try:
                 inputs = tuple(
                     self.representative_expression(input_gid, path)
@@ -474,7 +678,8 @@ class Memo:
         ]
         lines = []
         for gid in gids:
-            group = self.group(gid)
+            # gids are canonical already (reachable/groups yield them so).
+            group = self._groups[gid]
             lines.append(f"group {gid}: {group.logical_props}")
             for mexpr in group.expressions:
                 lines.append(f"    {mexpr}")

@@ -59,9 +59,10 @@ class _GoalState:
         "bound",
         "best",
         "finished",
+        "key",
     )
 
-    def __init__(self, gid, required, excluded, limit, branch_and_bound):
+    def __init__(self, gid, required, excluded, limit, branch_and_bound, key=None):
         self.gid = gid
         self.required = required
         self.excluded = excluded
@@ -69,10 +70,9 @@ class _GoalState:
         self.bound = limit if branch_and_bound else INFINITE_COST
         self.best: Optional[Winner] = None
         self.finished = False
-
-    @property
-    def key(self) -> GoalKey:
-        return (self.required, self.excluded)
+        # The (interned, when the caller passes memo.goal_key) dict key
+        # for winner/failure/in-progress tables.
+        self.key: GoalKey = key if key is not None else (required, excluded)
 
     def offer(self, candidate: Winner, branch_and_bound: bool) -> None:
         if self.best is None or candidate.cost < self.best.cost:
@@ -166,15 +166,10 @@ class _ExpandMove(_Task):
 
     def step(self, engine, run) -> None:
         state, move = self.state, self.move
-        memo = run.memo
-        group = memo.group(state.gid)
-        algorithm = engine.spec.algorithm(move.rule.algorithm)
-        node = AlgorithmNode(
-            move.args,
-            group.logical_props,
-            tuple(memo.logical_props(gid) for gid in move.input_groups),
+        group = run.memo.group(state.gid)
+        algorithm, node, alternatives, local = engine._move_applicability(
+            run, group, move, state.required
         )
-        alternatives = algorithm.applicability(run.context, node, state.required)
         for requirements in alternatives or ():
             if len(requirements) != len(move.input_groups):
                 raise SearchError(
@@ -184,7 +179,6 @@ class _ExpandMove(_Task):
                 )
             run.stats.algorithm_costings += 1
             run.meter.charge_costing()
-            local = algorithm.cost(run.context, node)
             run.agenda.append(
                 _CostAlternative(
                     state, move, node, tuple(requirements), local, (), 0
@@ -256,6 +250,7 @@ class _CostAlternative(_Task):
             None,
             state.bound - self.total,
             run.options.branch_and_bound,
+            key=run.memo.goal_key(required, None),
         )
         self.started = True
         run.agenda.append(self)  # resume afterwards (winner will be memoized)
@@ -338,6 +333,7 @@ class _CostEnforcer(_Task):
                 application.excluded,
                 state.bound - self.local,
                 run.options.branch_and_bound,
+                key=run.memo.goal_key(application.relaxed, application.excluded),
             )
             self.started = True
             run.agenda.append(self)
@@ -403,7 +399,14 @@ class TaskBasedOptimizer(VolcanoOptimizer):
 
     def _find_best_plan(self, run, gid, required, limit, excluded, depth):
         """Drive the task agenda instead of recursing."""
-        state = _GoalState(gid, required, excluded, limit, run.options.branch_and_bound)
+        state = _GoalState(
+            gid,
+            required,
+            excluded,
+            limit,
+            run.options.branch_and_bound,
+            key=run.memo.goal_key(required, excluded),
+        )
         saved = run.agenda
         run.agenda = [_BeginGoal(state)]
         try:

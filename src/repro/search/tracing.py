@@ -47,6 +47,14 @@ class SearchStats:
     inputs_abandoned: int = 0
     consistency_checks: int = 0
     exploration_passes: int = 0
+    # Derivation-cache counters (repro.search.memo probe-validated
+    # caches) and union-find instrumentation.
+    props_cache_hits: int = 0
+    binding_cache_hits: int = 0
+    binding_cache_misses: int = 0
+    moves_cache_hits: int = 0
+    moves_cache_misses: int = 0
+    canonical_hops: int = 0
     # Cross-query reuse counters (the service's memo persistence hooks).
     seeds_planted: int = 0
     winners_harvested: int = 0
@@ -77,6 +85,12 @@ class SearchStats:
             "inputs_abandoned": self.inputs_abandoned,
             "consistency_checks": self.consistency_checks,
             "exploration_passes": self.exploration_passes,
+            "props_cache_hits": self.props_cache_hits,
+            "binding_cache_hits": self.binding_cache_hits,
+            "binding_cache_misses": self.binding_cache_misses,
+            "moves_cache_hits": self.moves_cache_hits,
+            "moves_cache_misses": self.moves_cache_misses,
+            "canonical_hops": self.canonical_hops,
             "seeds_planted": self.seeds_planted,
             "winners_harvested": self.winners_harvested,
             "budget_trips": self.budget_trips,

@@ -38,6 +38,14 @@ class CacheStats:
     service serves them but never caches them, so the counter lets
     operators tell fast-because-cached answers from
     fast-because-degraded ones.
+
+    ``hit_seconds`` accumulates the *service-side* latency of answers
+    served from the cache, and ``engine_seconds`` the engine wall-clock
+    of fresh runs.  The split exists so batch drivers never double-count:
+    a warm hit's latency is the lookup cost actually paid *now*, not the
+    original optimization's ``SearchStats.elapsed_seconds`` (which was
+    already accounted under ``engine_seconds`` when the entry was
+    built).
     """
 
     lookups: int = 0
@@ -48,6 +56,8 @@ class CacheStats:
     evictions: int = 0
     invalidations: int = 0
     degraded: int = 0
+    hit_seconds: float = 0.0
+    engine_seconds: float = 0.0
 
     @property
     def hit_rate(self) -> float:
@@ -67,6 +77,8 @@ class CacheStats:
             "evictions": self.evictions,
             "invalidations": self.invalidations,
             "degraded": self.degraded,
+            "hit_seconds": self.hit_seconds,
+            "engine_seconds": self.engine_seconds,
             "hit_rate": self.hit_rate,
         }
 

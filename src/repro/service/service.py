@@ -254,20 +254,41 @@ class OptimizerService:
         started = time.perf_counter()
         self._sweep_if_stale()
 
+        served = self._lookup(query, props, started)
+        if served is not None:
+            return served
+
+        exact, template_key, normalized = self._keys_for(query, props)
+        result = self._run_engine(query, props, budget)
+        return self._serve_fresh(
+            exact, template_key, normalized, result, started
+        )
+
+    def _lookup(
+        self,
+        query: LogicalExpression,
+        props: PhysProps,
+        started: float,
+    ) -> Optional[ServedResult]:
+        """The cache-only half of :meth:`optimize`: a hit, or None.
+
+        Hit latency is *service-side* (the lookup cost paid now), never
+        the original optimization's elapsed time; it accumulates under
+        ``stats.hit_seconds``.
+        """
         exact = fingerprint(query, props, self.catalog)
         entry = self.cache.get(exact)
         if entry is not None:
+            elapsed = time.perf_counter() - started
+            self.cache.stats.hit_seconds += elapsed
             return ServedResult(
                 plan=entry.plan,
                 cost=entry.cost,
                 required=entry.required,
                 fingerprint=exact,
                 cached=True,
-                elapsed_seconds=time.perf_counter() - started,
+                elapsed_seconds=elapsed,
             )
-
-        normalized = None
-        template_key = None
         if self.options.parameterized:
             normalized = normalize_literals(
                 query, self.catalog, buckets=self.options.selectivity_buckets
@@ -284,6 +305,8 @@ class OptimizerService:
                 entry = self.cache.get(template_key)
                 if entry is not None:
                     plan = bind_plan(entry.plan, normalized.bindings)
+                    elapsed = time.perf_counter() - started
+                    self.cache.stats.hit_seconds += elapsed
                     return ServedResult(
                         plan=plan,
                         cost=entry.cost,
@@ -291,15 +314,50 @@ class OptimizerService:
                         fingerprint=template_key,
                         cached=True,
                         parameterized=True,
-                        elapsed_seconds=time.perf_counter() - started,
+                        elapsed_seconds=elapsed,
                     )
+        return None
 
-        result = self._run_engine(query, props, budget)
+    def _keys_for(
+        self, query: LogicalExpression, props: PhysProps
+    ) -> Tuple[Fingerprint, Optional[Fingerprint], Optional[object]]:
+        """The exact and (when enabled) template cache keys of a query."""
+        exact = fingerprint(query, props, self.catalog)
+        normalized = None
+        template_key = None
+        if self.options.parameterized:
+            normalized = normalize_literals(
+                query, self.catalog, buckets=self.options.selectivity_buckets
+            )
+            if normalized.is_parameterized:
+                template_key = fingerprint(
+                    normalized.template,
+                    props,
+                    self.catalog,
+                    bucket_key=tuple(
+                        (op, bucket) for _, op, bucket in normalized.bucket_key
+                    ),
+                )
+            else:
+                normalized = None
+        return exact, template_key, normalized
+
+    def _serve_fresh(
+        self,
+        exact: Fingerprint,
+        template_key: Optional[Fingerprint],
+        normalized,
+        result: OptimizationResult,
+        started: float,
+    ) -> ServedResult:
+        """Account, cache, and wrap one fresh engine answer."""
         degraded = bool(getattr(result, "degraded", False))
+        if result.stats is not None:
+            self.cache.stats.engine_seconds += result.stats.elapsed_seconds
         if degraded:
             self.cache.stats.degraded += 1
         else:
-            self._store(exact, template_key, normalized, result, props)
+            self._store(exact, template_key, normalized, result, None)
             self._harvest(result)
         return ServedResult(
             plan=result.plan,
@@ -311,6 +369,166 @@ class OptimizerService:
             elapsed_seconds=time.perf_counter() - started,
             result=result,
         )
+
+    def optimize_many(
+        self,
+        queries,
+        props: Optional[PhysProps] = None,
+        *,
+        max_workers: Optional[int] = None,
+        deadline_seconds: Optional[float] = None,
+        budget: Optional[ResourceBudget] = None,
+    ) -> List[ServedResult]:
+        """Serve a batch of queries, optionally over a process pool.
+
+        Results come back in input order, one per query, each exactly
+        what :meth:`optimize` would have produced — the warm plan cache
+        is consulted *before* any dispatch, duplicate queries within the
+        batch are optimized once, and fresh answers are cached so later
+        batches (and later duplicates) hit.
+
+        ``max_workers`` > 1 fans the cache misses out to a pool of
+        forked worker processes (the optimizer is inherited by memory
+        image; only picklable data crosses the pipe — see
+        :mod:`repro.service.parallel`).  With ``max_workers`` of None,
+        0, or 1 — or on platforms without the ``fork`` start method, or
+        when at most one query misses — the batch runs serially in this
+        process.  Either way the answers are identical; each engine run
+        is deterministic and owns its memo.
+
+        ``deadline_seconds`` is a *batch* deadline: it is split evenly
+        into per-query wall-clock budgets over the cache misses,
+        composing with ``budget`` (or the service default) by taking the
+        tighter deadline.  Per-query budget semantics are unchanged:
+        a query whose budget trips degrades (anytime plan, flagged
+        ``degraded=True``) and is served but never cached.
+
+        Worker failures re-raise deterministically: the earliest failed
+        query in input order wins, regardless of completion order.
+        """
+        from repro.service import parallel as parallel_mod
+
+        queries = list(queries)
+        props = props if props is not None else self._default_props()
+        self._sweep_if_stale()
+
+        results: List[Optional[ServedResult]] = [None] * len(queries)
+        pending: List[int] = []
+        for index, query in enumerate(queries):
+            started = time.perf_counter()
+            served = self._lookup(query, props, started)
+            if served is not None:
+                results[index] = served
+            else:
+                pending.append(index)
+
+        # Duplicate queries in one batch are optimized once; the rest
+        # are served from the cache the first occurrence populates.
+        dispatch: List[int] = []
+        first_for_key: dict = {}
+        for index in pending:
+            exact = fingerprint(queries[index], props, self.catalog)
+            if exact.digest not in first_for_key:
+                first_for_key[exact.digest] = index
+                dispatch.append(index)
+
+        per_query_budget = self._split_deadline(
+            deadline_seconds, len(dispatch), budget
+        )
+        workers = max_workers or 0
+        parallel = (
+            workers > 1 and len(dispatch) > 1 and parallel_mod.fork_available()
+        )
+        if parallel:
+            self._optimize_batch_parallel(
+                queries, props, dispatch, per_query_budget, workers, results
+            )
+        else:
+            for index in dispatch:
+                results[index] = self.optimize(
+                    queries[index], props, budget=per_query_budget
+                )
+        # Second pass: batch duplicates (and parallel-path stragglers)
+        # now hit the warm cache; degraded answers were never cached, so
+        # their duplicates re-run serially with the same budget —
+        # preserving single-query semantics exactly.
+        for index in pending:
+            if results[index] is None:
+                results[index] = self.optimize(
+                    queries[index], props, budget=per_query_budget
+                )
+        return results  # type: ignore[return-value]
+
+    def _split_deadline(
+        self,
+        deadline_seconds: Optional[float],
+        dispatch_count: int,
+        budget: Optional[ResourceBudget],
+    ) -> Optional[ResourceBudget]:
+        """Fold a batch deadline into the per-query resource budget."""
+        base = budget if budget is not None else self.options.budget
+        if deadline_seconds is None or dispatch_count == 0:
+            return base
+        share = deadline_seconds / dispatch_count
+        if base is None:
+            return ResourceBudget(deadline_seconds=share)
+        if base.deadline_seconds is not None:
+            share = min(share, base.deadline_seconds)
+        return base.replace(deadline_seconds=share)
+
+    def _optimize_batch_parallel(
+        self,
+        queries: List[LogicalExpression],
+        props: PhysProps,
+        dispatch: List[int],
+        per_query_budget: Optional[ResourceBudget],
+        max_workers: int,
+        results: List[Optional[ServedResult]],
+    ) -> None:
+        """Fan cache misses out to forked workers; fill ``results``."""
+        from repro.service import parallel as parallel_mod
+
+        options = None
+        if per_query_budget is not None:
+            options = self.optimizer.options.replace(budget=per_query_budget)
+        items = []
+        for index in dispatch:
+            seeds: Tuple = ()
+            if self.options.reuse_subplans and self._engine_seeds:
+                seeds = tuple(
+                    self.subplans.seeds_for(
+                        queries[index],
+                        self.catalog,
+                        limit=self.options.max_seeds_per_query,
+                    )
+                )
+            items.append(
+                parallel_mod.WorkItem(
+                    index=index,
+                    query=queries[index],
+                    props=props,
+                    options=options,
+                    seeds=seeds,
+                )
+            )
+        outcomes = parallel_mod.run_batch(self.optimizer, items, max_workers)
+        failure: Optional[BaseException] = None
+        for outcome in outcomes:  # already in input order
+            if outcome.error is not None:
+                if failure is None:
+                    failure = outcome.error
+                continue
+            started = time.perf_counter()
+            result = outcome.result
+            assert result is not None  # no error => a result was shipped
+            exact, template_key, normalized = self._keys_for(
+                queries[outcome.index], props
+            )
+            results[outcome.index] = self._serve_fresh(
+                exact, template_key, normalized, result, started
+            )
+        if failure is not None:
+            raise failure
 
     def optimize_sql(self, text: str) -> ServedResult:
         """Translate a SQL statement and serve its plan."""
@@ -385,7 +603,7 @@ class OptimizerService:
         template_key: Optional[Fingerprint],
         normalized,
         result: OptimizationResult,
-        props: PhysProps,
+        props: Optional[PhysProps] = None,
     ) -> None:
         self.cache.put(
             CacheEntry(

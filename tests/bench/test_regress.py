@@ -1,0 +1,112 @@
+"""The benchmark-regression harness: suite, comparison, tolerance bands."""
+
+import json
+
+import pytest
+
+from repro.bench.regress import (
+    RegressConfig,
+    apply_inflation,
+    compare,
+    render_report,
+    run_regress,
+)
+
+SMALL = RegressConfig(
+    sizes=(3, 4), queries_per_size=3, micro_repeats=3, batch_queries=4
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_regress(SMALL)
+
+
+def test_results_shape(results):
+    assert results["schema"] == 1
+    benches = results["benches"]
+    assert set(benches) == {
+        "figure4_n3",
+        "figure4_n4",
+        "memo_insert",
+        "memo_merge",
+        "binding_enum",
+        "batch_throughput",
+    }
+    for metrics in benches.values():
+        assert metrics["median_ms"] > 0
+    for size in (3, 4):
+        point = benches[f"figure4_n{size}"]
+        assert point["p95_ms"] >= point["median_ms"]
+        assert point["mean_groups"] > 0
+        assert point["mean_expressions"] > 0
+        assert point["audit_violations"] == 0
+        assert 0.0 <= point["binding_hit_rate"] <= 1.0
+    # The second binding sweep must be served by the derivation cache.
+    assert benches["binding_enum"]["sweep_hit_rate"] > 0.9
+    assert json.loads(json.dumps(results)) == results  # JSON-clean
+
+
+def test_self_comparison_passes(results):
+    assert compare(results, results, SMALL) == []
+    report = render_report(results, [])
+    assert "PASS" in report
+
+
+def test_synthetic_slowdown_fails(results):
+    """The acceptance demo: a 3x slowdown must break the band."""
+    inflated = apply_inflation(results, 3.0)
+    failures = compare(inflated, results, SMALL)
+    assert failures  # every *_ms metric is beyond the +150% default band
+    assert any("median_ms" in failure for failure in failures)
+    assert any("queries_per_second" in failure for failure in failures)
+    assert "FAIL" in render_report(inflated, failures)
+    # A mild wobble, by contrast, stays inside the band.
+    wobble = apply_inflation(results, 1.3)
+    assert compare(wobble, results, SMALL) == []
+
+
+def test_count_drift_fails_tightly(results):
+    """Deterministic metrics get a tight band: 10% drift is a failure."""
+    drifted = json.loads(json.dumps(results))
+    drifted["benches"]["figure4_n3"]["mean_groups"] *= 1.10
+    failures = compare(drifted, results, SMALL)
+    assert any("mean_groups" in failure for failure in failures)
+
+
+def test_hit_rate_only_fails_downward(results):
+    shifted = json.loads(json.dumps(results))
+    shifted["benches"]["binding_enum"]["sweep_hit_rate"] = 0.0
+    assert any(
+        "sweep_hit_rate" in failure
+        for failure in compare(shifted, results, SMALL)
+    )
+    improved = json.loads(json.dumps(results))
+    improved["benches"]["binding_enum"]["sweep_hit_rate"] = 1.0
+    assert compare(improved, results, SMALL) == []
+
+
+def test_missing_bench_or_metric_fails(results):
+    partial = json.loads(json.dumps(results))
+    del partial["benches"]["memo_merge"]
+    del partial["benches"]["memo_insert"]["groups"]
+    failures = compare(partial, results, SMALL)
+    assert any("memo_merge" in failure for failure in failures)
+    assert any("memo_insert.groups" in failure for failure in failures)
+
+
+def test_audit_violations_fail(results):
+    violated = json.loads(json.dumps(results))
+    violated["benches"]["figure4_n3"]["audit_violations"] = 1
+    assert any(
+        "audit_violations" in failure
+        for failure in compare(violated, results, SMALL)
+    )
+
+
+def test_parallel_metrics_never_compared(results):
+    noisy = json.loads(json.dumps(results))
+    noisy["benches"]["batch_throughput"]["parallel_speedup"] = 0.01
+    baseline = json.loads(json.dumps(results))
+    baseline["benches"]["batch_throughput"]["parallel_speedup"] = 99.0
+    assert compare(noisy, baseline, SMALL) == []

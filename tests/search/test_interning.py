@@ -1,0 +1,191 @@
+"""Hash-consing invariants: interning, merge dedup, union-find bounds.
+
+The memo interns one :class:`GroupExpression` instance per structural
+form, so the hot dict lookups resolve on identity.  These tests pin the
+properties that make that safe:
+
+* after any engine run (merges and all), every live group holds each
+  structural form **once**, and that member *is* the interned instance;
+* merging never loses winners — the merged memo passes
+  :class:`repro.lint.MemoAuditor` (which checks winner optimality and
+  cost consistency per ``repro.lint.invariants``);
+* long merge chains resolve in linear total work (path compression),
+  pinned by the ``canonical_hops`` counter rather than wall-clock;
+* the cached hashes are process-local: pickling strips and recomputes
+  them, so objects survive the trip to forked pool workers.
+"""
+
+import pickle
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.algebra.predicates import Comparison, ComparisonOp, col, eq, lit
+from repro.algebra.properties import sorted_on
+from repro.lint.invariants import MemoAuditor
+from repro.model.context import OptimizerContext
+from repro.models import (
+    aggregate_model,
+    oodb_model,
+    parallel_relational_model,
+    relational_model,
+    setops_model,
+)
+from repro.models.relational import get, join, select
+from repro.search import SearchOptions, VolcanoOptimizer
+from repro.search.memo import Memo
+from repro.workloads import QueryGenerator
+
+from tests.helpers import make_catalog
+
+TABLES = [("r", 1200), ("s", 2400), ("t", 4800)]
+BUILDERS = [
+    relational_model,
+    setops_model,
+    parallel_relational_model,
+    oodb_model,
+    aggregate_model,
+]
+
+
+def le(column, value):
+    return Comparison(ComparisonOp.LE, col(column), lit(value))
+
+
+def three_way_join():
+    """A query whose exploration provokes group merges in every model."""
+    return join(
+        select(get("r"), le("r.v", 10)),
+        join(get("s"), get("t"), eq("s.k", "t.k")),
+        eq("r.k", "s.k"),
+    )
+
+
+def assert_interned_and_deduped(memo):
+    """Every live member expression is unique and *is* its interned form."""
+    for group in memo.groups():
+        assert len(group.expressions) == len(set(group.expressions)), (
+            f"group {group.id} holds structural duplicates after merging"
+        )
+        for mexpr in group.expressions:
+            assert memo._interned[mexpr] is mexpr
+            # The hash table resolves the member back to its live group.
+            assert memo.canonical(memo._table[mexpr]) == group.id
+
+
+@pytest.mark.parametrize("builder", BUILDERS, ids=lambda b: b.__name__)
+def test_merge_dedupes_members_and_preserves_winners(builder):
+    # A generated 5-relation query: big enough that select-pushdown and
+    # (re)association provoke real group merges in every bundled model.
+    query = QueryGenerator().generate(5, seed=5)
+    optimizer = VolcanoOptimizer(builder(), query.catalog)
+    auditor = MemoAuditor().attach(optimizer)
+    result = optimizer.optimize(query.query, query.required)
+    memo = result.memo
+    # The run must actually have merged groups, or this test pins nothing.
+    assert memo.stats.group_merges > 0
+    assert_interned_and_deduped(memo)
+    assert auditor.audits == 1
+    assert not auditor.violations, [str(v) for v in auditor.violations]
+
+
+@st.composite
+def join_trees(draw):
+    """Random select/join trees over r, s, t (each table at most once)."""
+    names = draw(st.permutations(["r", "s", "t"]))
+    names = list(names[: draw(st.integers(2, 3))])
+    leaves = []
+    for name in names:
+        leaf = get(name)
+        if draw(st.booleans()):
+            leaf = select(leaf, le(f"{name}.v", draw(st.integers(0, 15))))
+        leaves.append((name, leaf))
+    tree_name, tree = leaves[0]
+    for name, leaf in leaves[1:]:
+        if draw(st.booleans()):
+            tree = join(tree, leaf, eq(f"{tree_name}.k", f"{name}.k"))
+        else:
+            tree = join(leaf, tree, eq(f"{tree_name}.k", f"{name}.k"))
+    return tree
+
+
+@settings(max_examples=25, deadline=None)
+@given(join_trees())
+def test_merge_dedup_holds_under_random_queries(tree):
+    catalog = make_catalog(TABLES)
+    optimizer = VolcanoOptimizer(relational_model(), catalog)
+    auditor = MemoAuditor().attach(optimizer)
+    result = optimizer.optimize(tree)
+    assert_interned_and_deduped(result.memo)
+    assert not auditor.violations, [str(v) for v in auditor.violations]
+
+
+def test_long_merge_chains_are_not_quadratic():
+    """Path compression bounds total union-find hops linearly.
+
+    Without compression, resolving every stale id of an N-deep merge
+    chain walks O(N^2) links; the ``canonical_hops`` counter makes the
+    difference observable without timing anything.
+    """
+    chain = 150
+    context = OptimizerContext(relational_model(), make_catalog(TABLES))
+    memo = Memo(context, check_consistency=False)
+    context.group_props_resolver = memo.logical_props
+    roots = [
+        memo.insert_expression(select(get("r"), le("r.v", float(i))))
+        for i in range(chain)
+    ]
+    for left, right in zip(roots, roots[1:]):
+        memo._merge(left, right)
+    for gid in roots:
+        memo.canonical(gid)
+    # Linear budget with headroom for the merges' own resolutions; the
+    # quadratic failure mode is ~chain^2 / 2 = 11k+ hops.
+    assert memo.stats.canonical_hops <= 6 * chain
+    # After one resolution pass every stale id points directly at the
+    # representative: re-resolving all of them costs one hop each.
+    before = memo.stats.canonical_hops
+    for gid in roots:
+        memo.canonical(gid)
+    assert memo.stats.canonical_hops - before <= chain
+
+
+def test_render_and_reachable_work_after_deep_merging():
+    """The satellite fix: traversals index canonical groups directly."""
+    query = QueryGenerator().generate(5, seed=5)
+    optimizer = VolcanoOptimizer(
+        relational_model(), query.catalog, SearchOptions(check_consistency=False)
+    )
+    result = optimizer.optimize(query.query, query.required)
+    memo = result.memo
+    assert memo.stats.group_merges > 0
+    root = max(memo.groups(), key=lambda g: len(g.logical_props.tables))
+    reachable = memo.reachable(root.id)
+    assert len(reachable) == len(set(reachable))
+    assert all(memo.group(gid).id == gid for gid in reachable)
+    rendered = memo.render()
+    assert str(root.id) in rendered
+
+
+def test_cached_hashes_survive_pickling():
+    """Interned objects ship to forked workers: hashes must recompute."""
+    expr = three_way_join()
+    clone = pickle.loads(pickle.dumps(expr))
+    assert clone == expr
+    assert hash(clone) == hash(expr)
+
+    props = sorted_on("r.k")
+    clone_props = pickle.loads(pickle.dumps(props))
+    assert clone_props == props
+    assert hash(clone_props) == hash(props)
+
+    context = OptimizerContext(relational_model(), make_catalog(TABLES))
+    memo = Memo(context, check_consistency=False)
+    context.group_props_resolver = memo.logical_props
+    memo.insert_expression(expr)
+    for group in memo.groups():
+        for mexpr in group.expressions:
+            clone_mexpr = pickle.loads(pickle.dumps(mexpr))
+            assert clone_mexpr == mexpr
+            assert hash(clone_mexpr) == hash(mexpr)
