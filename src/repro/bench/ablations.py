@@ -464,6 +464,7 @@ def run_executor_validation(
 ) -> Table:
     """V1: estimated vs. actual — cardinalities and scan page counts."""
     from repro.executor import ExecutionStats, execute_plan, generate_table, TableSpec
+    from repro.feedback import observed_report
 
     generator = QueryGenerator(
         WorkloadOptions(min_rows=600, max_rows=1800, selectivity_range=(0.3, 0.8))
@@ -476,6 +477,7 @@ def run_executor_validation(
             "est rows",
             "actual rows",
             "rows ratio",
+            "max q-error",
             "est scan io",
             "actual scan io",
         ],
@@ -495,7 +497,12 @@ def run_executor_validation(
         context = OptimizerContext(spec, query.catalog)
         estimated_rows = context.logical_props(query.query).cardinality
         execution_stats = ExecutionStats()
-        rows = execute_plan(result.plan, query.catalog, execution_stats)
+        rows = execute_plan(
+            result.plan, query.catalog, execution_stats, instrument=True
+        )
+        report = observed_report(
+            result.plan, execution_stats, query.catalog, spec
+        )
         estimated_io = sum(
             query.catalog.table(name).statistics.pages(query.catalog.page_size)
             for name in query.table_names
@@ -505,6 +512,7 @@ def run_executor_validation(
             estimated_rows,
             len(rows),
             f"{(estimated_rows / len(rows)):.2f}" if rows else "n/a",
+            f"{report.max_q_error:.2f}",
             estimated_io,
             execution_stats.pages_read,
         )

@@ -36,6 +36,12 @@ The suite:
     A full rule-binding sweep over a solved memo, twice — the second
     sweep must be served almost entirely by the probe-validated
     binding cache.
+``feedback_loop``
+    The execution-feedback loop on the canonical drifted workload
+    (:func:`repro.feedback.drifted_workload`): drift is detected by
+    q-error, statistics refresh, and the re-optimized plan's measured
+    work must beat the stale plan's.  The q-error and work counters
+    are deterministic, so they live in the tight band.
 ``batch_throughput``
     :meth:`OptimizerService.optimize_many` over a shared-catalog batch,
     serial always, parallel when the machine has the cores for it
@@ -267,6 +273,55 @@ def _bench_binding_enum(config: RegressConfig) -> Dict[str, float]:
     }
 
 
+def _bench_feedback_loop(config: RegressConfig) -> Dict[str, float]:
+    """The adaptive loop on the canonical drifted workload.
+
+    Four ``OptimizerService.execute`` round trips: cold, warm, stale
+    (the drifted run that detects q-error and refreshes statistics),
+    and fresh (re-optimized after the refresh).  Everything but the
+    wall clock is deterministic: the drift q-error, the number of
+    refreshed tables, and the stale vs. fresh plans' measured work are
+    exact counters, so they sit in the tight band — ``fresh_work`` must
+    stay below ``stale_work`` or the loop stopped paying for itself.
+    """
+    from repro.feedback import FeedbackPolicy, drifted_workload
+
+    scenario = drifted_workload(seed=7, growth=4)
+    optimizer = VolcanoOptimizer(
+        relational_model(), scenario.catalog, SearchOptions(check_consistency=False)
+    )
+    service = OptimizerService(
+        optimizer,
+        options=ServiceOptions(feedback_policy=FeedbackPolicy(max_q_error=2.0)),
+    )
+    times: List[float] = []
+
+    def timed_execute(query):
+        started = time.perf_counter()
+        executed = service.execute(query)
+        times.append(time.perf_counter() - started)
+        return executed
+
+    timed_execute(scenario.query)  # cold: optimize + run
+    timed_execute(scenario.query)  # warm: cache hit + run
+    scenario.grow()
+    stale = timed_execute(scenario.query)  # drift detected, stats refreshed
+    fresh = timed_execute(scenario.query)  # re-optimized against fresh stats
+    histogram = service.feedback.q_error_histogram()
+    return {
+        "median_ms": _median_ms(times),
+        "drift_q_error": stale.max_q_error,
+        "refreshes": float(len(stale.refresh.refreshed) if stale.refresh else 0),
+        "stale_work": stale.stats.work(),
+        "fresh_work": fresh.stats.work(),
+        "qerr_over_2": float(
+            histogram.get("<=4", 0)
+            + histogram.get("<=10", 0)
+            + histogram.get(">10", 0)
+        ),
+    }
+
+
 def _bench_batch_throughput(config: RegressConfig) -> Dict[str, float]:
     """optimize_many over a shared-catalog batch, serial (and parallel)."""
     spec = relational_model()
@@ -329,6 +384,7 @@ def run_regress(
         ("memo_insert", _bench_memo_insert),
         ("memo_merge", _bench_memo_merge),
         ("binding_enum", _bench_binding_enum),
+        ("feedback_loop", _bench_feedback_loop),
         ("batch_throughput", _bench_batch_throughput),
     ):
         benches[name] = runner(config)
@@ -357,6 +413,12 @@ _COUNT_METRICS = {
     "groups",
     "expressions",
     "canonical_hops",
+    # feedback_loop: all deterministic (seeded data, exact counters).
+    "drift_q_error",
+    "refreshes",
+    "stale_work",
+    "fresh_work",
+    "qerr_over_2",
 }
 
 

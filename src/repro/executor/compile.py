@@ -63,18 +63,45 @@ class PlanCompiler:
         self._builders[algorithm] = builder
 
     def compile(
-        self, plan: PhysicalPlan, context: Optional[ExecutionContext] = None
+        self,
+        plan: PhysicalPlan,
+        context: Optional[ExecutionContext] = None,
+        *,
+        instrument: bool = False,
     ) -> VolcanoIterator:
-        """Build the iterator tree for ``plan``."""
-        context = context or ExecutionContext(self.catalog)
-        return self._compile(plan, context)
+        """Build the iterator tree for ``plan``.
 
-    def _compile(self, plan: PhysicalPlan, context: ExecutionContext) -> VolcanoIterator:
+        With ``instrument=True`` every iterator is tagged with the
+        stable id of the plan node it implements — the node's pre-order
+        position, i.e. the index at which :meth:`PhysicalPlan.walk`
+        yields it — so the run's :class:`ExecutionStats` collects
+        per-operator observed row counts for the execution-feedback
+        subsystem (:mod:`repro.feedback`).  The default is
+        observation-free: no ids, no per-node counters, identical
+        behavior to an uninstrumented build.
+        """
+        context = context or ExecutionContext(self.catalog)
+        counter = [0] if instrument else None
+        return self._compile(plan, context, counter)
+
+    def _compile(
+        self,
+        plan: PhysicalPlan,
+        context: ExecutionContext,
+        counter: Optional[List[int]] = None,
+    ) -> VolcanoIterator:
         builder = self._builders.get(plan.algorithm)
         if builder is None:
             raise ExecutionError(f"no iterator for algorithm {plan.algorithm!r}")
-        inputs = [self._compile(child, context) for child in plan.inputs]
-        return builder(self, context, plan, inputs)
+        node_id = None
+        if counter is not None:
+            node_id = counter[0]
+            counter[0] += 1
+        inputs = [self._compile(child, context, counter) for child in plan.inputs]
+        iterator = builder(self, context, plan, inputs)
+        if node_id is not None:
+            iterator.node_id = node_id
+        return iterator
 
 
 def _build_file_scan(compiler, context, plan, inputs):
@@ -184,8 +211,15 @@ def execute_plan(
     plan: PhysicalPlan,
     catalog: Catalog,
     stats: Optional[ExecutionStats] = None,
+    *,
+    instrument: bool = False,
 ) -> List[Row]:
-    """Compile and drain a plan; returns its result rows."""
+    """Compile and drain a plan; returns its result rows.
+
+    ``instrument=True`` additionally fills ``stats.node_rows`` (and the
+    scan-side per-node counters) with observed row counts keyed by plan
+    node id; see :meth:`PlanCompiler.compile`.
+    """
     context = ExecutionContext(catalog, stats)
-    iterator = PlanCompiler(catalog).compile(plan, context)
+    iterator = PlanCompiler(catalog).compile(plan, context, instrument=instrument)
     return iterator.drain()

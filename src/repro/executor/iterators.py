@@ -44,11 +44,22 @@ Row = Dict[str, object]
 
 
 class VolcanoIterator:
-    """Base class implementing the open/next/close protocol."""
+    """Base class implementing the open/next/close protocol.
+
+    ``node_id`` is the stable id of the plan node this iterator
+    implements (the node's pre-order position, assigned by the compiler
+    in instrumented mode; None otherwise).  Every iterator counts the
+    rows it returns; on close, instrumented iterators report the count
+    into ``ExecutionStats.node_rows`` under their node id, so the
+    execution-feedback subsystem can join observed against estimated
+    cardinality per operator.
+    """
 
     def __init__(self, context: ExecutionContext):
         self.context = context
+        self.node_id: Optional[int] = None
         self._opened = False
+        self._rows_out = 0
 
     # -- protocol ---------------------------------------------------------
 
@@ -64,15 +75,42 @@ class VolcanoIterator:
         """The next row, or None when the input is exhausted."""
         if not self._opened:
             raise ExecutionError(f"{type(self).__name__} not open")
-        return self._do_next()
+        row = self._do_next()
+        if row is not None:
+            self._rows_out += 1
+        return row
 
     def close(self) -> None:
         """Release state and close inputs; safe to call when not open."""
         if not self._opened:
             return
         self._opened = False
-        self.context.stats.operators_closed += 1
+        stats = self.context.stats
+        stats.operators_closed += 1
+        if self.node_id is not None:
+            stats.node_rows[self.node_id] = (
+                stats.node_rows.get(self.node_id, 0) + self._rows_out
+            )
+            scanned = self._scan_count()
+            if scanned is not None:
+                stats.node_scan_rows[self.node_id] = (
+                    stats.node_scan_rows.get(self.node_id, 0) + scanned
+                )
+                stats.node_scan_complete[self.node_id] = (
+                    stats.node_scan_complete.get(self.node_id, True)
+                    and self._scan_exhausted()
+                )
         self._do_close()
+
+    # -- instrumentation hooks --------------------------------------------
+
+    def _scan_count(self) -> Optional[int]:
+        """Rows this operator read from a stored table, if it is a scan."""
+        return None
+
+    def _scan_exhausted(self) -> bool:
+        """Whether the scan read its table to the end (see _scan_count)."""
+        return False
 
     # -- subclass hooks -----------------------------------------------------
 
@@ -139,6 +177,7 @@ class FileScan(VolcanoIterator):
             1, context.page_size // max(1, entry.statistics.row_width)
         )
         self._position = 0
+        self._exhausted = False
         base = entry.schema.column_names
         if alias is not None:
             self._columns = tuple(f"{alias}.{name}" for name in base)
@@ -147,10 +186,12 @@ class FileScan(VolcanoIterator):
 
     def _do_open(self) -> None:
         self._position = 0
+        self._exhausted = False
 
     def _do_next(self) -> Optional[Row]:
         rows = self._entry.rows
         if self._position >= len(rows):
+            self._exhausted = True
             return None
         if self._position % self._rows_per_page == 0:
             self.context.stats.pages_read += 1
@@ -160,6 +201,12 @@ class FileScan(VolcanoIterator):
         if self.alias is not None:
             return {f"{self.alias}.{name}": value for name, value in row.items()}
         return dict(row)
+
+    def _scan_count(self) -> Optional[int]:
+        return self._position
+
+    def _scan_exhausted(self) -> bool:
+        return self._exhausted
 
     @property
     def output_columns(self) -> Tuple[str, ...]:
@@ -205,6 +252,12 @@ class FilterScan(VolcanoIterator):
 
     def _do_close(self) -> None:
         self._scan.close()
+
+    def _scan_count(self) -> Optional[int]:
+        return self._scan._scan_count()
+
+    def _scan_exhausted(self) -> bool:
+        return self._scan._scan_exhausted()
 
     @property
     def output_columns(self) -> Tuple[str, ...]:

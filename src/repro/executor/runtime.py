@@ -7,13 +7,23 @@ software such as the query execution engine").  The statistics let the
 benchmarks validate the cost model's inputs against reality (DESIGN.md
 invariant 8): page counts for scans are exact, row counts compare
 against cardinality estimates.
+
+Beyond the aggregate counters, the stats carry *per-operator* observed
+row counts keyed by the plan node's stable id (assigned by
+:class:`~repro.executor.compile.PlanCompiler` in instrumented mode, in
+pre-order so id ``i`` is the ``i``-th node of
+:meth:`PhysicalPlan.walk`).  These are what the execution-feedback
+subsystem (:mod:`repro.feedback`) joins against the optimizer's
+cardinality estimates to compute q-errors.  Instrumentation is
+observation-only: uninstrumented runs leave the per-node maps empty and
+behave byte-identically.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Dict, Optional
 
 from repro.catalog.catalog import Catalog
 
@@ -22,7 +32,20 @@ __all__ = ["ExecutionStats", "ExecutionContext"]
 
 @dataclass
 class ExecutionStats:
-    """Counters accumulated while a plan runs."""
+    """Counters accumulated while a plan runs.
+
+    ``node_rows``
+        Rows each instrumented plan node returned from ``next()``, keyed
+        by the node's stable (pre-order) id.  Demand-driven: an operator
+        whose consumer stopped pulling reports the rows actually
+        produced, which is what execution effort reflects.
+    ``node_scan_rows``
+        Rows each instrumented *scan* node read from its stored table
+        (pre-filter for the combined filter_scan operator).
+    ``node_scan_complete``
+        Whether that scan ran to exhaustion — only then is its read
+        count an observation of the table's true cardinality.
+    """
 
     pages_read: int = 0
     pages_written: int = 0
@@ -35,11 +58,37 @@ class ExecutionStats:
     exchanges: int = 0
     operators_opened: int = 0
     operators_closed: int = 0
+    node_rows: Dict[int, int] = field(default_factory=dict)
+    node_scan_rows: Dict[int, int] = field(default_factory=dict)
+    node_scan_complete: Dict[int, bool] = field(default_factory=dict)
 
     def reset(self) -> None:
         """Zero every counter."""
-        for name in vars(self):
-            setattr(self, name, 0)
+        for name, value in vars(self).items():
+            if isinstance(value, dict):
+                value.clear()
+            else:
+                setattr(self, name, 0)
+
+    def work(self) -> float:
+        """A scalar proxy for execution effort, comparable across plans.
+
+        Pages are weighted to reflect that I/O dominates row handling in
+        the cost model; the row-level counters approximate CPU work.
+        Deterministic for a fixed plan and dataset, so tests and the
+        regress harness can assert "the re-optimized plan did less
+        work" without wall-clock noise.
+        """
+        return (
+            10.0 * (self.pages_read + self.pages_written)
+            + self.rows_scanned
+            + self.rows_emitted
+            + self.rows_sorted
+            + self.hash_build_rows
+            + self.hash_probe_rows
+            + self.comparisons
+            + self.exchanges
+        )
 
     def __str__(self) -> str:
         return (

@@ -3,23 +3,34 @@
 Renders what a DBA would want from the optimizer's output: per-operator
 estimated rows, delivered physical properties, local vs. cumulative
 cost, plus the search statistics of the optimization that produced the
-plan.
+plan.  When a :class:`~repro.feedback.FeedbackReport` from an
+instrumented execution is supplied, the report grows ``est_rows``,
+``act_rows``, and ``q_error`` columns — EXPLAIN ANALYZE, essentially:
+the optimizer's beliefs next to what actually happened.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.algebra.plans import PhysicalPlan
 from repro.search.engine import OptimizationResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.feedback.report import FeedbackReport
 
 __all__ = ["ExplainLine", "explain_plan", "explain"]
 
 
 @dataclass
 class ExplainLine:
-    """One rendered operator of the plan."""
+    """One rendered operator of the plan.
+
+    The three feedback fields are populated only when the plan is
+    explained against a :class:`~repro.feedback.FeedbackReport`;
+    ``has_feedback`` switches the rendering to include them.
+    """
 
     depth: int
     algorithm: str
@@ -27,6 +38,10 @@ class ExplainLine:
     properties: str
     cumulative: float
     local: Optional[float]
+    est_rows: Optional[float] = None
+    act_rows: Optional[int] = None
+    q_error: Optional[float] = None
+    has_feedback: bool = False
 
     def render(self, width: int) -> str:
         """One aligned output line for this operator."""
@@ -35,9 +50,13 @@ class ExplainLine:
             name += f" [{self.args}]"
         local = f"{self.local:>12.1f}" if self.local is not None else " " * 12
         properties = self.properties or "-"
-        return (
-            f"{name:<{width}}  {self.cumulative:>12.1f}  {local}  {properties}"
-        )
+        line = f"{name:<{width}}  {self.cumulative:>12.1f}  {local}"
+        if self.has_feedback:
+            est = f"{self.est_rows:.0f}" if self.est_rows is not None else "-"
+            act = str(self.act_rows) if self.act_rows is not None else "-"
+            qerr = f"{self.q_error:.2f}" if self.q_error is not None else "-"
+            line += f"  {est:>10}  {act:>10}  {qerr:>8}"
+        return f"{line}  {properties}"
 
 
 def _local_costs(plan: PhysicalPlan) -> Optional[float]:
@@ -52,11 +71,29 @@ def _local_costs(plan: PhysicalPlan) -> Optional[float]:
     return total
 
 
-def explain_plan(plan: PhysicalPlan) -> str:
-    """A table of the plan: operator, cumulative cost, local cost, props."""
+def explain_plan(
+    plan: PhysicalPlan, feedback: Optional["FeedbackReport"] = None
+) -> str:
+    """A table of the plan: operator, costs, props — and, given a
+    feedback report, estimated vs. observed rows with per-operator
+    q-error.
+
+    ``feedback`` must be a report built for this exact plan (node ids
+    are pre-order positions, so lines and feedback entries join
+    positionally).
+    """
     lines: List[ExplainLine] = []
+    operators = (
+        {op.node_id: op for op in feedback.operators}
+        if feedback is not None
+        else {}
+    )
+    counter = [0]
 
     def visit(node: PhysicalPlan, depth: int) -> None:
+        node_id = counter[0]
+        counter[0] += 1
+        op = operators.get(node_id)
         lines.append(
             ExplainLine(
                 depth=depth,
@@ -65,6 +102,10 @@ def explain_plan(plan: PhysicalPlan) -> str:
                 properties=str(node.properties) if not node.properties.is_any else "",
                 cumulative=node.cost.total() if node.cost is not None else 0.0,
                 local=_local_costs(node),
+                est_rows=op.estimated_rows if op is not None else None,
+                act_rows=op.actual_rows if op is not None else None,
+                q_error=op.q_error if op is not None else None,
+                has_feedback=feedback is not None,
             )
         )
         for child in node.inputs:
@@ -79,17 +120,25 @@ def explain_plan(plan: PhysicalPlan) -> str:
             for line in lines
         ),
     )
-    header = f"{'operator':<{width}}  {'cum. cost':>12}  {'local cost':>12}  properties"
+    header = f"{'operator':<{width}}  {'cum. cost':>12}  {'local cost':>12}"
+    if feedback is not None:
+        header += f"  {'est_rows':>10}  {'act_rows':>10}  {'q_error':>8}"
+    header += "  properties"
     rule = "-" * len(header)
-    return "\n".join([header, rule] + [line.render(width) for line in lines])
+    rendered = [header, rule] + [line.render(width) for line in lines]
+    if feedback is not None:
+        rendered.append(f"plan max q-error: {feedback.max_q_error:.2f}")
+    return "\n".join(rendered)
 
 
-def explain(result: OptimizationResult) -> str:
+def explain(
+    result: OptimizationResult, feedback: Optional["FeedbackReport"] = None
+) -> str:
     """Explain an optimization result: the plan plus search statistics."""
     parts = [
         f"goal: [{result.required}]   total cost: {result.cost}",
         "",
-        explain_plan(result.plan),
+        explain_plan(result.plan, feedback),
         "",
         f"search: {result.stats}",
     ]

@@ -1,0 +1,165 @@
+"""Per-operator cardinality estimates for physical plans.
+
+The feedback loop compares what the optimizer *believed* about each
+operator against what the executor *observed*.  The believed side is
+reconstructed here: every physical algorithm of the bundled models maps
+back to the logical (sub)expression it implements — its **logical
+mirror** — and that mirror's cardinality is derived with the model's own
+logical property functions (:meth:`OptimizerContext.logical_props`), so
+the estimates are exactly the numbers the cost model consumed during the
+search, not a reimplementation that could drift from it.
+
+Enforcers (sort, exchange) perform no logical data manipulation (paper
+Section 2.2), so their mirror is their input's mirror.  Algorithms of
+models without an executor mapping yield no mirror and no estimate;
+:func:`register_mirror` extends the table alongside
+:meth:`PlanCompiler.register`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.algebra.expressions import LogicalExpression
+from repro.algebra.plans import PhysicalPlan
+from repro.catalog.catalog import Catalog
+from repro.catalog.selectivity import SelectivityEstimator
+from repro.errors import ReproError
+from repro.model.context import OptimizerContext
+from repro.model.spec import ModelSpecification
+
+__all__ = [
+    "register_mirror",
+    "mirror_expressions",
+    "estimate_rows",
+]
+
+MirrorBuilder = Callable[
+    [PhysicalPlan, Tuple[Optional[LogicalExpression], ...]],
+    Optional[LogicalExpression],
+]
+
+
+def _mirror_scan(plan: PhysicalPlan, inputs) -> Optional[LogicalExpression]:
+    table, alias = plan.args
+    return LogicalExpression("get", (table, alias))
+
+
+def _mirror_filter(plan: PhysicalPlan, inputs) -> Optional[LogicalExpression]:
+    if inputs[0] is None:
+        return None
+    return LogicalExpression("select", (plan.args[0],), (inputs[0],))
+
+
+def _mirror_filter_scan(plan: PhysicalPlan, inputs) -> Optional[LogicalExpression]:
+    table, alias, predicate = plan.args
+    scan = LogicalExpression("get", (table, alias))
+    return LogicalExpression("select", (predicate,), (scan,))
+
+
+def _mirror_project(plan: PhysicalPlan, inputs) -> Optional[LogicalExpression]:
+    if inputs[0] is None:
+        return None
+    return LogicalExpression("project", (tuple(plan.args[0]),), (inputs[0],))
+
+
+def _mirror_join(plan: PhysicalPlan, inputs) -> Optional[LogicalExpression]:
+    if inputs[0] is None or inputs[1] is None:
+        return None
+    return LogicalExpression("join", (plan.args[0],), (inputs[0], inputs[1]))
+
+
+def _mirror_aggregate(plan: PhysicalPlan, inputs) -> Optional[LogicalExpression]:
+    if inputs[0] is None:
+        return None
+    group_by, aggregates = plan.args
+    return LogicalExpression(
+        "aggregate",
+        (tuple(group_by), tuple(tuple(item) for item in aggregates)),
+        (inputs[0],),
+    )
+
+
+def _mirror_passthrough(plan: PhysicalPlan, inputs) -> Optional[LogicalExpression]:
+    return inputs[0] if inputs else None
+
+
+_MIRRORS: Dict[str, MirrorBuilder] = {
+    "file_scan": _mirror_scan,
+    "filter": _mirror_filter,
+    "filter_scan": _mirror_filter_scan,
+    "project": _mirror_project,
+    "merge_join": _mirror_join,
+    "hybrid_hash_join": _mirror_join,
+    "nested_loops_join": _mirror_join,
+    "hash_aggregate": _mirror_aggregate,
+    "stream_aggregate": _mirror_aggregate,
+    # Enforcers reorganize, never create or drop rows.
+    "sort": _mirror_passthrough,
+    "exchange": _mirror_passthrough,
+}
+
+
+def register_mirror(algorithm: str, builder: MirrorBuilder) -> None:
+    """Map ``algorithm`` back to the logical expression it implements.
+
+    ``builder`` receives the plan node and its inputs' mirrors (None
+    where an input has no mirror) and returns the node's mirror, or
+    None when it cannot be expressed.  The executor-side counterpart of
+    :meth:`PlanCompiler.register`.
+    """
+    _MIRRORS[algorithm] = builder
+
+
+def mirror_expressions(
+    plan: PhysicalPlan,
+) -> Dict[int, Optional[LogicalExpression]]:
+    """The logical mirror of every plan node, keyed by stable node id.
+
+    Node ids are pre-order positions — the same ids the instrumented
+    executor uses for its per-node counters, so the two maps join
+    directly.  Enforcer nodes share their input's mirror; nodes of
+    unmapped algorithms (and every node above them) map to None.
+    """
+    mirrors: Dict[int, Optional[LogicalExpression]] = {}
+    counter = [0]
+
+    def visit(node: PhysicalPlan) -> Optional[LogicalExpression]:
+        node_id = counter[0]
+        counter[0] += 1
+        inputs = tuple(visit(child) for child in node.inputs)
+        builder = _MIRRORS.get(node.algorithm)
+        if builder is None and node.is_enforcer:
+            builder = _mirror_passthrough
+        mirror = builder(node, inputs) if builder is not None else None
+        mirrors[node_id] = mirror
+        return mirror
+
+    visit(plan)
+    return mirrors
+
+
+def estimate_rows(
+    plan: PhysicalPlan,
+    catalog: Catalog,
+    spec: ModelSpecification,
+    estimator: Optional[SelectivityEstimator] = None,
+) -> Dict[int, Optional[float]]:
+    """Estimated output cardinality of every plan node, by node id.
+
+    Derivation goes through the model's own property functions, so the
+    numbers agree with what the optimizer estimated during the search.
+    Nodes without a logical mirror — or whose mirror the model cannot
+    derive properties for — estimate to None.
+    """
+    context = OptimizerContext(spec, catalog, estimator)
+    estimates: Dict[int, Optional[float]] = {}
+    for node_id, mirror in mirror_expressions(plan).items():
+        if mirror is None:
+            estimates[node_id] = None
+            continue
+        try:
+            estimates[node_id] = context.logical_props(mirror).cardinality
+        except (ReproError, KeyError):
+            estimates[node_id] = None
+    return estimates

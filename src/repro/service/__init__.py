@@ -10,6 +10,7 @@ See :mod:`repro.service.service` for the full story and
 from repro.service.cache import CacheEntry, CacheStats, PlanCache
 from repro.service.fingerprint import Fingerprint, fingerprint, table_dependencies
 from repro.service.service import (
+    ExecutedResult,
     OptimizerService,
     ServedResult,
     ServiceOptions,
@@ -23,6 +24,7 @@ __all__ = [
     "Fingerprint",
     "fingerprint",
     "table_dependencies",
+    "ExecutedResult",
     "OptimizerService",
     "ServedResult",
     "ServiceOptions",

@@ -40,13 +40,28 @@ from repro.algebra.properties import ANY_PROPS, PhysProps
 from repro.catalog.catalog import Catalog
 from repro.dynamic import bind_plan
 from repro.errors import ServiceError
+from repro.executor import ExecutionStats, execute_plan
+from repro.feedback import (
+    FeedbackPolicy,
+    FeedbackReport,
+    FeedbackStore,
+    RefreshResult,
+    observed_report,
+    refresh_statistics,
+)
 from repro.options import OptionsBase, ResourceBudget, check_positive
 from repro.search.engine import OptimizationResult, PreoptimizedPlan
 from repro.service.cache import CacheEntry, CacheStats, PlanCache
 from repro.service.fingerprint import Fingerprint, fingerprint, table_dependencies
 from repro.sql.normalize import normalize_literals, parameterize_plan
 
-__all__ = ["ServiceOptions", "ServedResult", "SubplanLibrary", "OptimizerService"]
+__all__ = [
+    "ServiceOptions",
+    "ServedResult",
+    "ExecutedResult",
+    "SubplanLibrary",
+    "OptimizerService",
+]
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -82,6 +97,15 @@ class ServiceOptions(OptionsBase):
         :meth:`OptimizerService.optimize` overrides it).  Degraded
         answers are served but never cached or harvested — a budget
         trip must not poison the cache with suboptimal plans.
+    ``feedback_policy``
+        Drift policy for :meth:`OptimizerService.execute`'s adaptive
+        loop.  When set, every instrumented execution's feedback is
+        checked against it and drifted tables get their statistics
+        refreshed (:func:`repro.feedback.refresh_statistics`) — bumping
+        their catalog versions so exactly the affected cache entries go
+        stale and the next optimization of those queries is fresh.
+        When None (the default), executions still record feedback
+        telemetry but statistics are never rewritten.
     """
 
     max_entries: int = 512
@@ -91,6 +115,7 @@ class ServiceOptions(OptionsBase):
     max_subplans: int = 256
     max_seeds_per_query: int = 32
     budget: Optional[ResourceBudget] = None
+    feedback_policy: Optional[FeedbackPolicy] = None
 
     def validate(self) -> None:
         """Check field invariants; raise :class:`OptionsError` on failure."""
@@ -128,6 +153,39 @@ class ServedResult:
         if self.parameterized:
             source += " (parameterized)"
         return f"[{source}] plan cost {self.cost}\n{self.plan.pretty()}"
+
+
+@dataclass(frozen=True)
+class ExecutedResult:
+    """One optimize–execute round trip through the service.
+
+    ``served`` is how the plan was obtained (cache hit, fresh,
+    degraded); ``rows`` and ``stats`` are the execution's output and
+    counters.  When the run was instrumented, ``report`` joins the
+    optimizer's estimates with the observed cardinalities and
+    ``refresh`` records any statistics refresh the feedback triggered
+    (None when no drift policy is active or nothing drifted).
+    """
+
+    served: ServedResult
+    rows: List[dict]
+    stats: ExecutionStats
+    report: Optional[FeedbackReport] = None
+    refresh: Optional[RefreshResult] = None
+
+    @property
+    def plan(self) -> PhysicalPlan:
+        return self.served.plan
+
+    @property
+    def refreshed(self) -> bool:
+        """Whether this execution's feedback triggered a statistics refresh."""
+        return self.refresh is not None and self.refresh.did_refresh
+
+    @property
+    def max_q_error(self) -> float:
+        """The report's worst per-operator q-error (1.0 uninstrumented)."""
+        return self.report.max_q_error if self.report is not None else 1.0
 
 
 @dataclass
@@ -219,6 +277,12 @@ class OptimizerService:
         self.options = options or ServiceOptions()
         self.cache = PlanCache(max_entries=self.options.max_entries)
         self.subplans = SubplanLibrary(max_entries=self.options.max_subplans)
+        feedback_buckets = (
+            self.options.feedback_policy.buckets
+            if self.options.feedback_policy is not None
+            else self.options.selectivity_buckets
+        )
+        self.feedback = FeedbackStore(buckets=feedback_buckets)
         self._seen_version = self.catalog.statistics_version
         parameters = inspect.signature(optimizer.optimize).parameters
         self._engine_seeds = "preoptimized" in parameters
@@ -536,6 +600,66 @@ class OptimizerService:
 
         translation = Translator(self.catalog).translate(text)
         return self.optimize(translation.expression, translation.required)
+
+    def execute(
+        self,
+        query: LogicalExpression,
+        props: Optional[PhysProps] = None,
+        *,
+        budget: Optional[ResourceBudget] = None,
+        instrument: bool = True,
+        policy: Optional[FeedbackPolicy] = None,
+    ) -> ExecutedResult:
+        """Optimize ``query``, run its plan, and close the feedback loop.
+
+        The adaptive path of the service: the plan (cached or fresh) is
+        executed with per-operator instrumentation, the observed
+        cardinalities are joined against the optimizer's estimates into
+        a :class:`~repro.feedback.FeedbackReport`, and the report is
+        folded into :attr:`feedback`.  When a drift policy is active
+        (``policy`` argument, or ``options.feedback_policy``) and the
+        accumulated feedback crosses its q-error threshold, the drifted
+        tables' statistics are refreshed through the catalog's
+        versioned API — which invalidates exactly the cache entries
+        reading those tables, so the *next* optimization of an affected
+        query transparently re-plans against fresh statistics while
+        every other cached plan stays warm.
+
+        Degraded plans (budget-tripped optimizations) record feedback
+        telemetry but never trigger a refresh: a knowingly cut-short
+        plan is not evidence that the statistics are wrong.  With
+        ``instrument=False`` the run is observation-free — no per-node
+        counters, no report, no refresh.
+        """
+        served = self.optimize(query, props, budget=budget)
+        stats = ExecutionStats()
+        rows = execute_plan(
+            served.plan, self.catalog, stats, instrument=instrument
+        )
+        report: Optional[FeedbackReport] = None
+        refresh: Optional[RefreshResult] = None
+        spec = getattr(self.optimizer, "spec", None)
+        if instrument and spec is not None:
+            report = observed_report(
+                served.plan,
+                stats,
+                self.catalog,
+                spec,
+                degraded=served.degraded,
+            )
+            self.feedback.record(report)
+            policy = policy if policy is not None else self.options.feedback_policy
+            if policy is not None and not served.degraded:
+                refresh = refresh_statistics(
+                    self.catalog, self.feedback, policy=policy
+                )
+        return ExecutedResult(
+            served=served,
+            rows=rows,
+            stats=stats,
+            report=report,
+            refresh=refresh,
+        )
 
     # ------------------------------------------------------------------
 

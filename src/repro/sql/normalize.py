@@ -48,6 +48,7 @@ __all__ = [
     "NormalizedQuery",
     "normalize_literals",
     "parameterize_plan",
+    "selectivity_bucket",
 ]
 
 
@@ -95,9 +96,18 @@ def _column_stats(catalog: Catalog) -> Dict[str, object]:
     return stats
 
 
-def _bucket(selectivity: float, buckets: int) -> int:
-    """Map a selectivity in [0, 1] to one of ``buckets`` equal bins."""
+def selectivity_bucket(selectivity: float, buckets: int) -> int:
+    """Map a selectivity in [0, 1] to one of ``buckets`` equal bins.
+
+    The shared bucketing scheme: plan-cache keys (here) and the
+    execution-feedback store (:mod:`repro.feedback`) both bin predicates
+    with this function, so feedback aggregates align with the cache's
+    notion of plan-compatible selectivities.
+    """
     return min(buckets - 1, int(selectivity * buckets))
+
+
+_bucket = selectivity_bucket
 
 
 def normalize_literals(

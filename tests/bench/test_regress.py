@@ -31,6 +31,7 @@ def test_results_shape(results):
         "memo_insert",
         "memo_merge",
         "binding_enum",
+        "feedback_loop",
         "batch_throughput",
     }
     for metrics in benches.values():
@@ -102,6 +103,23 @@ def test_audit_violations_fail(results):
         "audit_violations" in failure
         for failure in compare(violated, results, SMALL)
     )
+
+
+def test_feedback_loop_closes(results):
+    """The new point: drift detected, one refresh, fresh beats stale."""
+    point = results["benches"]["feedback_loop"]
+    assert point["drift_q_error"] > 2.0
+    assert point["refreshes"] == 1.0
+    assert point["fresh_work"] < point["stale_work"]
+    assert point["qerr_over_2"] >= 1.0
+
+
+def test_feedback_counters_in_tight_band(results):
+    """The loop's work counters are deterministic: 10% drift fails."""
+    drifted = json.loads(json.dumps(results))
+    drifted["benches"]["feedback_loop"]["fresh_work"] *= 1.10
+    failures = compare(drifted, results, SMALL)
+    assert any("fresh_work" in failure for failure in failures)
 
 
 def test_parallel_metrics_never_compared(results):

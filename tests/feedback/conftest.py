@@ -1,0 +1,80 @@
+"""Shared fixtures for the execution-feedback suite."""
+
+import pytest
+
+from repro.catalog import Catalog, ColumnStatistics, Schema, TableStatistics
+
+
+def add_rowed_table(
+    catalog,
+    name,
+    rows,
+    *,
+    key_distinct,
+    value_distinct,
+    row_width=16,
+):
+    """Register ``name`` with explicit rows and *matching* statistics."""
+    catalog.add_table(
+        name,
+        Schema.of(f"{name}.k", f"{name}.v"),
+        TableStatistics(
+            len(rows),
+            row_width,
+            columns={
+                f"{name}.k": ColumnStatistics(
+                    key_distinct,
+                    min((row[f"{name}.k"] for row in rows), default=None),
+                    max((row[f"{name}.k"] for row in rows), default=None),
+                ),
+                f"{name}.v": ColumnStatistics(
+                    value_distinct,
+                    min((row[f"{name}.v"] for row in rows), default=None),
+                    max((row[f"{name}.v"] for row in rows), default=None),
+                ),
+            },
+        ),
+        rows=rows,
+    )
+
+
+@pytest.fixture
+def rowed_catalog():
+    """Two small joinable tables (overlapping keys) with stored rows."""
+    catalog = Catalog()
+    add_rowed_table(
+        catalog,
+        "r",
+        [{"r.k": i % 10, "r.v": i % 5} for i in range(40)],
+        key_distinct=10,
+        value_distinct=5,
+    )
+    add_rowed_table(
+        catalog,
+        "s",
+        [{"s.k": i % 10, "s.v": i % 4} for i in range(60)],
+        key_distinct=10,
+        value_distinct=4,
+    )
+    return catalog
+
+
+@pytest.fixture
+def disjoint_catalog():
+    """Two tables whose join keys never match (zero-row joins)."""
+    catalog = Catalog()
+    add_rowed_table(
+        catalog,
+        "a",
+        [{"a.k": i % 10, "a.v": i % 5} for i in range(30)],
+        key_distinct=10,
+        value_distinct=5,
+    )
+    add_rowed_table(
+        catalog,
+        "b",
+        [{"b.k": 100 + (i % 10), "b.v": i % 5} for i in range(30)],
+        key_distinct=10,
+        value_distinct=5,
+    )
+    return catalog

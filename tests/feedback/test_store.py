@@ -1,0 +1,207 @@
+"""The feedback store: aggregation, drift signals, degraded quarantine."""
+
+from repro.algebra.plans import PhysicalPlan
+from repro.algebra.predicates import conjunction_of, eq
+from repro.feedback import FeedbackPolicy, FeedbackReport, FeedbackStore, OperatorFeedback
+
+
+def scan_feedback(
+    table="r",
+    estimated=100.0,
+    actual=100,
+    scanned=None,
+    complete=True,
+    predicate=None,
+    node_id=0,
+    algorithm="file_scan",
+):
+    return OperatorFeedback(
+        node_id=node_id,
+        algorithm=algorithm,
+        is_enforcer=False,
+        table=table,
+        alias=None,
+        predicate=predicate,
+        estimated_rows=estimated,
+        actual_rows=actual,
+        scanned_rows=scanned if scanned is not None else actual,
+        scan_complete=complete,
+    )
+
+
+def report_of(*operators, degraded=False):
+    return FeedbackReport(
+        plan=PhysicalPlan("file_scan", ("r", None)),
+        operators=tuple(operators),
+        degraded=degraded,
+    )
+
+
+def test_accurate_report_keeps_q_error_at_one():
+    store = FeedbackStore()
+    store.record(report_of(scan_feedback()))
+    assert store.reports == 1
+    assert store.max_q_error("r") == 1.0
+    assert store.observed_row_count("r") == 100
+    assert store.drifted_tables(FeedbackPolicy()) == ()
+
+
+def test_drift_accumulates_worst_case():
+    store = FeedbackStore()
+    store.record(report_of(scan_feedback(estimated=100, actual=150)))
+    store.record(report_of(scan_feedback(estimated=100, actual=400)))
+    store.record(report_of(scan_feedback(estimated=100, actual=120)))
+    assert store.max_q_error("r") == 4.0
+    feedback = store.table_feedback("r")
+    assert feedback.observations == 3
+    assert feedback.observed_rows == 120  # latest complete scan wins
+    assert store.drifted_tables(FeedbackPolicy(max_q_error=2.0)) == ("r",)
+
+
+def test_min_observations_gates_drift():
+    store = FeedbackStore()
+    store.record(report_of(scan_feedback(estimated=100, actual=400)))
+    policy = FeedbackPolicy(max_q_error=2.0, min_observations=3)
+    assert store.drifted_tables(policy) == ()
+    store.record(report_of(scan_feedback(estimated=100, actual=400)))
+    store.record(report_of(scan_feedback(estimated=100, actual=400)))
+    assert store.drifted_tables(policy) == ("r",)
+
+
+def test_incomplete_scans_are_not_cardinality_observations():
+    store = FeedbackStore()
+    store.record(report_of(scan_feedback(actual=70, scanned=70, complete=False)))
+    assert store.observed_row_count("r") is None
+    # ... but their q-errors still count as drift evidence.
+    assert store.table_feedback("r").observations == 1
+
+
+def test_degraded_reports_are_quarantined():
+    store = FeedbackStore()
+    store.record(report_of(scan_feedback(estimated=100, actual=400), degraded=True))
+    assert store.reports == 1
+    assert store.degraded_reports == 1
+    # Telemetry keeps the q-error ...
+    assert store.q_error_histogram()["<=4"] == 1
+    # ... but the drift signal never moves.
+    assert store.max_q_error("r") == 1.0
+    assert store.observed_row_count("r") is None
+    assert store.drifted_tables(FeedbackPolicy(max_q_error=2.0)) == ()
+
+
+def test_histogram_bins():
+    store = FeedbackStore()
+    for estimated, actual in ((100, 100), (100, 180), (100, 350), (100, 2000)):
+        store.record(report_of(scan_feedback(estimated=estimated, actual=actual)))
+    histogram = store.q_error_histogram()
+    assert histogram["<=1.5"] == 1
+    assert histogram["<=2"] == 1
+    assert histogram["<=4"] == 1
+    assert histogram[">10"] == 1
+
+
+def test_predicate_buckets_aggregate_observed_selectivity():
+    store = FeedbackStore(buckets=10)
+    predicate = eq("r.v", 3)
+    store.record(
+        report_of(
+            scan_feedback(
+                algorithm="filter_scan",
+                predicate=predicate,
+                estimated=20,
+                actual=25,
+                scanned=100,
+            )
+        )
+    )
+    store.record(
+        report_of(
+            scan_feedback(
+                algorithm="filter_scan",
+                predicate=eq("r.v", 7),  # same shape, same bucket
+                estimated=20,
+                actual=23,
+                scanned=100,
+            )
+        )
+    )
+    buckets = store.bucket_feedback()
+    assert len(buckets) == 1
+    ((table, shape, bucket),) = buckets.keys()
+    assert table == "r"
+    assert shape == (("r.v", "="),)
+    assert bucket == 2  # ~0.24 mean selectivity in 10 buckets
+    entry = next(iter(buckets.values()))
+    assert entry.observations == 2
+    assert abs(entry.mean_selectivity - 0.24) < 1e-9
+
+
+def test_conjunction_buckets_use_every_comparison():
+    store = FeedbackStore()
+    predicate = conjunction_of([eq("r.v", 3), eq("r.k", 1)])
+    store.record(
+        report_of(
+            scan_feedback(
+                algorithm="filter_scan",
+                predicate=predicate,
+                estimated=5,
+                actual=4,
+                scanned=100,
+            )
+        )
+    )
+    ((_, shape, _),) = store.bucket_feedback().keys()
+    assert shape == (("r.k", "="), ("r.v", "="))
+
+
+def test_filter_input_rows_come_from_preorder_child():
+    """A bare filter's selectivity denominator is its child's output."""
+    store = FeedbackStore()
+    filter_op = OperatorFeedback(
+        node_id=0,
+        algorithm="filter",
+        is_enforcer=False,
+        table="r",
+        alias=None,
+        predicate=eq("r.v", 3),
+        estimated_rows=20.0,
+        actual_rows=30,
+    )
+    child = scan_feedback(node_id=1, estimated=100, actual=100)
+    store.record(report_of(filter_op, child))
+    entries = [
+        entry
+        for (table, shape, _), entry in store.bucket_feedback().items()
+        if shape == (("r.v", "="),)
+    ]
+    assert len(entries) == 1
+    assert abs(entries[0].mean_selectivity - 0.3) < 1e-9
+
+
+def test_clear_table_consumes_evidence():
+    store = FeedbackStore()
+    store.record(
+        report_of(
+            scan_feedback(
+                algorithm="filter_scan",
+                predicate=eq("r.v", 3),
+                estimated=100,
+                actual=400,
+                scanned=400,
+            )
+        )
+    )
+    store.record(report_of(scan_feedback(table="s", estimated=10, actual=40)))
+    store.clear_table("r")
+    assert store.table_feedback("r") is None
+    assert store.bucket_feedback() == {}
+    # Other tables' evidence survives.
+    assert store.max_q_error("s") == 4.0
+
+
+def test_render_mentions_tables_and_histogram():
+    store = FeedbackStore()
+    store.record(report_of(scan_feedback(estimated=100, actual=400)))
+    rendered = store.render()
+    assert "q-error histogram" in rendered
+    assert "r: max q-error 4.00" in rendered

@@ -16,6 +16,7 @@ FAST_EXAMPLES = [
     "setops_orders.py",
     "custom_model.py",
     "dynamic_plans.py",
+    "feedback_loop.py",
 ]
 
 
