@@ -124,11 +124,14 @@ from repro.search import (
     VolcanoOptimizer,
 )
 from repro.service import (
+    BatchResult,
     CacheStats,
     OptimizerService,
     PlanCache,
+    PreparedQuery,
     ServedResult,
     ServiceOptions,
+    SharingOptions,
 )
 from repro.sql import NormalizedQuery, normalize_literals, translate
 from repro.systemr import SystemROptimizer, SystemROptions, SystemRResult
@@ -211,11 +214,14 @@ __all__ = [
     "SearchOptions",
     "TaskBasedOptimizer",
     "VolcanoOptimizer",
+    "BatchResult",
     "CacheStats",
     "OptimizerService",
     "PlanCache",
+    "PreparedQuery",
     "ServedResult",
     "ServiceOptions",
+    "SharingOptions",
     "NormalizedQuery",
     "normalize_literals",
     "translate",

@@ -47,6 +47,12 @@ The suite:
     serial always, parallel when the machine has the cores for it
     (parallel numbers are recorded but never compared — they measure
     the machine, not the code).
+``mqo_sharing``
+    Multi-query optimization over a batch of 8 overlapping queries:
+    one shared memo, then the greedy sharing pass.  The shared-group
+    counters (materializations, candidates, consumer links, savings
+    fraction) are deterministic for the fixed seed, so they live in
+    the tight band; batch latency sits in the wall-clock band.
 """
 
 from __future__ import annotations
@@ -65,7 +71,7 @@ from repro.models.relational import relational_model
 from repro.search import SearchOptions, VolcanoOptimizer
 from repro.search.memo import Memo
 from repro.service import OptimizerService, ServiceOptions
-from repro.workloads import QueryGenerator
+from repro.workloads import QueryGenerator, WorkloadOptions
 
 __all__ = [
     "RegressConfig",
@@ -360,6 +366,48 @@ def _bench_batch_throughput(config: RegressConfig) -> Dict[str, float]:
     return metrics
 
 
+def _bench_mqo_sharing(config: RegressConfig) -> Dict[str, float]:
+    """A batch of 8 overlapping queries through the shared-memo path.
+
+    Every query selects at the same threshold, so filtered subtrees
+    collide across queries in the shared memo and the greedy sharing
+    pass has real material to work with.  The counters are exact for
+    the fixed seed: a drift means the search or the sharing heuristic
+    changed, not the machine.
+    """
+    spec = relational_model()
+    workload = QueryGenerator(
+        WorkloadOptions(selectivity_range=(0.1, 0.1))
+    ).generate_shared(count=8, seed=7, n_tables=5, relations=(2, 4))
+    queries = [q.query for q in workload.queries]
+    required = workload.queries[0].required
+
+    times: List[float] = []
+    batch = None
+    for _ in range(config.micro_repeats):
+        optimizer = VolcanoOptimizer(
+            spec, workload.catalog, SearchOptions(check_consistency=False)
+        )
+        service = OptimizerService(
+            optimizer, options=ServiceOptions(parameterized=False)
+        )
+        started = time.perf_counter()
+        batch = service.optimize_many(queries, required)
+        times.append(time.perf_counter() - started)
+    report = batch.sharing_report
+    assert report is not None  # serial batch with >1 miss always runs it
+    return {
+        "median_ms": _median_ms(times),
+        "p95_ms": _p95_ms(times),
+        "shared_groups": float(report.materialized),
+        "sharing_candidates": float(report.candidates_considered),
+        "consumer_links": float(
+            sum(plan.consumers for plan in report.shared_plans)
+        ),
+        "savings_fraction": report.savings / report.independent_total,
+    }
+
+
 # ---------------------------------------------------------------------------
 # Orchestration, comparison, reporting
 # ---------------------------------------------------------------------------
@@ -386,6 +434,7 @@ def run_regress(
         ("binding_enum", _bench_binding_enum),
         ("feedback_loop", _bench_feedback_loop),
         ("batch_throughput", _bench_batch_throughput),
+        ("mqo_sharing", _bench_mqo_sharing),
     ):
         benches[name] = runner(config)
         note(f"{name}: {benches[name]['median_ms']:.1f} ms median")
@@ -419,6 +468,11 @@ _COUNT_METRICS = {
     "stale_work",
     "fresh_work",
     "qerr_over_2",
+    # mqo_sharing: exact for the fixed seed (cost model + greedy pass).
+    "shared_groups",
+    "sharing_candidates",
+    "consumer_links",
+    "savings_fraction",
 }
 
 

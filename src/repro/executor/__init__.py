@@ -10,6 +10,8 @@ from repro.executor.iterators import (
     HashAggregate,
     HashDistinct,
     HashJoin,
+    IntermediateScan,
+    Materialize,
     MergeExcept,
     MergeIntersect,
     MergeJoin,
@@ -35,6 +37,8 @@ __all__ = [
     "HashAggregate",
     "HashDistinct",
     "HashJoin",
+    "IntermediateScan",
+    "Materialize",
     "MergeExcept",
     "MergeIntersect",
     "MergeJoin",

@@ -21,6 +21,8 @@ from repro.executor.iterators import (
     FilterScan,
     HashAggregate,
     HashJoin,
+    IntermediateScan,
+    Materialize,
     MergeJoin,
     NestedLoopsJoin,
     Project,
@@ -56,6 +58,8 @@ class PlanCompiler:
             "exchange": _build_exchange,
             "hash_aggregate": _build_hash_aggregate,
             "stream_aggregate": _build_stream_aggregate,
+            "materialize": _build_materialize,
+            "scan_intermediate": _build_intermediate_scan,
         }
 
     def register(self, algorithm: str, builder: Callable) -> None:
@@ -197,6 +201,16 @@ def _build_exchange(compiler, context, plan, inputs):
     return Exchange(context, inputs[0], columns, partitioning.degree)
 
 
+def _build_materialize(compiler, context, plan, inputs):
+    name, row_width = plan.args
+    return Materialize(context, inputs[0], name, row_width)
+
+
+def _build_intermediate_scan(compiler, context, plan, inputs):
+    name, columns, row_width = plan.args
+    return IntermediateScan(context, name, columns, row_width)
+
+
 def _build_hash_aggregate(compiler, context, plan, inputs):
     group_by, aggregates = plan.args
     return HashAggregate(context, inputs[0], group_by, aggregates)
@@ -213,13 +227,20 @@ def execute_plan(
     stats: Optional[ExecutionStats] = None,
     *,
     instrument: bool = False,
+    intermediates: Optional[Dict[str, List[Row]]] = None,
 ) -> List[Row]:
     """Compile and drain a plan; returns its result rows.
 
     ``instrument=True`` additionally fills ``stats.node_rows`` (and the
     scan-side per-node counters) with observed row counts keyed by plan
     node id; see :meth:`PlanCompiler.compile`.
+
+    ``intermediates`` is a shared name → rows store for multi-query
+    sharing: execute a batch's ``materialize`` producer plans against
+    one dict (in :attr:`SharingReport.shared_plans` order), then the
+    rewritten query plans against the same dict so their
+    ``scan_intermediate`` leaves find the rows.
     """
-    context = ExecutionContext(catalog, stats)
+    context = ExecutionContext(catalog, stats, intermediates=intermediates)
     iterator = PlanCompiler(catalog).compile(plan, context, instrument=instrument)
     return iterator.drain()

@@ -26,6 +26,8 @@ __all__ = [
     "FileScan",
     "Filter",
     "FilterScan",
+    "Materialize",
+    "IntermediateScan",
     "Project",
     "Sort",
     "MergeJoin",
@@ -262,6 +264,102 @@ class FilterScan(VolcanoIterator):
     @property
     def output_columns(self) -> Tuple[str, ...]:
         return self._scan.output_columns
+
+
+class Materialize(_UnaryIterator):
+    """Drain the input into the context's intermediate store, then serve it.
+
+    The producer side of multi-query sharing: the drained rows land in
+    ``context.intermediates[name]`` where any later plan's
+    :class:`IntermediateScan` (sharing the same
+    :class:`~repro.executor.runtime.ExecutionContext` or an explicit
+    ``intermediates=`` store) can read them.  Writing is charged as
+    ``pages_written``; the pass-through serve is free, mirroring the
+    cost model's ``materialize`` algorithm.
+    """
+
+    def __init__(self, context, source, name: str, row_width: int = 100):
+        super().__init__(context, source)
+        self.name = name
+        self.row_width = row_width
+        self._buffer: List[Row] = []
+        self._position = 0
+
+    def _do_open(self) -> None:
+        super()._do_open()
+        self._buffer = []
+        while True:
+            row = self.source.next()
+            if row is None:
+                break
+            self._buffer.append(row)
+        self.context.intermediates[self.name] = self._buffer
+        self._position = 0
+        pages = self.context.pages_for(len(self._buffer), self.row_width)
+        self.context.stats.pages_written += pages
+
+    def _do_next(self) -> Optional[Row]:
+        if self._position >= len(self._buffer):
+            return None
+        row = self._buffer[self._position]
+        self._position += 1
+        return row
+
+    def _do_close(self) -> None:
+        # The store entry survives: later plans scan it.
+        self._buffer = []
+        super()._do_close()
+
+
+class IntermediateScan(VolcanoIterator):
+    """Scan a materialized intermediate, paged like a stored table."""
+
+    def __init__(
+        self,
+        context,
+        name: str,
+        columns: Sequence[str],
+        row_width: int = 100,
+    ):
+        super().__init__(context)
+        self.name = name
+        self._columns = tuple(columns)
+        self._rows_per_page = max(1, context.page_size // max(1, row_width))
+        self._rows: List[Row] = []
+        self._position = 0
+        self._exhausted = False
+
+    def _do_open(self) -> None:
+        store = self.context.intermediates
+        if self.name not in store:
+            raise ExecutionError(
+                f"intermediate {self.name!r} has not been materialized; "
+                f"run its producer plan against the same store first"
+            )
+        self._rows = store[self.name]
+        self._position = 0
+        self._exhausted = False
+
+    def _do_next(self) -> Optional[Row]:
+        if self._position >= len(self._rows):
+            self._exhausted = True
+            return None
+        if self._position % self._rows_per_page == 0:
+            self.context.stats.pages_read += 1
+        row = self._rows[self._position]
+        self._position += 1
+        self.context.stats.rows_scanned += 1
+        return dict(row)
+
+    def _scan_count(self) -> Optional[int]:
+        return self._position
+
+    def _scan_exhausted(self) -> bool:
+        return self._exhausted
+
+    @property
+    def output_columns(self) -> Tuple[str, ...]:
+        return self._columns
 
 
 class Project(_UnaryIterator):

@@ -102,10 +102,21 @@ class ExecutionStats:
 class ExecutionContext:
     """Shared state for one plan execution."""
 
-    def __init__(self, catalog: Catalog, stats: Optional[ExecutionStats] = None):
+    def __init__(
+        self,
+        catalog: Catalog,
+        stats: Optional[ExecutionStats] = None,
+        intermediates: Optional[Dict[str, list]] = None,
+    ):
         self.catalog = catalog
         self.page_size = catalog.page_size
         self.stats = stats if stats is not None else ExecutionStats()
+        # Materialized intermediates (multi-query sharing): name → rows.
+        # Pass one dict across several executions so a batch's producer
+        # plans feed its consumer plans.
+        self.intermediates: Dict[str, list] = (
+            intermediates if intermediates is not None else {}
+        )
 
     def pages_for(self, row_count: int, row_width: int) -> int:
         """Page count for ``row_count`` rows of ``row_width`` bytes."""

@@ -30,6 +30,7 @@ from repro.model.spec import ModelSpecification
 
 __all__ = [
     "register_mirror",
+    "node_mirror",
     "mirror_expressions",
     "estimate_rows",
 ]
@@ -97,6 +98,11 @@ _MIRRORS: Dict[str, MirrorBuilder] = {
     # Enforcers reorganize, never create or drop rows.
     "sort": _mirror_passthrough,
     "exchange": _mirror_passthrough,
+    # Materialization (multi-query sharing) writes its input out
+    # verbatim; its estimate is its feed's estimate.  A scan of a
+    # materialized intermediate has no self-contained logical mirror —
+    # its rows belong to another plan's feedback — so it stays unmapped.
+    "materialize": _mirror_passthrough,
 }
 
 
@@ -109,6 +115,22 @@ def register_mirror(algorithm: str, builder: MirrorBuilder) -> None:
     :meth:`PlanCompiler.register`.
     """
     _MIRRORS[algorithm] = builder
+
+
+def node_mirror(
+    plan: PhysicalPlan,
+    inputs: Tuple[Optional[LogicalExpression], ...],
+) -> Optional[LogicalExpression]:
+    """One node's logical mirror, given its inputs' mirrors.
+
+    The single-node step of :func:`mirror_expressions`, exposed for
+    callers (e.g. the multi-query sharing pass) that walk plan DAGs with
+    their own identity-aware memoization.
+    """
+    builder = _MIRRORS.get(plan.algorithm)
+    if builder is None and plan.is_enforcer:
+        builder = _mirror_passthrough
+    return builder(plan, inputs) if builder is not None else None
 
 
 def mirror_expressions(
@@ -128,10 +150,7 @@ def mirror_expressions(
         node_id = counter[0]
         counter[0] += 1
         inputs = tuple(visit(child) for child in node.inputs)
-        builder = _MIRRORS.get(node.algorithm)
-        if builder is None and node.is_enforcer:
-            builder = _mirror_passthrough
-        mirror = builder(node, inputs) if builder is not None else None
+        mirror = node_mirror(node, inputs)
         mirrors[node_id] = mirror
         return mirror
 

@@ -60,6 +60,10 @@ def lint_specification(spec: ModelSpecification) -> List[str]:
             )
     used_algorithms = {rule.algorithm for rule in spec.implementations}
     for name in spec.algorithms:
+        if spec.algorithms[name].utility:
+            # Planted by out-of-search passes (e.g. multi-query
+            # sharing), not reached through implementation rules.
+            continue
         if name not in used_algorithms:
             warnings.append(
                 f"algorithm {name!r} is not the target of any implementation "

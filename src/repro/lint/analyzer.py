@@ -330,6 +330,10 @@ def _check_coverage(
 
     targeted = {rule.algorithm for rule in spec.implementations}
     for name in sorted(spec.algorithms):
+        if spec.algorithms[name].utility:
+            # Planted by out-of-search passes (multi-query sharing), not
+            # by implementation rules; never dead by construction.
+            continue
         if name not in targeted:
             report.add(
                 "V103",

@@ -188,6 +188,16 @@ M007 = _register(
     "M007", Severity.ERROR, "root plan does not satisfy the query requirement",
     "the returned plan's properties must cover the caller's required vector",
 )
+M008 = _register(
+    "M008", Severity.ERROR, "batch results do not share one memo",
+    "every result of a multi-query batch must come from the same "
+    "batch-scoped memo, or sharing detection is meaningless",
+)
+M009 = _register(
+    "M009", Severity.ERROR, "batch root group is stale",
+    "a result's root_group must resolve to itself through the memo's "
+    "union-find after all of the batch's merges settled",
+)
 
 
 @dataclass(frozen=True)

@@ -81,6 +81,54 @@ class MemoAuditor:
         self._check_root(result, found)
         return found
 
+    def audit_batch(self, results) -> List[Diagnostic]:
+        """Cross-root invariants of one multi-query batch.
+
+        On top of the per-result checks (shared-memo group invariants
+        are verified once, not once per result):
+
+        * **M008** — every result's memo is the *same object*: the whole
+          point of a batch-scoped memo is that cross-query common
+          subexpressions collide, and results from stray memos would
+          silently defeat sharing detection;
+        * **M009** — every result's ``root_group`` is canonical: merges
+          triggered by later queries must have been resolved before the
+          results were built, or the recorded roots point at corpses.
+        """
+        results = list(results)
+        if not results:
+            return []
+        found: List[Diagnostic] = []
+        memo = results[0].memo
+        if memo is None:
+            return []
+        for index, result in enumerate(results):
+            if result.memo is not memo:
+                found.append(
+                    Diagnostic.make(
+                        "M008",
+                        f"batch result #{index}",
+                        "result carries a different memo than the batch's "
+                        "first result; batch optimization must share one",
+                    )
+                )
+        self._check_merge_chains(memo, found)
+        for group in memo.groups():
+            self._check_group(group, found)
+        for index, result in enumerate(results):
+            root = result.root_group
+            if root is not None and memo.canonical(root) != root:
+                found.append(
+                    Diagnostic.make(
+                        "M009",
+                        f"batch result #{index}",
+                        f"root_group g{root} resolves to "
+                        f"g{memo.canonical(root)}; roots must be canonical",
+                    )
+                )
+            self._check_root(result, found)
+        return found
+
     def _close(self, left: float, right: float) -> bool:
         scale = max(1.0, abs(left), abs(right))
         return abs(left - right) <= self.tolerance * scale

@@ -120,6 +120,11 @@ class AlgorithmDef:
         algorithm's applicability function may *newly* demand of its
         inputs, and components its output can provide.  Optional; used
         by ``repro.lint`` for the enforcer completeness check.
+    ``utility``
+        True for algorithms planted by passes *outside* the search
+        (e.g. the multi-query sharing pass's ``materialize`` /
+        ``scan_intermediate``): no implementation rule targets them by
+        design, so ``repro.lint`` skips its dead-algorithm check.
     """
 
     name: str
@@ -128,6 +133,7 @@ class AlgorithmDef:
     derive_props: Callable[[object, AlgorithmNode, Tuple[PhysProps, ...]], PhysProps]
     requires: FrozenSet[PropertyComponent] = frozenset()
     delivers: FrozenSet[PropertyComponent] = frozenset()
+    utility: bool = False
 
     def __post_init__(self):
         if not self.name:

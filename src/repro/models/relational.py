@@ -334,6 +334,50 @@ def _project_algorithm(constants: CostConstants) -> AlgorithmDef:
     return AlgorithmDef("project", applicability, cost, derive_props)
 
 
+def _materialize_algorithm(constants: CostConstants) -> AlgorithmDef:
+    """Write the input out once so several plans can scan it.
+
+    Used only by the multi-query sharing pass
+    (:func:`repro.search.sharing.plan_sharing`): ``applicability``
+    returns no moves, so single-query search never considers it — the
+    definition exists to price (and execute) shared intermediates in the
+    model's own currency.
+    """
+
+    def applicability(context, node, required):
+        return []
+
+    def cost(context, node):
+        source = node.inputs[0]
+        pages = _pages(source, context.catalog.page_size)
+        # One pass over the input, plus writing every page out.
+        return constants.make(cpu=source.cardinality * constants.cpu_tuple, io=pages)
+
+    def derive_props(context, node, input_props):
+        return input_props[0]
+
+    return AlgorithmDef("materialize", applicability, cost, derive_props, utility=True)
+
+
+def _intermediate_scan_algorithm(constants: CostConstants) -> AlgorithmDef:
+    """Read back a materialized intermediate (sharing pass only)."""
+
+    def applicability(context, node, required):
+        return []
+
+    def cost(context, node):
+        pages = _pages(node.output, context.catalog.page_size)
+        return constants.make(cpu=node.output.cardinality * constants.cpu_tuple, io=pages)
+
+    def derive_props(context, node, input_props):
+        # The store preserves insertion order, so a scan delivers
+        # whatever the producer delivered; the sharing pass stamps the
+        # producer's physical properties onto the scan node directly.
+        return ANY_PROPS
+
+    return AlgorithmDef("scan_intermediate", applicability, cost, derive_props, utility=True)
+
+
 def _merge_join_key_orders(
     pairs: Tuple[Tuple[str, str], ...],
     required: PhysProps,
@@ -642,6 +686,10 @@ def relational_model(
         spec.add_algorithm(_nested_loops_algorithm(constants))
     if options.include_project:
         spec.add_algorithm(_project_algorithm(constants))
+    # Multi-query sharing support: rule-less algorithms the search never
+    # picks on its own; the sharing pass prices and plants them.
+    spec.add_algorithm(_materialize_algorithm(constants))
+    spec.add_algorithm(_intermediate_scan_algorithm(constants))
     spec.add_enforcer(_sort_enforcer(constants))
 
     # Transformation rules (paper item 2).

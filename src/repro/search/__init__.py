@@ -22,6 +22,12 @@ from repro.search.engine import (
 )
 from repro.search.tasks import TaskBasedOptimizer, lifo_scheduler
 from repro.search.memo import Group, GroupExpression, Memo, Winner
+from repro.search.sharing import (
+    SharedPlan,
+    SharingOptions,
+    SharingReport,
+    plan_sharing,
+)
 from repro.search.tracing import SearchStats, Tracer
 
 __all__ = [
@@ -40,6 +46,10 @@ __all__ = [
     "Tracer",
     "ResourceBudget",
     "BudgetReport",
+    "SharedPlan",
+    "SharingOptions",
+    "SharingReport",
+    "plan_sharing",
 ]
 
 

@@ -522,6 +522,115 @@ class VolcanoOptimizer:
             # (the stats object is shared with the result).
             stats.elapsed_seconds = time.perf_counter() - started
 
+    def optimize_batch(
+        self,
+        queries: Sequence[LogicalExpression],
+        props: Optional[PhysProps] = None,
+        *,
+        limit: Cost = INFINITE_COST,
+        options: Optional[SearchOptions] = None,
+    ) -> List[OptimizationResult]:
+        """Optimize a batch of queries against one shared memo.
+
+        The multi-query substrate: every query's expression tree is
+        merged into a single AND-OR DAG (hash-consing makes cross-query
+        common subexpressions collide structurally), each root is driven
+        to its goal in input order, and winners memoized while solving
+        one query are reused verbatim by the next — so a subplan shared
+        by several queries is optimized once and is the *same*
+        :class:`~repro.algebra.plans.PhysicalPlan` object in every
+        result, which is what :func:`repro.search.sharing.plan_sharing`
+        keys on.
+
+        Each root is explored and solved incrementally before the next
+        root is inserted, so every query sees exactly the closure a
+        single-query optimization would have seen plus already-settled
+        knowledge — plans are byte-identical to per-query runs.  All
+        results share one :class:`SearchStats`, one memo, and one
+        :class:`~repro.options.BudgetMeter`: the budget governs the
+        whole batch, and a trip raises
+        :class:`~repro.errors.BudgetExceededError` (callers degrade by
+        falling back to per-query optimization, where the anytime
+        machinery applies).
+        """
+        options = options if options is not None else self.options
+        required = props if props is not None else self.spec.any_props
+        started = time.perf_counter()
+        stats = SearchStats()
+        tracer = Tracer(enabled=options.trace)
+        context = OptimizerContext(self.spec, self.catalog, self.estimator)
+        memo = Memo(
+            context,
+            stats=stats,
+            check_consistency=options.check_consistency,
+            max_groups=options.max_groups,
+        )
+        context.group_props_resolver = lambda gid: memo.logical_props(gid)
+        run = _SearchRun(
+            options, memo, context, stats, tracer, BudgetMeter(options.budget)
+        )
+        try:
+            roots: List[int] = []
+            winners: List[Winner] = []
+            for query in queries:
+                root = memo.insert_expression(query)
+                memo.register_root(root)
+                roots.append(root)
+                try:
+                    self._explore_closure(run, root)
+                    winner = self._find_best_plan(
+                        run, root, required, limit, excluded=None, depth=0
+                    )
+                except BudgetTripped as trip:
+                    # No per-query degradation here: the budget belongs
+                    # to the batch, so the whole batch reports the trip.
+                    run.stats.budget_trips += 1
+                    report = run.meter.report(trip.phase, best_cost=None)
+                    raise BudgetExceededError(
+                        f"batch optimization budget exhausted "
+                        f"({report.tripped} during {report.phase}) after "
+                        f"{len(winners)} of {len(queries)} queries",
+                        report=report,
+                        stats=stats,
+                    )
+                if winner is None:
+                    raise OptimizationFailedError(
+                        f"no plan for goal [{required}] within limit {limit}"
+                    )
+                if options.check_consistency and not self.spec.props_cover(
+                    winner.plan.properties, required
+                ):
+                    raise PlanValidationError(
+                        f"chosen plan delivers [{winner.plan.properties}] "
+                        f"which does not satisfy the goal [{required}]"
+                    )
+                # Extract immediately: a later root's closure may merge
+                # groups and clear memoized winners, but the Winner
+                # object (and its plan) stays valid.
+                winners.append(winner)
+            rendered = tracer.render() if tracer.enabled else None
+            results: List[OptimizationResult] = []
+            for root, winner in zip(roots, winners):
+                result = OptimizationResult(
+                    plan=winner.plan,
+                    cost=winner.cost,
+                    required=required,
+                    stats=stats,
+                    memo=memo,
+                    trace=rendered,
+                    root_group=memo.canonical(root),
+                )
+                for hook in self.post_optimize_hooks:
+                    hook(result)
+                results.append(result)
+            return results
+        except ReproError as error:
+            if getattr(error, "stats", None) is None:
+                error.stats = stats
+            raise
+        finally:
+            stats.elapsed_seconds = time.perf_counter() - started
+
     # ------------------------------------------------------------------
     # Anytime degradation (resource governance)
     # ------------------------------------------------------------------

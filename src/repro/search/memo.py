@@ -214,6 +214,10 @@ class Memo:
         self._props_cache: Dict[GroupExpression, LogicalProperties] = {}
         self._binding_cache: Dict[Tuple, Tuple[Dict[int, int], List[dict]]] = {}
         self._moves_cache: Dict[int, Tuple[Dict[int, int], tuple]] = {}
+        # Batch scoping: the root group of every query optimized against
+        # this memo, in insertion order (ids as registered; ``roots``
+        # resolves them through the union-find on read).
+        self._roots: List[int] = []
 
     # -- basic access --------------------------------------------------------
 
@@ -291,6 +295,28 @@ class Memo:
                 for input_gid in mexpr.input_groups:
                     stack.append(input_gid)
         return seen
+
+    # -- batch roots ---------------------------------------------------------
+
+    def register_root(self, group_id: int) -> None:
+        """Mark a group as the root goal of one query in a batch.
+
+        A single-query optimization has exactly one root; a batch-scoped
+        memo (``VolcanoOptimizer.optimize_batch``) accumulates one per
+        query, giving cross-root passes — the sharing detector, the
+        MemoAuditor's batch invariants — their entry points into the
+        shared AND-OR DAG.
+        """
+        self._roots.append(group_id)
+
+    @property
+    def roots(self) -> List[int]:
+        """Canonical root group ids, one per registered query, in order.
+
+        Duplicate queries in one batch resolve to the same canonical id;
+        duplicates are preserved so roots stay parallel to the batch.
+        """
+        return [self.canonical(gid) for gid in self._roots]
 
     # -- insertion -----------------------------------------------------------
 

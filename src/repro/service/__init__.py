@@ -7,11 +7,14 @@ See :mod:`repro.service.service` for the full story and
 ``docs/plan-cache.md`` for a walkthrough.
 """
 
+from repro.search.sharing import SharedPlan, SharingOptions, SharingReport
 from repro.service.cache import CacheEntry, CacheStats, PlanCache
 from repro.service.fingerprint import Fingerprint, fingerprint, table_dependencies
 from repro.service.service import (
+    BatchResult,
     ExecutedResult,
     OptimizerService,
+    PreparedQuery,
     ServedResult,
     ServiceOptions,
     SubplanLibrary,
@@ -24,9 +27,14 @@ __all__ = [
     "Fingerprint",
     "fingerprint",
     "table_dependencies",
+    "BatchResult",
     "ExecutedResult",
     "OptimizerService",
+    "PreparedQuery",
     "ServedResult",
     "ServiceOptions",
     "SubplanLibrary",
+    "SharedPlan",
+    "SharingOptions",
+    "SharingReport",
 ]

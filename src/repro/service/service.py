@@ -30,16 +30,17 @@ from __future__ import annotations
 
 import inspect
 import time
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple, Union
 
 from repro.algebra.expressions import LogicalExpression
 from repro.algebra.plans import PhysicalPlan
 from repro.algebra.properties import ANY_PROPS, PhysProps
 from repro.catalog.catalog import Catalog
 from repro.dynamic import bind_plan
-from repro.errors import ServiceError
+from repro.errors import BudgetExceededError, ServiceError
 from repro.executor import ExecutionStats, execute_plan
 from repro.feedback import (
     FeedbackPolicy,
@@ -49,8 +50,14 @@ from repro.feedback import (
     observed_report,
     refresh_statistics,
 )
-from repro.options import OptionsBase, ResourceBudget, check_positive
+from repro.options import BudgetReport, OptionsBase, ResourceBudget, check_positive
 from repro.search.engine import OptimizationResult, PreoptimizedPlan
+from repro.search.sharing import (
+    SharedPlan,
+    SharingOptions,
+    SharingReport,
+    plan_sharing,
+)
 from repro.service.cache import CacheEntry, CacheStats, PlanCache
 from repro.service.fingerprint import Fingerprint, fingerprint, table_dependencies
 from repro.sql.normalize import normalize_literals, parameterize_plan
@@ -58,10 +65,15 @@ from repro.sql.normalize import normalize_literals, parameterize_plan
 __all__ = [
     "ServiceOptions",
     "ServedResult",
+    "BatchResult",
+    "PreparedQuery",
     "ExecutedResult",
     "SubplanLibrary",
     "OptimizerService",
 ]
+
+#: Anything ``optimize``/``optimize_many``/``prepare`` accepts as a query.
+QueryLike = Union[str, LogicalExpression, "PreparedQuery"]
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -106,6 +118,14 @@ class ServiceOptions(OptionsBase):
         stale and the next optimization of those queries is fresh.
         When None (the default), executions still record feedback
         telemetry but statistics are never rewritten.
+    ``sharing``
+        Multi-query optimization policy for :meth:`optimize_many`
+        (:class:`~repro.search.sharing.SharingOptions`).  When enabled
+        and the wrapped engine supports batch optimization, a serial
+        batch's cache misses are optimized over one shared memo and a
+        greedy sharing pass proposes materialized common subplans; see
+        :class:`BatchResult.sharing_report`.  Individual answers are
+        unaffected — sharing only adds the batch-level report.
     """
 
     max_entries: int = 512
@@ -116,6 +136,7 @@ class ServiceOptions(OptionsBase):
     max_seeds_per_query: int = 32
     budget: Optional[ResourceBudget] = None
     feedback_policy: Optional[FeedbackPolicy] = None
+    sharing: SharingOptions = field(default_factory=SharingOptions)
 
     def validate(self) -> None:
         """Check field invariants; raise :class:`OptionsError` on failure."""
@@ -153,6 +174,102 @@ class ServedResult:
         if self.parameterized:
             source += " (parameterized)"
         return f"[{source}] plan cost {self.cost}\n{self.plan.pretty()}"
+
+
+@dataclass(frozen=True)
+class PreparedQuery:
+    """A query with its cache keys computed once, reusable across calls.
+
+    Built by :meth:`OptimizerService.prepare` from a SQL string or a
+    logical expression; pass it wherever the service accepts a query
+    and the fingerprint / literal-normalization work is skipped — as
+    long as the catalog's statistics have not moved since preparation
+    (``statistics_version`` pins that; a stale prepared query is
+    transparently re-keyed, never served wrong answers).
+    """
+
+    expression: LogicalExpression
+    props: PhysProps
+    exact: Fingerprint
+    template_key: Optional[Fingerprint]
+    normalized: Optional[object]
+    statistics_version: int
+
+    def __str__(self) -> str:
+        kind = "parameterized" if self.template_key is not None else "exact"
+        return f"<prepared {kind} query @v{self.statistics_version}>"
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Everything :meth:`OptimizerService.optimize_many` learned.
+
+    ``results`` holds one :class:`ServedResult` per input query, in
+    input order — exactly what :meth:`~OptimizerService.optimize` would
+    have produced for each.  On top of that, the batch-level view:
+
+    ``shared_plans``
+        Materialized common subplans the multi-query sharing pass
+        chose (empty when sharing is off, the batch ran in parallel,
+        or nothing was worth materializing).  Execute them in order
+        against one ``intermediates`` store, then the rewritten
+        consumer plans in ``sharing_report`` against the same store.
+    ``sharing_report``
+        The full :class:`~repro.search.sharing.SharingReport` —
+        rewritten plans, candidate counts, independent vs. shared
+        total cost — or None when the sharing pass did not run.
+    ``cache_stats``
+        A :class:`~repro.service.cache.CacheStats` *delta*: only this
+        batch's lookups, hits, misses, and engine/hit seconds.
+    ``budget_report``
+        When the whole-batch optimization tripped its resource budget,
+        the :class:`~repro.options.BudgetReport` of the trip; the
+        batch then degraded to independent per-query optimization.
+
+    Deprecated sequence protocol: ``BatchResult`` still iterates,
+    indexes, and measures like the ``List[ServedResult]`` this method
+    used to return, so existing callers keep working — with a
+    :class:`DeprecationWarning`.  Use ``.results`` instead.
+    """
+
+    results: Tuple[ServedResult, ...]
+    shared_plans: Tuple[SharedPlan, ...] = ()
+    sharing_report: Optional[SharingReport] = None
+    cache_stats: Optional[CacheStats] = None
+    budget_report: Optional[BudgetReport] = None
+
+    def _deprecate(self) -> None:
+        warnings.warn(
+            "treating BatchResult as a List[ServedResult] is deprecated; "
+            "use BatchResult.results",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    def __iter__(self) -> Iterator[ServedResult]:
+        self._deprecate()
+        return iter(self.results)
+
+    def __getitem__(self, index):
+        self._deprecate()
+        return self.results[index]
+
+    def __len__(self) -> int:
+        self._deprecate()
+        return len(self.results)
+
+    @property
+    def degraded_to_independent(self) -> bool:
+        """True when the batch budget tripped and MQO was abandoned."""
+        return self.budget_report is not None
+
+    def __str__(self) -> str:
+        lines = [f"batch of {len(self.results)} queries"]
+        if self.sharing_report is not None:
+            lines.append(str(self.sharing_report))
+        if self.budget_report is not None:
+            lines.append("degraded to independent plans (budget tripped)")
+        return "\n".join(lines)
 
 
 @dataclass(frozen=True)
@@ -294,14 +411,87 @@ class OptimizerService:
         """The cache's operation counters."""
         return self.cache.stats
 
+    def prepare(
+        self,
+        query: QueryLike,
+        props: Optional[PhysProps] = None,
+    ) -> PreparedQuery:
+        """Compute a query's cache keys once, for reuse across calls.
+
+        ``query`` may be a SQL string (translated through
+        :class:`~repro.sql.translator.Translator`), a logical
+        expression, or an existing :class:`PreparedQuery` (re-prepared
+        against the current statistics).  The returned value is valid
+        until the catalog's statistics move; passing a stale one to
+        :meth:`optimize` is safe — it is re-keyed transparently.
+        """
+        expression, props, _ = self._resolve(query, props)
+        exact, template_key, normalized = self._keys_for(expression, props)
+        return PreparedQuery(
+            expression=expression,
+            props=props,
+            exact=exact,
+            template_key=template_key,
+            normalized=normalized,
+            statistics_version=self.catalog.statistics_version,
+        )
+
+    def _resolve(
+        self,
+        query: QueryLike,
+        props: Optional[PhysProps],
+    ) -> Tuple[
+        LogicalExpression,
+        PhysProps,
+        Optional[Tuple[Fingerprint, Optional[Fingerprint], Optional[object]]],
+    ]:
+        """Coerce any accepted query form to (expression, props, keys).
+
+        ``keys`` is the precomputed ``(exact, template, normalized)``
+        triple when a fresh :class:`PreparedQuery` supplied it, else
+        None (computed lazily by the caller).  A prepared query whose
+        ``statistics_version`` is stale — or that is being re-required
+        under different ``props`` — falls back to recomputation.
+        """
+        if isinstance(query, PreparedQuery):
+            if props is not None and props != query.props:
+                return query.expression, props, None
+            if query.statistics_version == self.catalog.statistics_version:
+                return query.expression, query.props, (
+                    query.exact,
+                    query.template_key,
+                    query.normalized,
+                )
+            return query.expression, query.props, None
+        if isinstance(query, str):
+            from repro.sql.translator import Translator
+
+            translation = Translator(self.catalog).translate(query)
+            if props is None:
+                props = translation.required
+            return (
+                translation.expression,
+                props if props is not None else self._default_props(),
+                None,
+            )
+        return (
+            query,
+            props if props is not None else self._default_props(),
+            None,
+        )
+
     def optimize(
         self,
-        query: LogicalExpression,
+        query: QueryLike,
         props: Optional[PhysProps] = None,
         *,
         budget: Optional[ResourceBudget] = None,
     ) -> ServedResult:
         """Serve the cheapest plan for ``query``, from cache when possible.
+
+        ``query`` may be a logical expression, a SQL string, or a
+        :class:`PreparedQuery` from :meth:`prepare` (which skips the
+        fingerprinting work when still fresh).
 
         Lookup order: exact fingerprint first (byte-identical answer),
         then — when enabled — the literal-normalized template at the
@@ -314,16 +504,22 @@ class OptimizerService:
         with ``degraded=True`` but neither cached nor harvested, and is
         counted in ``stats.degraded``.
         """
-        props = props if props is not None else self._default_props()
+        expression, props, keys = self._resolve(query, props)
         started = time.perf_counter()
         self._sweep_if_stale()
 
-        served = self._lookup(query, props, started)
-        if served is not None:
-            return served
+        if keys is None:
+            served = self._lookup(expression, props, started)
+            if served is not None:
+                return served
+            keys = self._keys_for(expression, props)
+        else:
+            served = self._lookup_with_keys(keys, started)
+            if served is not None:
+                return served
 
-        exact, template_key, normalized = self._keys_for(query, props)
-        result = self._run_engine(query, props, budget)
+        exact, template_key, normalized = keys
+        result = self._run_engine(expression, props, budget)
         return self._serve_fresh(
             exact, template_key, normalized, result, started
         )
@@ -341,18 +537,9 @@ class OptimizerService:
         ``stats.hit_seconds``.
         """
         exact = fingerprint(query, props, self.catalog)
-        entry = self.cache.get(exact)
-        if entry is not None:
-            elapsed = time.perf_counter() - started
-            self.cache.stats.hit_seconds += elapsed
-            return ServedResult(
-                plan=entry.plan,
-                cost=entry.cost,
-                required=entry.required,
-                fingerprint=exact,
-                cached=True,
-                elapsed_seconds=elapsed,
-            )
+        served = self._hit_exact(exact, started)
+        if served is not None:
+            return served
         if self.options.parameterized:
             normalized = normalize_literals(
                 query, self.catalog, buckets=self.options.selectivity_buckets
@@ -366,21 +553,58 @@ class OptimizerService:
                         (op, bucket) for _, op, bucket in normalized.bucket_key
                     ),
                 )
-                entry = self.cache.get(template_key)
-                if entry is not None:
-                    plan = bind_plan(entry.plan, normalized.bindings)
-                    elapsed = time.perf_counter() - started
-                    self.cache.stats.hit_seconds += elapsed
-                    return ServedResult(
-                        plan=plan,
-                        cost=entry.cost,
-                        required=entry.required,
-                        fingerprint=template_key,
-                        cached=True,
-                        parameterized=True,
-                        elapsed_seconds=elapsed,
-                    )
+                return self._hit_template(template_key, normalized, started)
         return None
+
+    def _lookup_with_keys(
+        self,
+        keys: Tuple[Fingerprint, Optional[Fingerprint], Optional[object]],
+        started: float,
+    ) -> Optional[ServedResult]:
+        """:meth:`_lookup` over precomputed (prepared) cache keys."""
+        exact, template_key, normalized = keys
+        served = self._hit_exact(exact, started)
+        if served is not None:
+            return served
+        if template_key is not None and normalized is not None:
+            return self._hit_template(template_key, normalized, started)
+        return None
+
+    def _hit_exact(
+        self, exact: Fingerprint, started: float
+    ) -> Optional[ServedResult]:
+        entry = self.cache.get(exact)
+        if entry is None:
+            return None
+        elapsed = time.perf_counter() - started
+        self.cache.stats.hit_seconds += elapsed
+        return ServedResult(
+            plan=entry.plan,
+            cost=entry.cost,
+            required=entry.required,
+            fingerprint=exact,
+            cached=True,
+            elapsed_seconds=elapsed,
+        )
+
+    def _hit_template(
+        self, template_key: Fingerprint, normalized, started: float
+    ) -> Optional[ServedResult]:
+        entry = self.cache.get(template_key)
+        if entry is None:
+            return None
+        plan = bind_plan(entry.plan, normalized.bindings)
+        elapsed = time.perf_counter() - started
+        self.cache.stats.hit_seconds += elapsed
+        return ServedResult(
+            plan=plan,
+            cost=entry.cost,
+            required=entry.required,
+            fingerprint=template_key,
+            cached=True,
+            parameterized=True,
+            elapsed_seconds=elapsed,
+        )
 
     def _keys_for(
         self, query: LogicalExpression, props: PhysProps
@@ -442,29 +666,49 @@ class OptimizerService:
         max_workers: Optional[int] = None,
         deadline_seconds: Optional[float] = None,
         budget: Optional[ResourceBudget] = None,
-    ) -> List[ServedResult]:
-        """Serve a batch of queries, optionally over a process pool.
+    ) -> "BatchResult":
+        """Serve a batch of queries, sharing work across them.
 
-        Results come back in input order, one per query, each exactly
-        what :meth:`optimize` would have produced — the warm plan cache
-        is consulted *before* any dispatch, duplicate queries within the
-        batch are optimized once, and fresh answers are cached so later
-        batches (and later duplicates) hit.
+        Returns a :class:`BatchResult`: per-query answers in input
+        order (each exactly what :meth:`optimize` would have produced),
+        plus the batch-level sharing report and cache-stats delta.  It
+        still iterates and indexes like the former
+        ``List[ServedResult]`` — with a DeprecationWarning.
+
+        The warm plan cache is consulted *before* any dispatch, and
+        duplicate queries within the batch are optimized once — keyed
+        on the cache fingerprint, so with parameterized caching enabled
+        two queries differing only in same-bucket literals also count
+        as duplicates.  Fresh answers are cached so later batches (and
+        later duplicates) hit.
+
+        When ``options.sharing`` is enabled (the default) and the batch
+        runs serially with more than one cache miss, the misses are
+        optimized over **one shared memo** (the wrapped engine's
+        ``optimize_batch``), so cross-query common subexpressions
+        collide; a greedy sharing pass (Volcano-SH style) then proposes
+        materialized common subplans — see
+        :attr:`BatchResult.sharing_report`.  Each query's own served
+        plan is unchanged; the rewritten consumer plans live only in
+        the report.  A budget trip during the shared run degrades the
+        batch to independent per-query optimization (recorded in
+        :attr:`BatchResult.budget_report`).
 
         ``max_workers`` > 1 fans the cache misses out to a pool of
         forked worker processes (the optimizer is inherited by memory
         image; only picklable data crosses the pipe — see
-        :mod:`repro.service.parallel`).  With ``max_workers`` of None,
-        0, or 1 — or on platforms without the ``fork`` start method, or
-        when at most one query misses — the batch runs serially in this
-        process.  Either way the answers are identical; each engine run
-        is deterministic and owns its memo.
+        :mod:`repro.service.parallel`); the sharing pass is skipped.
+        With ``max_workers`` of None, 0, or 1 — or on platforms without
+        the ``fork`` start method, or when at most one query misses —
+        the batch runs serially in this process.  Either way the
+        per-query answers are identical; each search is deterministic.
 
-        ``deadline_seconds`` is a *batch* deadline: it is split evenly
-        into per-query wall-clock budgets over the cache misses,
-        composing with ``budget`` (or the service default) by taking the
-        tighter deadline.  Per-query budget semantics are unchanged:
-        a query whose budget trips degrades (anytime plan, flagged
+        ``deadline_seconds`` is a *batch* deadline: the shared run gets
+        it whole; on the independent path it is split evenly into
+        per-query wall-clock budgets over the cache misses, composing
+        with ``budget`` (or the service default) by taking the tighter
+        deadline.  Per-query budget semantics are unchanged: a query
+        whose budget trips degrades (anytime plan, flagged
         ``degraded=True``) and is served but never cached.
 
         Worker failures re-raise deterministically: the earliest failed
@@ -473,14 +717,18 @@ class OptimizerService:
         from repro.service import parallel as parallel_mod
 
         queries = list(queries)
-        props = props if props is not None else self._default_props()
+        stats_before = self._stats_snapshot()
+        resolved = [self._resolve(query, props) for query in queries]
         self._sweep_if_stale()
 
         results: List[Optional[ServedResult]] = [None] * len(queries)
         pending: List[int] = []
-        for index, query in enumerate(queries):
+        for index, (expression, qprops, keys) in enumerate(resolved):
             started = time.perf_counter()
-            served = self._lookup(query, props, started)
+            if keys is None:
+                served = self._lookup(expression, qprops, started)
+            else:
+                served = self._lookup_with_keys(keys, started)
             if served is not None:
                 results[index] = served
             else:
@@ -488,12 +736,22 @@ class OptimizerService:
 
         # Duplicate queries in one batch are optimized once; the rest
         # are served from the cache the first occurrence populates.
+        # Dedup keys on the *cache* fingerprint — the template digest
+        # when the query parameterizes — so same-bucket literal
+        # variants dispatch once and the rest re-bind from the cache.
         dispatch: List[int] = []
-        first_for_key: dict = {}
+        seen_digests: set = set()
         for index in pending:
-            exact = fingerprint(queries[index], props, self.catalog)
-            if exact.digest not in first_for_key:
-                first_for_key[exact.digest] = index
+            expression, qprops, keys = resolved[index]
+            if keys is None:
+                keys = self._keys_for(expression, qprops)
+                resolved[index] = (expression, qprops, keys)
+            exact, template_key, _ = keys
+            digest = (
+                template_key.digest if template_key is not None else exact.digest
+            )
+            if digest not in seen_digests:
+                seen_digests.add(digest)
                 dispatch.append(index)
 
         per_query_budget = self._split_deadline(
@@ -503,25 +761,134 @@ class OptimizerService:
         parallel = (
             workers > 1 and len(dispatch) > 1 and parallel_mod.fork_available()
         )
-        if parallel:
-            self._optimize_batch_parallel(
-                queries, props, dispatch, per_query_budget, workers, results
+        sharing_report: Optional[SharingReport] = None
+        batch_budget_report: Optional[BudgetReport] = None
+        use_sharing = (
+            not parallel
+            and len(dispatch) > 1
+            and self.options.sharing.enabled
+            and hasattr(self.optimizer, "optimize_batch")
+            and len({resolved[index][1] for index in dispatch}) == 1
+        )
+        if use_sharing:
+            sharing_report, batch_budget_report = self._optimize_batch_shared(
+                resolved, dispatch, deadline_seconds, budget, results
             )
-        else:
-            for index in dispatch:
-                results[index] = self.optimize(
-                    queries[index], props, budget=per_query_budget
+        if sharing_report is None:
+            if parallel:
+                self._optimize_batch_parallel(
+                    resolved, dispatch, per_query_budget, workers, results
                 )
+            else:
+                for index in dispatch:
+                    if results[index] is None:
+                        expression, qprops, _ = resolved[index]
+                        results[index] = self.optimize(
+                            expression, qprops, budget=per_query_budget
+                        )
         # Second pass: batch duplicates (and parallel-path stragglers)
         # now hit the warm cache; degraded answers were never cached, so
         # their duplicates re-run serially with the same budget —
         # preserving single-query semantics exactly.
         for index in pending:
             if results[index] is None:
+                expression, qprops, _ = resolved[index]
                 results[index] = self.optimize(
-                    queries[index], props, budget=per_query_budget
+                    expression, qprops, budget=per_query_budget
                 )
-        return results  # type: ignore[return-value]
+        return BatchResult(
+            results=tuple(results),  # type: ignore[arg-type]
+            shared_plans=(
+                sharing_report.shared_plans if sharing_report is not None else ()
+            ),
+            sharing_report=sharing_report,
+            cache_stats=self._stats_delta(stats_before),
+            budget_report=batch_budget_report,
+        )
+
+    def _optimize_batch_shared(
+        self,
+        resolved,
+        dispatch: List[int],
+        deadline_seconds: Optional[float],
+        budget: Optional[ResourceBudget],
+        results: List[Optional[ServedResult]],
+    ) -> Tuple[Optional[SharingReport], Optional[BudgetReport]]:
+        """Optimize the cache misses over one shared memo; fill ``results``.
+
+        Returns ``(report, None)`` on success — every dispatched index
+        served, cached, and harvested — or ``(None, budget_report)``
+        when the batch-wide budget tripped, leaving ``results``
+        untouched so the caller can fall back to independent per-query
+        optimization with split budgets.
+        """
+        expressions = [resolved[index][0] for index in dispatch]
+        props = resolved[dispatch[0]][1]
+        batch_budget = budget if budget is not None else self.options.budget
+        if deadline_seconds is not None:
+            if batch_budget is None:
+                batch_budget = ResourceBudget(deadline_seconds=deadline_seconds)
+            elif batch_budget.deadline_seconds is not None:
+                batch_budget = batch_budget.replace(
+                    deadline_seconds=min(
+                        deadline_seconds, batch_budget.deadline_seconds
+                    )
+                )
+            else:
+                batch_budget = batch_budget.replace(
+                    deadline_seconds=deadline_seconds
+                )
+        kwargs = {}
+        if batch_budget is not None:
+            kwargs["options"] = self.optimizer.options.replace(
+                budget=batch_budget
+            )
+        started = time.perf_counter()
+        try:
+            outcomes = self.optimizer.optimize_batch(
+                expressions, props, **kwargs
+            )
+        except BudgetExceededError as error:
+            return None, error.report
+        # All outcomes share one SearchStats: account the engine time
+        # exactly once, not once per result.
+        if outcomes and outcomes[0].stats is not None:
+            self.cache.stats.engine_seconds += outcomes[0].stats.elapsed_seconds
+        elapsed = time.perf_counter() - started
+        for index, result in zip(dispatch, outcomes):
+            exact, template_key, normalized = resolved[index][2]
+            self._store(exact, template_key, normalized, result, None)
+            self._harvest(result)
+            results[index] = ServedResult(
+                plan=result.plan,
+                cost=result.cost,
+                required=result.required,
+                fingerprint=exact,
+                cached=False,
+                elapsed_seconds=elapsed,
+                result=result,
+            )
+        spec = getattr(self.optimizer, "spec", None)
+        if spec is None:
+            return SharingReport(plans=tuple(r.plan for r in outcomes)), None
+        estimator = getattr(self.optimizer, "estimator", None)
+        report = plan_sharing(
+            outcomes,
+            spec,
+            self.catalog,
+            options=self.options.sharing,
+            estimator=estimator,
+        )
+        return report, None
+
+    def _stats_snapshot(self) -> dict:
+        return dict(vars(self.cache.stats))
+
+    def _stats_delta(self, before: dict) -> CacheStats:
+        after = vars(self.cache.stats)
+        return CacheStats(
+            **{name: after[name] - value for name, value in before.items()}
+        )
 
     def _split_deadline(
         self,
@@ -542,8 +909,7 @@ class OptimizerService:
 
     def _optimize_batch_parallel(
         self,
-        queries: List[LogicalExpression],
-        props: PhysProps,
+        resolved,
         dispatch: List[int],
         per_query_budget: Optional[ResourceBudget],
         max_workers: int,
@@ -557,11 +923,12 @@ class OptimizerService:
             options = self.optimizer.options.replace(budget=per_query_budget)
         items = []
         for index in dispatch:
+            expression, qprops, _ = resolved[index]
             seeds: Tuple = ()
             if self.options.reuse_subplans and self._engine_seeds:
                 seeds = tuple(
                     self.subplans.seeds_for(
-                        queries[index],
+                        expression,
                         self.catalog,
                         limit=self.options.max_seeds_per_query,
                     )
@@ -569,8 +936,8 @@ class OptimizerService:
             items.append(
                 parallel_mod.WorkItem(
                     index=index,
-                    query=queries[index],
-                    props=props,
+                    query=expression,
+                    props=qprops,
                     options=options,
                     seeds=seeds,
                 )
@@ -585,9 +952,7 @@ class OptimizerService:
             started = time.perf_counter()
             result = outcome.result
             assert result is not None  # no error => a result was shipped
-            exact, template_key, normalized = self._keys_for(
-                queries[outcome.index], props
-            )
+            exact, template_key, normalized = resolved[outcome.index][2]
             results[outcome.index] = self._serve_fresh(
                 exact, template_key, normalized, result, started
             )

@@ -33,6 +33,7 @@ def test_results_shape(results):
         "binding_enum",
         "feedback_loop",
         "batch_throughput",
+        "mqo_sharing",
     }
     for metrics in benches.values():
         assert metrics["median_ms"] > 0

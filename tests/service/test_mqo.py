@@ -1,0 +1,411 @@
+"""Multi-query optimization: shared memo, sharing pass, batch API.
+
+Covers the MQO stack end to end: the engine's ``optimize_batch`` over
+one shared memo, the greedy sharing pass (materialized common
+subplans), the service's :class:`BatchResult` API (prepared queries,
+fingerprint-keyed batch dedup, budget degradation), execution through
+materialized intermediates, and the golden guarantee that sharing never
+changes any individual query's served plan.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.predicates import eq
+from repro.catalog import Catalog
+from repro.errors import ExecutionError
+from repro.executor import TableSpec, execute_plan, populate_catalog
+from repro.lint import MemoAuditor
+from repro.models.relational import get, join, relational_model, select
+from repro.options import ResourceBudget
+from repro.search import (
+    SearchOptions,
+    SharingOptions,
+    TaskBasedOptimizer,
+    VolcanoOptimizer,
+    plan_sharing,
+)
+from repro.service import BatchResult, OptimizerService, PreparedQuery, ServiceOptions
+from repro.workloads import QueryGenerator, WorkloadOptions
+
+SPEC = relational_model()
+
+#: Every query selects at the same threshold, so filtered subtrees of
+#: queries touching the same tables collide structurally in the shared
+#: memo — the regime multi-query sharing is built for.
+PINNED_SELECTIVITY = WorkloadOptions(selectivity_range=(0.1, 0.1))
+
+
+def make_catalog():
+    """Asymmetric tables: the filtered r⋈s is optimal — and shared —
+    in both three-way queries built on top of it."""
+    catalog = Catalog()
+    populate_catalog(
+        catalog,
+        [
+            TableSpec("r", 1000, key_distinct=10),
+            TableSpec("s", 800, key_distinct=10),
+            TableSpec("t", 200, key_distinct=10),
+            TableSpec("u", 250, key_distinct=10),
+        ],
+        seed=7,
+    )
+    return catalog
+
+
+def overlapping_queries():
+    """Two queries sharing an expensive, small-output join subplan."""
+    shared = join(
+        select(get("r"), eq("r.v", 1)),
+        select(get("s"), eq("s.v", 2)),
+        eq("r.k", "s.k"),
+    )
+    q1 = join(shared, get("t"), eq("s.k", "t.k"))
+    q2 = join(shared, get("u"), eq("s.k", "u.k"))
+    return q1, q2
+
+
+def make_optimizer(catalog, engine_cls=VolcanoOptimizer):
+    return engine_cls(SPEC, catalog, SearchOptions(check_consistency=False))
+
+
+def make_service(catalog, **options):
+    return OptimizerService(
+        make_optimizer(catalog),
+        options=ServiceOptions(parameterized=False, **options),
+    )
+
+
+def reference_evaluate(query, catalog):
+    """Naive logical-algebra semantics, independent of the executor."""
+    if query.operator == "get":
+        table, alias = query.args
+        return [dict(row) for row in catalog.table(table).rows]
+    if query.operator == "select":
+        (predicate,) = query.args
+        return [
+            row
+            for row in reference_evaluate(query.inputs[0], catalog)
+            if predicate.evaluate(row)
+        ]
+    if query.operator == "join":
+        (predicate,) = query.args
+        left = reference_evaluate(query.inputs[0], catalog)
+        right = reference_evaluate(query.inputs[1], catalog)
+        return [
+            {**l, **r}
+            for l in left
+            for r in right
+            if predicate.evaluate({**l, **r})
+        ]
+    raise AssertionError(f"unhandled operator {query.operator}")
+
+
+def canonical(rows):
+    return sorted(tuple(sorted(row.items())) for row in rows)
+
+
+# -- sharing pass ------------------------------------------------------------
+
+
+def test_batch_reports_materialized_shared_subplan():
+    catalog = make_catalog()
+    q1, q2 = overlapping_queries()
+    batch = make_service(catalog).optimize_many([q1, q2])
+    assert isinstance(batch, BatchResult)
+    report = batch.sharing_report
+    assert report is not None
+    assert len(batch.shared_plans) == 1
+    shared = batch.shared_plans[0]
+    assert shared.plan.algorithm == "materialize"
+    assert shared.consumers == 2
+    assert report.shared_total < report.independent_total
+    assert report.savings > 0
+    # The rewritten consumer plans read the materialized intermediate.
+    for rewritten in report.plans:
+        assert rewritten.count_algorithm("scan_intermediate") == 1
+    # The served per-query answers are the unshared optima, untouched.
+    for served in batch.results:
+        assert served.plan.count_algorithm("scan_intermediate") == 0
+        assert not served.cached
+
+
+def test_generate_shared_batch_of_eight_improves_total_cost():
+    workload = QueryGenerator(PINNED_SELECTIVITY).generate_shared(
+        count=8, seed=7, n_tables=5, relations=(2, 4)
+    )
+    queries = [q.query for q in workload.queries]
+    required = workload.queries[0].required
+    batch = make_service(workload.catalog).optimize_many(queries, required)
+    report = batch.sharing_report
+    assert report is not None
+    assert report.materialized >= 1
+    assert report.shared_total < report.independent_total
+    independent = sum(r.cost.total() for r in batch.results)
+    assert report.independent_total == pytest.approx(independent)
+
+
+@given(seed=st.integers(min_value=0, max_value=99))
+@settings(max_examples=10, deadline=None)
+def test_shared_total_never_exceeds_independent_total(seed):
+    workload = QueryGenerator(PINNED_SELECTIVITY).generate_shared(
+        count=4, seed=seed, n_tables=4, relations=(2, 3)
+    )
+    queries = [q.query for q in workload.queries]
+    required = workload.queries[0].required
+    optimizer = make_optimizer(workload.catalog)
+    results = optimizer.optimize_batch(queries, required)
+    report = plan_sharing(results, SPEC, workload.catalog, SharingOptions())
+    assert len(report.plans) == len(queries)
+    assert report.shared_total <= report.independent_total + 1e-6
+    assert report.materialized <= SharingOptions().max_materializations
+
+
+def test_sharing_respects_max_materializations():
+    workload = QueryGenerator(PINNED_SELECTIVITY).generate_shared(
+        count=8, seed=1, n_tables=5, relations=(2, 4)
+    )
+    queries = [q.query for q in workload.queries]
+    required = workload.queries[0].required
+    optimizer = make_optimizer(workload.catalog)
+    results = optimizer.optimize_batch(queries, required)
+    unbounded = plan_sharing(results, SPEC, workload.catalog, SharingOptions())
+    assert unbounded.materialized >= 2
+    capped = plan_sharing(
+        results,
+        SPEC,
+        workload.catalog,
+        SharingOptions(max_materializations=1),
+    )
+    assert capped.materialized == 1
+    assert capped.shared_total <= capped.independent_total
+
+
+def test_sharing_disabled_is_a_no_op():
+    catalog = make_catalog()
+    q1, q2 = overlapping_queries()
+    batch = make_service(
+        catalog, sharing=SharingOptions(enabled=False)
+    ).optimize_many([q1, q2])
+    assert batch.sharing_report is None
+    assert batch.shared_plans == ()
+    assert all(not served.cached for served in batch.results)
+
+
+def test_batch_memo_invariants_audit_clean():
+    catalog = make_catalog()
+    q1, q2 = overlapping_queries()
+    optimizer = make_optimizer(catalog)
+    results = optimizer.optimize_batch([q1, q2])
+    auditor = MemoAuditor(props_cover=SPEC.props_cover)
+    assert auditor.audit_batch(results) == []
+    assert results[0].memo is results[1].memo
+
+
+# -- golden byte-identity: sharing never changes a single query's plan -------
+
+
+def golden_workload():
+    return QueryGenerator(PINNED_SELECTIVITY).generate_shared(
+        count=42, seed=7, n_tables=6, relations=(2, 4)
+    )
+
+
+@pytest.mark.parametrize("engine_cls", [VolcanoOptimizer, TaskBasedOptimizer])
+def test_single_query_plans_match_committed_golden(engine_cls):
+    """42 queries x 2 engines: single-query answers are byte-identical
+    to the committed golden snapshots — the MQO machinery being present
+    (and sharing enabled by default) must not perturb them."""
+    golden_path = Path(__file__).with_name("golden_plans.json")
+    golden = json.loads(golden_path.read_text())[engine_cls.__name__]
+    workload = golden_workload()
+    queries = [q.query for q in workload.queries]
+    required = workload.queries[0].required
+    engine = make_optimizer(workload.catalog, engine_cls)
+    assert len(golden) == len(queries) == 42
+    for query, expected in zip(queries, golden):
+        result = engine.optimize(query, required)
+        assert result.plan.to_sexpr() == expected["plan"]
+        assert result.cost.total() == pytest.approx(expected["cost"])
+
+
+@pytest.mark.parametrize("engine_cls", [VolcanoOptimizer, TaskBasedOptimizer])
+def test_batch_answers_cost_exactly_like_single_query_runs(engine_cls):
+    """The shared-memo batch never costs a query worse than its own
+    run.  For the recursive engine the plans are byte-identical too;
+    the task engine may break an equal-cost tie differently when the
+    memo is pre-populated by earlier queries."""
+    workload = golden_workload()
+    queries = [q.query for q in workload.queries]
+    required = workload.queries[0].required
+    batch_results = make_optimizer(workload.catalog, engine_cls).optimize_batch(
+        queries, required
+    )
+    single_engine = make_optimizer(workload.catalog, engine_cls)
+    for query, result in zip(queries, batch_results):
+        reference = single_engine.optimize(query, required)
+        assert result.cost.total() == pytest.approx(reference.cost.total())
+        if engine_cls is VolcanoOptimizer:
+            assert result.plan.to_sexpr() == reference.plan.to_sexpr()
+
+
+# -- budget degradation ------------------------------------------------------
+
+
+def test_budget_trip_degrades_batch_to_independent_plans():
+    catalog = make_catalog()
+    q1, q2 = overlapping_queries()
+    service = make_service(catalog)
+    batch = service.optimize_many([q1, q2], deadline_seconds=4e-05)
+    assert batch.degraded_to_independent
+    assert batch.budget_report is not None
+    assert batch.budget_report.tripped == "deadline"
+    assert batch.sharing_report is None
+    assert batch.shared_plans == ()
+    # Every query is still answered — by its own anytime plan.
+    assert all(served.plan is not None for served in batch.results)
+    assert all(served.degraded for served in batch.results)
+    assert len(service.cache) == 0  # degraded answers are never cached
+
+
+def test_batch_budget_composes_with_default_budget():
+    catalog = make_catalog()
+    q1, q2 = overlapping_queries()
+    service = make_service(
+        catalog, budget=ResourceBudget(max_costings=5)
+    )
+    batch = service.optimize_many([q1, q2])
+    assert batch.degraded_to_independent
+    assert batch.budget_report.tripped == "costings"
+
+
+# -- execution through materialized intermediates ----------------------------
+
+
+def test_executor_round_trip_through_materialized_intermediate():
+    catalog = make_catalog()
+    q1, q2 = overlapping_queries()
+    batch = make_service(catalog).optimize_many([q1, q2])
+    report = batch.sharing_report
+    assert report is not None and len(batch.shared_plans) == 1
+
+    store: dict = {}
+    for shared in batch.shared_plans:  # producers first, in order
+        execute_plan(shared.plan, catalog, intermediates=store)
+        assert shared.name in store
+    for query, rewritten in zip([q1, q2], report.plans):
+        rows = execute_plan(rewritten, catalog, intermediates=store)
+        assert canonical(rows) == canonical(reference_evaluate(query, catalog))
+
+
+def test_intermediate_scan_without_producer_raises():
+    catalog = make_catalog()
+    q1, q2 = overlapping_queries()
+    batch = make_service(catalog).optimize_many([q1, q2])
+    rewritten = batch.sharing_report.plans[0]
+    with pytest.raises(ExecutionError):
+        execute_plan(rewritten, catalog, intermediates={})
+
+
+# -- the redesigned batch API ------------------------------------------------
+
+
+def test_batch_result_sequence_protocol_is_deprecated():
+    catalog = make_catalog()
+    q1, q2 = overlapping_queries()
+    batch = make_service(catalog).optimize_many([q1, q2])
+    with pytest.warns(DeprecationWarning):
+        assert len(batch) == 2
+    with pytest.warns(DeprecationWarning):
+        assert [served.plan for served in batch]
+    with pytest.warns(DeprecationWarning):
+        assert batch[0].plan is batch.results[0].plan
+    # The replacement API warns nothing.
+    assert len(batch.results) == 2
+
+
+def test_batch_cache_stats_are_a_per_batch_delta():
+    catalog = make_catalog()
+    q1, q2 = overlapping_queries()
+    service = make_service(catalog)
+    cold = service.optimize_many([q1, q2])
+    assert cold.cache_stats.misses == 2
+    assert cold.cache_stats.hits == 0
+    assert cold.cache_stats.engine_seconds > 0
+    warm = service.optimize_many([q1, q2])
+    assert warm.cache_stats.hits == 2
+    assert warm.cache_stats.misses == 0
+    assert warm.cache_stats.engine_seconds == 0.0
+    assert all(served.cached for served in warm.results)
+
+
+def test_prepare_returns_reusable_keys():
+    catalog = make_catalog()
+    q1, _ = overlapping_queries()
+    service = make_service(catalog)
+    prepared = service.prepare(q1)
+    assert isinstance(prepared, PreparedQuery)
+    assert prepared.statistics_version == catalog.statistics_version
+    cold = service.optimize(prepared)
+    assert not cold.cached
+    warm = service.optimize(prepared)
+    assert warm.cached
+    assert str(warm.plan) == str(cold.plan)
+    # The same prepared query interoperates with the plain-query path.
+    assert service.optimize(q1).cached
+
+
+def test_stale_prepared_query_is_rekeyed_not_mis_served():
+    catalog = make_catalog()
+    q1, _ = overlapping_queries()
+    service = make_service(catalog)
+    prepared = service.prepare(q1)
+    service.optimize(prepared)
+    entry = catalog.table("r")
+    catalog.update_statistics("r", entry.statistics)  # bump the version
+    assert prepared.statistics_version != catalog.statistics_version
+    served = service.optimize(prepared)  # stale: silently re-keyed
+    assert not served.cached
+    assert str(served.plan) == str(service.optimize(q1).plan)
+
+
+def test_optimize_accepts_sql_strings_uniformly():
+    catalog = make_catalog()
+    service = make_service(catalog)
+    direct = service.optimize("select * from r where r.v = 1")
+    again = service.optimize("select * from r where r.v = 1")
+    assert not direct.cached and again.cached
+    prepared = service.prepare("select * from s where s.v = 2")
+    assert isinstance(prepared.expression, type(get("s")))
+    batch = service.optimize_many(
+        ["select * from t", prepared, get("u")]
+    )
+    assert len(batch.results) == 3
+    assert all(served.plan is not None for served in batch.results)
+
+
+def test_batch_dedup_keys_on_cache_fingerprint():
+    """Same-bucket literal variants dispatch once under parameterized
+    caching: the second query re-binds the first one's template."""
+    catalog = make_catalog()
+    service = OptimizerService(
+        make_optimizer(catalog), options=ServiceOptions(parameterized=True)
+    )
+    engine_runs = []
+    inner_optimize = service.optimizer.optimize
+
+    def counting_optimize(*args, **kwargs):
+        engine_runs.append(1)
+        return inner_optimize(*args, **kwargs)
+
+    service.optimizer.optimize = counting_optimize
+    qa = select(get("r"), eq("r.v", 2))
+    qb = select(get("r"), eq("r.v", 3))
+    batch = service.optimize_many([qa, qb])
+    assert len(engine_runs) == 1
+    assert not batch.results[0].cached
+    assert batch.results[1].cached and batch.results[1].parameterized
