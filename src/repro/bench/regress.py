@@ -53,6 +53,12 @@ The suite:
     counters (materializations, candidates, consumer links, savings
     fraction) are deterministic for the fixed seed, so they live in
     the tight band; batch latency sits in the wall-clock band.
+``verify_overhead``
+    The largest Figure 4 point run plain versus certified-and-verified
+    (:func:`repro.verify.verify_plan` over every winner).  The paired
+    fractional overhead is held to an absolute cap — provenance
+    certificates must stay effectively free — and every certificate
+    must keep verifying (``verified_ok`` in the tight band).
 """
 
 from __future__ import annotations
@@ -99,6 +105,9 @@ class RegressConfig:
     count_tolerance: float = 0.05
     # Fail a hit-rate metric below baseline - rate_tolerance.
     rate_tolerance: float = 0.15
+    # Fail the certified-serving bench when its fractional latency
+    # overhead exceeds this absolute cap (the "< 10%" promise).
+    verify_overhead_cap: float = 0.10
 
 
 def _median_ms(samples: List[float]) -> float:
@@ -408,6 +417,63 @@ def _bench_mqo_sharing(config: RegressConfig) -> Dict[str, float]:
     }
 
 
+def _bench_verify_overhead(config: RegressConfig) -> Dict[str, float]:
+    """Certificate recording plus independent re-verification.
+
+    The largest Figure 4 point, run both ways per query: the plain
+    engine versus certificates on followed by
+    :func:`repro.verify.verify_plan` over the winner.  The paired
+    min-of-two design cancels warm-up asymmetry, so
+    ``verify_overhead`` is the certified pipeline's real fractional
+    latency cost; it is held to an absolute cap
+    (:attr:`RegressConfig.verify_overhead_cap`) instead of the loose
+    wall-clock band.
+    """
+    from repro.verify import verify_plan
+
+    spec = relational_model()
+    generator = QueryGenerator()
+    size = max(config.sizes)
+    plain = SearchOptions(check_consistency=False)
+    certified = SearchOptions(check_consistency=False, certificates=True)
+    base_times: List[float] = []
+    verified_times: List[float] = []
+    verified_ok = 0
+    for query in generator.generate_batch(
+        size, config.queries_per_size, seed=config.seed
+    ):
+        best_base = best_verified = float("inf")
+        ok = False
+        for _ in range(2):
+            optimizer = VolcanoOptimizer(spec, query.catalog, plain)
+            started = time.perf_counter()
+            optimizer.optimize(query.query, query.required)
+            best_base = min(best_base, time.perf_counter() - started)
+
+            optimizer = VolcanoOptimizer(spec, query.catalog, certified)
+            started = time.perf_counter()
+            result = optimizer.optimize(query.query, query.required)
+            report = verify_plan(
+                spec,
+                query.query,
+                result.plan,
+                result.certificate,
+                catalog=query.catalog,
+            )
+            best_verified = min(best_verified, time.perf_counter() - started)
+            ok = report.ok
+        verified_ok += 1 if ok else 0
+        base_times.append(best_base)
+        verified_times.append(best_verified)
+    overhead = sum(verified_times) / sum(base_times) - 1.0
+    return {
+        "median_ms": _median_ms(verified_times),
+        "base_median_ms": _median_ms(base_times),
+        "verify_overhead": max(0.0, overhead),
+        "verified_ok": float(verified_ok),
+    }
+
+
 # ---------------------------------------------------------------------------
 # Orchestration, comparison, reporting
 # ---------------------------------------------------------------------------
@@ -435,6 +501,7 @@ def run_regress(
         ("feedback_loop", _bench_feedback_loop),
         ("batch_throughput", _bench_batch_throughput),
         ("mqo_sharing", _bench_mqo_sharing),
+        ("verify_overhead", _bench_verify_overhead),
     ):
         benches[name] = runner(config)
         note(f"{name}: {benches[name]['median_ms']:.1f} ms median")
@@ -473,6 +540,8 @@ _COUNT_METRICS = {
     "sharing_candidates",
     "consumer_links",
     "savings_fraction",
+    # verify_overhead: every certified plan must keep verifying.
+    "verified_ok",
 }
 
 
@@ -507,6 +576,12 @@ def compare(
                 if value < base_value / (1.0 + config.time_tolerance):
                     failures.append(
                         f"{label} (beyond +{config.time_tolerance:.0%} band)"
+                    )
+            elif metric == "verify_overhead":
+                if value > config.verify_overhead_cap:
+                    failures.append(
+                        f"{label} (certified serving beyond the "
+                        f"{config.verify_overhead_cap:.0%} overhead cap)"
                     )
             elif metric.endswith("hit_rate"):
                 if value < base_value - config.rate_tolerance:

@@ -30,6 +30,7 @@ from repro.model.spec import ModelSpecification
 
 __all__ = [
     "register_mirror",
+    "has_mirror",
     "node_mirror",
     "mirror_expressions",
     "estimate_rows",
@@ -85,7 +86,7 @@ def _mirror_passthrough(plan: PhysicalPlan, inputs) -> Optional[LogicalExpressio
     return inputs[0] if inputs else None
 
 
-_MIRRORS: Dict[str, MirrorBuilder] = {
+_MIRRORS: Dict[str, Optional[MirrorBuilder]] = {
     "file_scan": _mirror_scan,
     "filter": _mirror_filter,
     "filter_scan": _mirror_filter_scan,
@@ -101,20 +102,37 @@ _MIRRORS: Dict[str, MirrorBuilder] = {
     # Materialization (multi-query sharing) writes its input out
     # verbatim; its estimate is its feed's estimate.  A scan of a
     # materialized intermediate has no self-contained logical mirror —
-    # its rows belong to another plan's feedback — so it stays unmapped.
+    # its rows belong to another plan's feedback — so it is registered
+    # as deliberately mirrorless (None) rather than left unmapped.
     "materialize": _mirror_passthrough,
+    "scan_intermediate": None,
 }
 
 
-def register_mirror(algorithm: str, builder: MirrorBuilder) -> None:
+def register_mirror(algorithm: str, builder: Optional[MirrorBuilder]) -> None:
     """Map ``algorithm`` back to the logical expression it implements.
 
     ``builder`` receives the plan node and its inputs' mirrors (None
     where an input has no mirror) and returns the node's mirror, or
     None when it cannot be expressed.  The executor-side counterpart of
     :meth:`PlanCompiler.register`.
+
+    Passing ``builder=None`` registers the algorithm as *deliberately*
+    mirrorless: it yields no estimate, but the static checker's V502
+    (utility algorithm without a feedback mirror) treats the explicit
+    registration as a decision, not an omission.
     """
     _MIRRORS[algorithm] = builder
+
+
+def has_mirror(algorithm: str) -> bool:
+    """Whether ``algorithm`` has a mirror registration (even ``None``).
+
+    The V502 lint probe: an algorithm absent from the table was likely
+    forgotten when the model gained a utility algorithm; one present —
+    with a builder or an explicit None — was accounted for.
+    """
+    return algorithm in _MIRRORS
 
 
 def node_mirror(

@@ -2,7 +2,7 @@
 
 ``lint_spec`` runs every check and returns a
 :class:`~repro.lint.diagnostics.LintReport` without ever starting a
-search.  The checks fall into five families; see
+search.  The checks fall into six families (V0xx–V5xx); see
 :mod:`repro.lint.diagnostics` for the code registry.
 
 Rules and the cost/enforcer ADTs are opaque callables, so several checks
@@ -591,6 +591,53 @@ def _check_enforcers(
 
 
 # ---------------------------------------------------------------------------
+# V5xx: utility algorithms
+# ---------------------------------------------------------------------------
+
+
+def _check_utility_algorithms(
+    spec: ModelSpecification, report: LintReport
+) -> None:
+    """Utility algorithms live outside the search; check both borders.
+
+    V501: an implementation rule targeting a utility algorithm lets the
+    cost-based search build a node that an out-of-search pass
+    (multi-query sharing) is supposed to own.  V502: a utility
+    algorithm with no feedback-mirror registration silently yields
+    unattributed cardinalities when its plans are executed
+    instrumented; an explicit ``register_mirror(name, None)`` records
+    the decision and satisfies the check.
+    """
+    from repro.feedback.estimates import has_mirror
+
+    utilities = {
+        name
+        for name in spec.algorithms
+        if spec.algorithms[name].utility
+    }
+    if not utilities:
+        return
+    for rule in spec.implementations:
+        if rule.algorithm in utilities:
+            report.add(
+                "V501",
+                f"implementation {rule.name!r}",
+                f"targets utility algorithm {rule.algorithm!r}; utility "
+                "algorithms are planted by out-of-search passes, not by "
+                "the cost-based search",
+            )
+    for name in sorted(utilities):
+        if not has_mirror(name):
+            report.add(
+                "V502",
+                f"algorithm {name!r}",
+                "no feedback mirror is registered; register one with "
+                "repro.feedback.register_mirror (None for deliberately "
+                "opaque nodes)",
+            )
+
+
+# ---------------------------------------------------------------------------
 # Entry point
 # ---------------------------------------------------------------------------
 
@@ -620,4 +667,5 @@ def lint_spec(spec: ModelSpecification) -> LintReport:
     _check_termination(spec, probes, report)
     _check_cost_model(spec, report)
     _check_enforcers(spec, probe_context(spec), report)
+    _check_utility_algorithms(spec, report)
     return report

@@ -74,9 +74,37 @@ def load_spec(target: str) -> ModelSpecification:
     return value
 
 
+_FAMILIES = (
+    ("V", "static model diagnostics (lint_spec)"),
+    ("M", "runtime memo invariants (MemoAuditor)"),
+    ("P", "plan-certificate verification (repro.verify)"),
+)
+
+
 def _list_codes() -> str:
+    """Every registered diagnostic code, grouped by family.
+
+    The V (static lint), M (memo audit), and P (plan verification)
+    families live in the one shared registry; listing them together is
+    the point — one stable namespace of diagnoseable conditions.
+    """
     lines = ["known diagnostic codes:"]
-    for code in sorted(CODE_REGISTRY):
+    for prefix, label in _FAMILIES:
+        members = sorted(code for code in CODE_REGISTRY if code[0] == prefix)
+        if not members:
+            continue
+        lines.append(f"{prefix}xxx — {label}:")
+        for code in members:
+            info = CODE_REGISTRY[code]
+            lines.append(
+                f"  {code} [{info.severity}] {info.title} — {info.hint}"
+            )
+    leftovers = sorted(
+        code
+        for code in CODE_REGISTRY
+        if code[0] not in {prefix for prefix, _ in _FAMILIES}
+    )
+    for code in leftovers:
         info = CODE_REGISTRY[code]
         lines.append(f"  {code} [{info.severity}] {info.title} — {info.hint}")
     return "\n".join(lines)

@@ -13,6 +13,17 @@ Runtime memo-invariant violations detected by
 :class:`repro.lint.invariants.MemoAuditor` use ``M0xx`` codes and the
 same :class:`Diagnostic` shape, so one report type serves both the
 static and the dynamic halves of the tool.
+
+Plan-certificate violations detected by the independent verifier
+(:func:`repro.verify.verify_plan`) use ``P0xx``–``P4xx`` codes:
+
+* ``P0xx`` — certificate well-formedness (shape, claim/plan alignment).
+* ``P1xx`` — derivation legality (every step a lawful rule application).
+* ``P2xx`` — physical properties (derivations deliver the goal,
+  enforcer contracts hold).
+* ``P3xx`` — cost reproduction (claimed costs recompute exactly).
+* ``P4xx`` — logical equivalence (the frontier provably derives from
+  the input expression; sharing rewrites resolve their intermediates).
 """
 
 from __future__ import annotations
@@ -158,6 +169,21 @@ V403 = _register(
     "enforce() raised on synthetic property vectors; covered at run time",
 )
 
+# -- utility algorithms ------------------------------------------------------
+
+V501 = _register(
+    "V501", Severity.WARNING, "utility algorithm targeted by an implementation rule",
+    "utility algorithms are planted by out-of-search passes; an implementation "
+    "rule producing one lets the search cost a node the pass owns — drop the "
+    "rule or clear the utility flag",
+)
+V502 = _register(
+    "V502", Severity.WARNING, "utility algorithm has no feedback mirror",
+    "register a mirror with repro.feedback.register_mirror (None is fine for "
+    "deliberately opaque nodes) so instrumented executions do not silently "
+    "misattribute its cardinalities",
+)
+
 # -- runtime memo invariants (MemoAuditor) -----------------------------------
 
 M001 = _register(
@@ -197,6 +223,113 @@ M009 = _register(
     "M009", Severity.ERROR, "batch root group is stale",
     "a result's root_group must resolve to itself through the memo's "
     "union-find after all of the batch's merges settled",
+)
+
+# -- plan certificates: well-formedness (repro.verify) -----------------------
+
+P001 = _register(
+    "P001", Severity.ERROR, "certificate is malformed",
+    "the certificate is missing, of an unknown kind, or structurally broken; "
+    "re-optimize with certificates enabled instead of hand-building one",
+)
+P002 = _register(
+    "P002", Severity.ERROR, "certificate claims do not align with the plan",
+    "the certificate must carry exactly one claim per plan node in "
+    "PhysicalPlan.walk() pre-order",
+)
+P003 = _register(
+    "P003", Severity.ERROR, "certificate source is not the query",
+    "the certificate was issued for a different input expression than the "
+    "one being verified",
+)
+
+# -- plan certificates: derivation legality ----------------------------------
+
+P101 = _register(
+    "P101", Severity.ERROR, "derivation step names an unknown rule",
+    "every step must name a transformation rule of the model specification",
+)
+P102 = _register(
+    "P102", Severity.ERROR, "derivation step does not match the rule pattern",
+    "the rule's pattern must match the expression at the step's path",
+)
+P103 = _register(
+    "P103", Severity.ERROR, "derivation step fails the rule's condition",
+    "the rule's condition code rejects the matched binding; the step was "
+    "not a lawful application",
+)
+P104 = _register(
+    "P104", Severity.ERROR, "derivation step output is not a rule rewrite",
+    "the step's after-expression must be among the rule's rewrite outputs "
+    "for the matched binding",
+)
+
+# -- plan certificates: physical properties ----------------------------------
+
+P201 = _register(
+    "P201", Severity.ERROR, "plan node names an unknown algorithm or enforcer",
+    "every plan node must resolve against the model specification's "
+    "algorithm/enforcer registries",
+)
+P202 = _register(
+    "P202", Severity.ERROR, "physical-property derivation does not reproduce",
+    "re-running the algorithm's derive_props over the claimed inputs must "
+    "yield exactly the plan node's recorded properties",
+)
+P203 = _register(
+    "P203", Severity.ERROR, "enforcer application violates its contract",
+    "the enforcer must offer an application delivering the claimed goal with "
+    "the claimed arguments, and its input must satisfy the relaxed goal",
+)
+P204 = _register(
+    "P204", Severity.ERROR, "root properties do not cover the required goal",
+    "the plan's derived properties must cover the certificate's required "
+    "physical-property vector",
+)
+P205 = _register(
+    "P205", Severity.ERROR, "claimed logical properties are inconsistent",
+    "the certificate's per-node logical properties must agree with an "
+    "independent derivation over the logical frontier",
+)
+
+# -- plan certificates: cost reproduction ------------------------------------
+
+P301 = _register(
+    "P301", Severity.ERROR, "cumulative plan cost does not reproduce",
+    "each node's cost must equal its claimed local cost plus its inputs' "
+    "costs, added in plan order",
+)
+P302 = _register(
+    "P302", Severity.ERROR, "root cost disagrees with the claimed cost",
+    "the plan's root cost must equal the certificate's claimed total exactly",
+)
+P303 = _register(
+    "P303", Severity.ERROR, "local cost is not reproducible from the cost ADT",
+    "re-invoking the algorithm's cost function over the claimed logical "
+    "properties must reproduce the claimed local cost exactly",
+)
+
+# -- plan certificates: logical equivalence ----------------------------------
+
+P401 = _register(
+    "P401", Severity.ERROR, "derivation chain does not end at the frontier",
+    "replaying the certificate's steps from the source expression must "
+    "produce exactly the recorded logical frontier",
+)
+P402 = _register(
+    "P402", Severity.ERROR, "frontier does not correspond to the plan",
+    "walking the frontier and the plan in lockstep, every node must be "
+    "produced by its claimed implementation rule from the frontier subtree",
+)
+P403 = _register(
+    "P403", Severity.ERROR, "dangling intermediate reference",
+    "a scan_intermediate node references a materialized intermediate the "
+    "certificate does not define (or defines inconsistently)",
+)
+P404 = _register(
+    "P404", Severity.ERROR, "logical equivalence not established",
+    "the certificate provides neither a replayable derivation chain nor a "
+    "normalizable frontier; the plan cannot be proven equivalent to the query",
 )
 
 

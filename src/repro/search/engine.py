@@ -74,8 +74,10 @@ from repro.options import (
     ResourceBudget,
     check_positive,
 )
+from repro.search.certify import CertificateBuilder, ClaimRecord
 from repro.search.memo import GoalKey, Group, Memo, Winner
 from repro.search.tracing import SearchStats, Tracer
+from repro.verify.certificate import PlanCertificate
 
 __all__ = [
     "SearchOptions",
@@ -151,6 +153,10 @@ class SearchOptions(OptionsBase):
         ``degraded=True``; see :mod:`repro.search.engine`.
     ``trace``
         Record a human-readable search trace (slow; for debugging).
+    ``certificates``
+        Record per-node provenance claims during costing and attach a
+        :class:`~repro.verify.certificate.PlanCertificate` to the
+        result, verifiable by :func:`repro.verify.verify_plan`.
     """
 
     branch_and_bound: bool = True
@@ -160,6 +166,7 @@ class SearchOptions(OptionsBase):
     max_groups: Optional[int] = None
     budget: Optional[ResourceBudget] = None
     trace: bool = False
+    certificates: bool = False
 
     def validate(self) -> None:
         """Check field invariants; raise :class:`OptionsError` on failure."""
@@ -184,6 +191,10 @@ class OptimizationResult:
     mid-search and the plan is valid (it satisfies ``required``) but not
     proven optimal; ``budget_report`` then records which limit fired and
     how far the search had progressed.
+
+    ``certificate`` (populated when :attr:`SearchOptions.certificates`
+    is on) is the plan's provenance record, independently checkable via
+    :func:`repro.verify.verify_plan`.
     """
 
     plan: PhysicalPlan
@@ -195,6 +206,7 @@ class OptimizationResult:
     root_group: Optional[int] = None
     degraded: bool = False
     budget_report: Optional[BudgetReport] = None
+    certificate: Optional["PlanCertificate"] = None
 
     def __str__(self) -> str:
         status = " (DEGRADED)" if self.degraded else ""
@@ -331,6 +343,7 @@ class _SearchRun:
         "meter",
         "agenda",
         "move_cache",
+        "claims",
     )
 
     def __init__(
@@ -350,6 +363,12 @@ class _SearchRun:
         self.meter = meter
         # The task driver's agenda (None in the recursive engine).
         self.agenda: Optional[List] = None
+        # Provenance claims for certificate construction: id(plan node)
+        # → (plan, ClaimRecord).  Keeping the plan in the value pins its
+        # id, so reused ids always carry a fresh, overwritten record.
+        self.claims: Optional[Dict[int, Tuple[PhysicalPlan, ClaimRecord]]] = (
+            {} if options.certificates else None
+        )
         # Applicability/cost memoization per (algorithm, group, args,
         # inputs, required) — these model calls are pure within a run,
         # and the same move is revisited once per property goal on its
@@ -497,6 +516,16 @@ class VolcanoOptimizer:
                     f"chosen plan delivers [{winner.plan.properties}] which does "
                     f"not satisfy the goal [{required}]"
                 )
+            certificate: Optional[PlanCertificate] = None
+            if options.certificates:
+                builder = CertificateBuilder(self.spec, memo, run.claims)
+                certificate = builder.certify(
+                    query,
+                    winner.plan,
+                    required,
+                    degraded=report is not None,
+                    engine=type(self).__name__,
+                )
             result = OptimizationResult(
                 plan=winner.plan,
                 cost=winner.cost,
@@ -507,6 +536,7 @@ class VolcanoOptimizer:
                 root_group=memo.canonical(root),
                 degraded=report is not None,
                 budget_report=report,
+                certificate=certificate,
             )
             for hook in self.post_optimize_hooks:
                 hook(result)
@@ -609,8 +639,26 @@ class VolcanoOptimizer:
                 # object (and its plan) stays valid.
                 winners.append(winner)
             rendered = tracer.render() if tracer.enabled else None
+            # One builder for the whole batch: winners shared across
+            # results get identical frontier subexpressions in every
+            # certificate, which the sharing pass's certifier relies on.
+            builder = (
+                CertificateBuilder(self.spec, memo, run.claims)
+                if options.certificates
+                else None
+            )
             results: List[OptimizationResult] = []
-            for root, winner in zip(roots, winners):
+            for query, root, winner in zip(queries, roots, winners):
+                certificate = (
+                    builder.certify(
+                        query,
+                        winner.plan,
+                        required,
+                        engine=type(self).__name__,
+                    )
+                    if builder is not None
+                    else None
+                )
                 result = OptimizationResult(
                     plan=winner.plan,
                     cost=winner.cost,
@@ -619,6 +667,7 @@ class VolcanoOptimizer:
                     memo=memo,
                     trace=rendered,
                     root_group=memo.canonical(root),
+                    certificate=certificate,
                 )
                 for hook in self.post_optimize_hooks:
                     hook(result)
@@ -664,7 +713,7 @@ class VolcanoOptimizer:
         if winner is not None and not winner.cost <= limit:
             winner = None
         if winner is None:
-            plan = greedy_plan(memo, run.context, gid, required)
+            plan = greedy_plan(memo, run.context, gid, required, claims=run.claims)
             if plan is not None and plan.cost <= limit:
                 run.stats.greedy_plans += 1
                 winner = Winner(plan, plan.cost)
@@ -1035,6 +1084,18 @@ class VolcanoOptimizer:
                 properties=delivered,
                 cost=total,
             )
+            if run.claims is not None:
+                run.claims[id(plan)] = (
+                    plan,
+                    ClaimRecord(
+                        rule=move.rule.name,
+                        gid=group.id,
+                        input_groups=move.input_groups,
+                        local=local,
+                        output=node.output,
+                        inputs=node.inputs,
+                    ),
+                )
             candidate = Winner(plan, total)
             if best is None or candidate.cost < best.cost:
                 best = candidate
@@ -1069,7 +1130,8 @@ class VolcanoOptimizer:
         stats.enforcer_costings += 1
         run.meter.charge_costing()
         # "TotalCost := cost of the enforcer" …
-        total = enforcer.cost(context, node)
+        local = enforcer.cost(context, node)
+        total = local
         if run.options.branch_and_bound and bound < total:
             stats.moves_pruned += 1
             return None
@@ -1094,4 +1156,18 @@ class VolcanoOptimizer:
             cost=total,
             is_enforcer=True,
         )
+        if run.claims is not None:
+            run.claims[id(plan)] = (
+                plan,
+                ClaimRecord(
+                    rule=None,
+                    gid=gid,
+                    input_groups=(gid,),
+                    local=local,
+                    output=group.logical_props,
+                    inputs=(group.logical_props,),
+                    enforcer=True,
+                    required=required,
+                ),
+            )
         return Winner(plan, total)

@@ -135,6 +135,7 @@ def greedy_plan(
     context: OptimizerContext,
     gid: int,
     required: PhysProps,
+    claims: Optional[dict] = None,
 ) -> Optional[PhysicalPlan]:
     """A deterministic first-feasible plan over a (partially) explored memo.
 
@@ -156,7 +157,14 @@ def greedy_plan(
     Costs are computed with the same support functions, so the returned
     plan's ``cost`` is honest — just not proven minimal.  Returns
     ``None`` when no valid plan exists in the explored space.
+
+    ``claims`` is an optional provenance sink (the engine's
+    ``_SearchRun.claims``): every plan node built here records a
+    :class:`~repro.search.certify.ClaimRecord` into it, so even
+    degraded plans certify with exact cost terms.
     """
+    from repro.search.certify import ClaimRecord
+
     spec = context.spec
     implementations: dict = {}
     for rule in spec.implementations:
@@ -234,7 +242,8 @@ def greedy_plan(
                     if len(requirements) != len(input_groups):
                         continue
                     input_plans = []
-                    total = algorithm.cost(context, node)
+                    local = algorithm.cost(context, node)
+                    total = local
                     feasible = True
                     for input_gid, input_required in zip(
                         input_groups, requirements
@@ -265,6 +274,18 @@ def greedy_plan(
                         properties=delivered,
                         cost=total,
                     )
+                    if claims is not None:
+                        claims[id(plan)] = (
+                            plan,
+                            ClaimRecord(
+                                rule=rule.name,
+                                gid=goal_gid,
+                                input_groups=input_groups,
+                                local=local,
+                                output=node.output,
+                                inputs=node.inputs,
+                            ),
+                        )
                     cache[key] = plan
                     return plan
             # Enforcer fallback, mirroring the real search's moves.
@@ -297,7 +318,8 @@ def greedy_plan(
                             group.logical_props,
                             (group.logical_props,),
                         )
-                        total = enforcer.cost(context, node) + sub.cost
+                        local = enforcer.cost(context, node)
+                        total = local + sub.cost
                         plan = PhysicalPlan(
                             name,
                             application.args,
@@ -306,6 +328,20 @@ def greedy_plan(
                             cost=total,
                             is_enforcer=True,
                         )
+                        if claims is not None:
+                            claims[id(plan)] = (
+                                plan,
+                                ClaimRecord(
+                                    rule=None,
+                                    gid=goal_gid,
+                                    input_groups=(goal_gid,),
+                                    local=local,
+                                    output=group.logical_props,
+                                    inputs=(group.logical_props,),
+                                    enforcer=True,
+                                    required=goal_required,
+                                ),
+                            )
                         cache[key] = plan
                         return plan
             if refusals[0] == before:

@@ -92,7 +92,9 @@ class SharedPlan:
     subplan — executable by :func:`repro.executor.execute_plan` with a
     shared ``intermediates`` store.  ``cost`` is its cumulative cost
     (compute the subplan + write it out); ``rows`` the estimated
-    cardinality of the intermediate.
+    cardinality of the intermediate.  ``props`` are the mirror-derived
+    logical properties the materialize/scan costs were priced over —
+    recorded so the certificate layer can reproduce those costs exactly.
     """
 
     name: str
@@ -100,6 +102,7 @@ class SharedPlan:
     cost: object
     rows: float
     consumers: int
+    props: Optional[LogicalProperties] = None
 
 
 @dataclass(frozen=True)
@@ -145,11 +148,24 @@ class _SharingState:
     seen in ``keepalive`` to keep ids stable for the run's lifetime.
     """
 
-    def __init__(self, context: OptimizerContext):
+    def __init__(
+        self,
+        context: OptimizerContext,
+        local_costs: Optional[Dict[int, object]] = None,
+    ):
         self.context = context
         self.keepalive: List[PhysicalPlan] = []
         self._mirrors: Dict[int, Optional[LogicalExpression]] = {}
         self._props: Dict[int, Optional[LogicalProperties]] = {}
+        # id(node) → the engine's exact local cost.  When supplied (by
+        # the certificate layer), rebuilt cumulative costs re-add from
+        # the very objects the engine summed, so certificates stay
+        # exactly reproducible; without it the subtraction fallback in
+        # :func:`_local_cost` is used (identical totals, possible
+        # last-ulp float drift in the decomposition).
+        self.local_costs: Dict[int, object] = (
+            dict(local_costs) if local_costs else {}
+        )
 
     def _mirror(self, node: PhysicalPlan) -> Optional[LogicalExpression]:
         """The node's logical mirror (identity-memoized)."""
@@ -191,8 +207,11 @@ class _SharingState:
         self.keepalive.append(new)
 
 
-def _local_cost(node: PhysicalPlan) -> Optional[object]:
-    """The node's own cost: cumulative minus the inputs' cumulative."""
+def _local_cost(state: _SharingState, node: PhysicalPlan) -> Optional[object]:
+    """The node's own cost: recorded exactly, else by subtraction."""
+    recorded = state.local_costs.get(id(node))
+    if recorded is not None:
+        return recorded
     cost = node.cost
     if cost is None:
         return None
@@ -209,7 +228,8 @@ def _rebuild(
     new_inputs: Tuple[PhysicalPlan, ...],
 ) -> PhysicalPlan:
     """Replace a node's inputs, recomputing its cumulative cost."""
-    cost = _local_cost(node)
+    local = _local_cost(state, node)
+    cost = local
     if cost is not None:
         for child in new_inputs:
             if child.cost is None:
@@ -217,6 +237,8 @@ def _rebuild(
                 break
             cost = cost + child.cost
     rebuilt = dataclasses.replace(node, inputs=new_inputs, cost=cost)
+    if local is not None:
+        state.local_costs[id(rebuilt)] = local
     state.inherit(node, rebuilt)
     return rebuilt
 
@@ -308,6 +330,7 @@ def plan_sharing(
     catalog: Catalog,
     options: Optional[SharingOptions] = None,
     estimator: Optional[SelectivityEstimator] = None,
+    local_costs: Optional[Dict[int, object]] = None,
 ) -> SharingReport:
     """Greedy multi-query sharing over a batch's winning plans.
 
@@ -318,6 +341,11 @@ def plan_sharing(
     shareable (or sharing is disabled, or the model declares no
     ``materialize``/``scan_intermediate`` algorithms) the report simply
     echoes the independent plans.
+
+    ``local_costs`` (optional, ``id(node)`` → cost) supplies the exact
+    per-node local costs the engine summed — the certificate layer
+    passes :attr:`repro.search.certify.SharingCertifier.local_costs`
+    here so rewritten plans' costs re-add from the original objects.
     """
     options = options if options is not None else SharingOptions()
     plans = tuple(result.plan for result in results)
@@ -340,7 +368,7 @@ def plan_sharing(
         return report
 
     context = OptimizerContext(spec, catalog, estimator)
-    state = _SharingState(context)
+    state = _SharingState(context, local_costs)
     mat_def = spec.algorithm(MATERIALIZE)
     scan_def = spec.algorithm(SCAN_INTERMEDIATE)
 
@@ -405,6 +433,8 @@ def plan_sharing(
         )
         state.inherit(best, producer)
         state.inherit(best, scan_node)
+        state.local_costs[id(producer)] = mat_cost
+        state.local_costs[id(scan_node)] = scan_cost
 
         cache: Dict[int, PhysicalPlan] = {id(best): scan_node}
         working = [_rewrite(state, plan, cache) for plan in working]
@@ -416,6 +446,7 @@ def plan_sharing(
                 cost=producer.cost,
                 rows=props.cardinality,
                 consumers=best_count,
+                props=props,
             )
         )
         # Earlier producers may have been rewritten this round (the new

@@ -42,6 +42,7 @@ from repro.algebra.plans import PhysicalPlan
 from repro.errors import SearchError
 from repro.model.cost import Cost, INFINITE_COST
 from repro.model.spec import AlgorithmNode, EnforcerApplication
+from repro.search.certify import ClaimRecord
 from repro.search.engine import VolcanoOptimizer, _AlgorithmMove, _SearchRun
 from repro.search.memo import GoalKey, Winner
 
@@ -278,6 +279,21 @@ class _CostAlternative(_Task):
             properties=delivered,
             cost=self.total,
         )
+        if run.claims is not None:
+            _, _, _, local = engine._move_applicability(
+                run, run.memo.group(state.gid), self.move, state.required
+            )
+            run.claims[id(plan)] = (
+                plan,
+                ClaimRecord(
+                    rule=self.move.rule.name,
+                    gid=state.gid,
+                    input_groups=self.move.input_groups,
+                    local=local,
+                    output=self.node.output,
+                    inputs=self.node.inputs,
+                ),
+            )
         state.offer(Winner(plan, self.total), run.options.branch_and_bound)
 
 
@@ -352,6 +368,20 @@ class _CostEnforcer(_Task):
             cost=total,
             is_enforcer=True,
         )
+        if run.claims is not None:
+            run.claims[id(plan)] = (
+                plan,
+                ClaimRecord(
+                    rule=None,
+                    gid=state.gid,
+                    input_groups=(state.gid,),
+                    local=self.local,
+                    output=group.logical_props,
+                    inputs=(group.logical_props,),
+                    enforcer=True,
+                    required=state.required,
+                ),
+            )
         state.offer(Winner(plan, total), run.options.branch_and_bound)
 
 

@@ -46,6 +46,13 @@ class CacheStats:
     original optimization's ``SearchStats.elapsed_seconds`` (which was
     already accounted under ``engine_seconds`` when the entry was
     built).
+
+    With ``ServiceOptions.verify_plans`` on, three more counters track
+    the independent checker (:mod:`repro.verify`): ``verified_hits``
+    counts cache hits whose certificate re-verified clean,
+    ``verify_violations`` every P-diagnosed verification failure (fresh
+    or cached), and ``quarantined`` entries (or sharing passes) dropped
+    because their certificate no longer checked out.
     """
 
     lookups: int = 0
@@ -56,6 +63,9 @@ class CacheStats:
     evictions: int = 0
     invalidations: int = 0
     degraded: int = 0
+    verified_hits: int = 0
+    verify_violations: int = 0
+    quarantined: int = 0
     hit_seconds: float = 0.0
     engine_seconds: float = 0.0
 
@@ -77,6 +87,9 @@ class CacheStats:
             "evictions": self.evictions,
             "invalidations": self.invalidations,
             "degraded": self.degraded,
+            "verified_hits": self.verified_hits,
+            "verify_violations": self.verify_violations,
+            "quarantined": self.quarantined,
             "hit_seconds": self.hit_seconds,
             "engine_seconds": self.engine_seconds,
             "hit_rate": self.hit_rate,
@@ -93,13 +106,21 @@ class CacheStats:
 
 @dataclass(frozen=True)
 class CacheEntry:
-    """One cached answer: the plan, its cost, and what it depends on."""
+    """One cached answer: the plan, its cost, and what it depends on.
+
+    ``certificate`` is the plan's provenance certificate
+    (:class:`~repro.verify.PlanCertificate`) when the producing engine
+    emitted one; with ``ServiceOptions.verify_plans`` it is re-checked
+    on every hit.  Template (parameterized) entries never carry one —
+    re-bound literals would not match the recorded derivation.
+    """
 
     fingerprint: Fingerprint
     plan: PhysicalPlan
     cost: object
     required: PhysProps
     parameterized: bool = False
+    certificate: Optional[object] = None
 
 
 @dataclass
@@ -148,6 +169,15 @@ class PlanCache:
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+
+    def remove(self, fingerprint: Fingerprint) -> bool:
+        """Drop one entry by fingerprint (certificate quarantine).
+
+        Returns whether an entry was actually present.  Counted under
+        ``stats.quarantined`` by the caller, not here — removal is also
+        used by tests as a plain eviction primitive.
+        """
+        return self._entries.pop(fingerprint.digest, None) is not None
 
     def purge_stale(self, catalog: Catalog) -> int:
         """Drop every entry whose table versions no longer match.

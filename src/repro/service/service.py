@@ -61,6 +61,7 @@ from repro.search.sharing import (
 from repro.service.cache import CacheEntry, CacheStats, PlanCache
 from repro.service.fingerprint import Fingerprint, fingerprint, table_dependencies
 from repro.sql.normalize import normalize_literals, parameterize_plan
+from repro.verify.certificate import PlanCertificate
 
 __all__ = [
     "ServiceOptions",
@@ -126,6 +127,23 @@ class ServiceOptions(OptionsBase):
         greedy sharing pass proposes materialized common subplans; see
         :class:`BatchResult.sharing_report`.  Individual answers are
         unaffected — sharing only adds the batch-level report.
+    ``verify_plans``
+        Re-check every served plan against its provenance certificate
+        with the independent checker (:func:`repro.verify.verify_plan`).
+        Fresh answers are verified before caching — a violation is
+        still served (the plan may be fine; the *certificate* failed)
+        but never cached.  Cache hits are re-verified on every lookup;
+        a failing entry is **quarantined**: dropped from the cache,
+        counted under ``stats.quarantined``, and the query transparently
+        re-optimized.  Multi-query sharing rewrites are verified end to
+        end (every rewritten consumer and every materialized producer);
+        a violating sharing pass is discarded wholesale, so an
+        unverified shared plan is never served — the independent
+        per-query answers stand.  Engines that support it are switched
+        to certificate recording automatically
+        (:attr:`~repro.search.SearchOptions.certificates`); engines
+        that emit no certificate are served unverified.  Defaults to
+        off: verification re-walks every served plan.
     """
 
     max_entries: int = 512
@@ -137,6 +155,7 @@ class ServiceOptions(OptionsBase):
     budget: Optional[ResourceBudget] = None
     feedback_policy: Optional[FeedbackPolicy] = None
     sharing: SharingOptions = field(default_factory=SharingOptions)
+    verify_plans: bool = False
 
     def validate(self) -> None:
         """Check field invariants; raise :class:`OptionsError` on failure."""
@@ -157,6 +176,13 @@ class ServedResult:
     None for cache hits (the memo is not retained in the cache).
     ``degraded`` marks a fresh answer produced under a tripped resource
     budget: valid, but not proven optimal, and never cached.
+
+    ``certificate`` is the plan's provenance certificate
+    (:class:`~repro.verify.PlanCertificate`) when the engine recorded
+    one; ``verified`` is True only when
+    :attr:`ServiceOptions.verify_plans` re-checked it through the
+    independent checker and it passed *for this answer* (fresh run, or
+    this very cache hit).
     """
 
     plan: PhysicalPlan
@@ -168,6 +194,8 @@ class ServedResult:
     degraded: bool = False
     elapsed_seconds: float = 0.0
     result: Optional[OptimizationResult] = None
+    certificate: Optional[PlanCertificate] = None
+    verified: bool = False
 
     def __str__(self) -> str:
         source = "cache" if self.cached else "fresh"
@@ -225,6 +253,14 @@ class BatchResult:
         When the whole-batch optimization tripped its resource budget,
         the :class:`~repro.options.BudgetReport` of the trip; the
         batch then degraded to independent per-query optimization.
+    ``consumer_certificates`` / ``producer_certificates``
+        With :attr:`ServiceOptions.verify_plans` on and a sharing pass
+        that verified clean: one certificate per rewritten consumer
+        plan in ``sharing_report.plans`` (claims re-aligned to the
+        rewrite, scans bound to named intermediates) and one
+        ``producer``-kind certificate per materialized shared plan.
+        Empty when verification is off, nothing was materialized, or
+        the sharing pass was quarantined.
 
     Deprecated sequence protocol: ``BatchResult`` still iterates,
     indexes, and measures like the ``List[ServedResult]`` this method
@@ -237,6 +273,8 @@ class BatchResult:
     sharing_report: Optional[SharingReport] = None
     cache_stats: Optional[CacheStats] = None
     budget_report: Optional[BudgetReport] = None
+    consumer_certificates: Tuple[Optional[PlanCertificate], ...] = ()
+    producer_certificates: Tuple[Optional[PlanCertificate], ...] = ()
 
     def _deprecate(self) -> None:
         warnings.warn(
@@ -514,14 +552,14 @@ class OptimizerService:
                 return served
             keys = self._keys_for(expression, props)
         else:
-            served = self._lookup_with_keys(keys, started)
+            served = self._lookup_with_keys(keys, started, expression)
             if served is not None:
                 return served
 
         exact, template_key, normalized = keys
         result = self._run_engine(expression, props, budget)
         return self._serve_fresh(
-            exact, template_key, normalized, result, started
+            exact, template_key, normalized, result, started, expression
         )
 
     def _lookup(
@@ -537,7 +575,7 @@ class OptimizerService:
         ``stats.hit_seconds``.
         """
         exact = fingerprint(query, props, self.catalog)
-        served = self._hit_exact(exact, started)
+        served, quarantined = self._hit_exact(exact, started, query)
         if served is not None:
             return served
         if self.options.parameterized:
@@ -553,6 +591,12 @@ class OptimizerService:
                         (op, bucket) for _, op, bucket in normalized.bucket_key
                     ),
                 )
+                if quarantined:
+                    # The template entry came from the same (now
+                    # distrusted) optimization as the quarantined exact
+                    # entry: drop it too, and report a miss.
+                    self.cache.remove(template_key)
+                    return None
                 return self._hit_template(template_key, normalized, started)
         return None
 
@@ -560,31 +604,69 @@ class OptimizerService:
         self,
         keys: Tuple[Fingerprint, Optional[Fingerprint], Optional[object]],
         started: float,
+        expression: Optional[LogicalExpression] = None,
     ) -> Optional[ServedResult]:
         """:meth:`_lookup` over precomputed (prepared) cache keys."""
         exact, template_key, normalized = keys
-        served = self._hit_exact(exact, started)
+        served, quarantined = self._hit_exact(exact, started, expression)
         if served is not None:
             return served
         if template_key is not None and normalized is not None:
+            if quarantined:
+                self.cache.remove(template_key)
+                return None
             return self._hit_template(template_key, normalized, started)
         return None
 
     def _hit_exact(
-        self, exact: Fingerprint, started: float
-    ) -> Optional[ServedResult]:
+        self,
+        exact: Fingerprint,
+        started: float,
+        expression: Optional[LogicalExpression] = None,
+    ) -> Tuple[Optional[ServedResult], bool]:
+        """An exact-fingerprint hit: ``(served, quarantined)``.
+
+        ``quarantined`` is True when the entry was present but its
+        certificate failed re-verification — the entry has been dropped
+        and the caller must also suppress (and drop) the sibling
+        template entry rather than fall back to it.
+        """
         entry = self.cache.get(exact)
         if entry is None:
-            return None
+            return None, False
+        verified = False
+        if (
+            self.options.verify_plans
+            and entry.certificate is not None
+            and expression is not None
+        ):
+            ok = self._verify(expression, entry.plan, entry.certificate)
+            if ok is False:
+                # Quarantine: the cached plan no longer checks out
+                # against its own derivation certificate.  Drop the
+                # entry and report a miss, so the caller falls through
+                # to a fresh (verified) optimization.
+                self.cache.remove(exact)
+                self.cache.stats.verify_violations += 1
+                self.cache.stats.quarantined += 1
+                return None, True
+            if ok:
+                self.cache.stats.verified_hits += 1
+                verified = True
         elapsed = time.perf_counter() - started
         self.cache.stats.hit_seconds += elapsed
-        return ServedResult(
-            plan=entry.plan,
-            cost=entry.cost,
-            required=entry.required,
-            fingerprint=exact,
-            cached=True,
-            elapsed_seconds=elapsed,
+        return (
+            ServedResult(
+                plan=entry.plan,
+                cost=entry.cost,
+                required=entry.required,
+                fingerprint=exact,
+                cached=True,
+                elapsed_seconds=elapsed,
+                certificate=entry.certificate,
+                verified=verified,
+            ),
+            False,
         )
 
     def _hit_template(
@@ -637,13 +719,25 @@ class OptimizerService:
         normalized,
         result: OptimizationResult,
         started: float,
+        expression: Optional[LogicalExpression] = None,
     ) -> ServedResult:
         """Account, cache, and wrap one fresh engine answer."""
         degraded = bool(getattr(result, "degraded", False))
+        certificate = getattr(result, "certificate", None)
+        ok: Optional[bool] = None
+        if self.options.verify_plans and expression is not None:
+            ok = self._verify(expression, result.plan, certificate)
+            if ok is False:
+                self.cache.stats.verify_violations += 1
         if result.stats is not None:
             self.cache.stats.engine_seconds += result.stats.elapsed_seconds
         if degraded:
             self.cache.stats.degraded += 1
+        elif ok is False:
+            # An answer whose own certificate fails the checker is
+            # served (the plan may still be fine) but never cached —
+            # the cache must hold only re-verifiable entries.
+            pass
         else:
             self._store(exact, template_key, normalized, result, None)
             self._harvest(result)
@@ -656,7 +750,36 @@ class OptimizerService:
             degraded=degraded,
             elapsed_seconds=time.perf_counter() - started,
             result=result,
+            certificate=certificate,
+            verified=bool(ok),
         )
+
+    def _verify(
+        self,
+        query: LogicalExpression,
+        plan: PhysicalPlan,
+        certificate: Optional[PlanCertificate],
+    ) -> Optional[bool]:
+        """Run the independent checker; None when it cannot run.
+
+        Verification needs a model specification and a certificate;
+        engines without either (or runs with recording off) are served
+        unverified rather than rejected.
+        """
+        spec = getattr(self.optimizer, "spec", None)
+        if spec is None or certificate is None:
+            return None
+        from repro.verify import verify_plan
+
+        report = verify_plan(
+            spec,
+            query,
+            plan,
+            certificate,
+            catalog=self.catalog,
+            estimator=getattr(self.optimizer, "estimator", None),
+        )
+        return report.ok
 
     def optimize_many(
         self,
@@ -728,7 +851,7 @@ class OptimizerService:
             if keys is None:
                 served = self._lookup(expression, qprops, started)
             else:
-                served = self._lookup_with_keys(keys, started)
+                served = self._lookup_with_keys(keys, started, expression)
             if served is not None:
                 results[index] = served
             else:
@@ -763,6 +886,8 @@ class OptimizerService:
         )
         sharing_report: Optional[SharingReport] = None
         batch_budget_report: Optional[BudgetReport] = None
+        consumer_certs: Tuple[Optional[PlanCertificate], ...] = ()
+        producer_certs: Tuple[Optional[PlanCertificate], ...] = ()
         use_sharing = (
             not parallel
             and len(dispatch) > 1
@@ -771,7 +896,12 @@ class OptimizerService:
             and len({resolved[index][1] for index in dispatch}) == 1
         )
         if use_sharing:
-            sharing_report, batch_budget_report = self._optimize_batch_shared(
+            (
+                sharing_report,
+                batch_budget_report,
+                consumer_certs,
+                producer_certs,
+            ) = self._optimize_batch_shared(
                 resolved, dispatch, deadline_seconds, budget, results
             )
         if sharing_report is None:
@@ -804,6 +934,8 @@ class OptimizerService:
             sharing_report=sharing_report,
             cache_stats=self._stats_delta(stats_before),
             budget_report=batch_budget_report,
+            consumer_certificates=consumer_certs,
+            producer_certificates=producer_certs,
         )
 
     def _optimize_batch_shared(
@@ -813,11 +945,18 @@ class OptimizerService:
         deadline_seconds: Optional[float],
         budget: Optional[ResourceBudget],
         results: List[Optional[ServedResult]],
-    ) -> Tuple[Optional[SharingReport], Optional[BudgetReport]]:
+    ) -> Tuple[
+        Optional[SharingReport],
+        Optional[BudgetReport],
+        Tuple[Optional[PlanCertificate], ...],
+        Tuple[Optional[PlanCertificate], ...],
+    ]:
         """Optimize the cache misses over one shared memo; fill ``results``.
 
-        Returns ``(report, None)`` on success — every dispatched index
-        served, cached, and harvested — or ``(None, budget_report)``
+        Returns ``(report, None, consumers, producers)`` on success —
+        every dispatched index served, cached, and harvested, with the
+        sharing pass's consumer/producer certificates when verification
+        is on and checked out — or ``(None, budget_report, (), ())``
         when the batch-wide budget tripped, leaving ``results``
         untouched so the caller can fall back to independent per-query
         optimization with split budgets.
@@ -839,17 +978,16 @@ class OptimizerService:
                     deadline_seconds=deadline_seconds
                 )
         kwargs = {}
-        if batch_budget is not None:
-            kwargs["options"] = self.optimizer.options.replace(
-                budget=batch_budget
-            )
+        options = self._engine_options(batch_budget)
+        if options is not None:
+            kwargs["options"] = options
         started = time.perf_counter()
         try:
             outcomes = self.optimizer.optimize_batch(
                 expressions, props, **kwargs
             )
         except BudgetExceededError as error:
-            return None, error.report
+            return None, error.report, (), ()
         # All outcomes share one SearchStats: account the engine time
         # exactly once, not once per result.
         if outcomes and outcomes[0].stats is not None:
@@ -857,8 +995,15 @@ class OptimizerService:
         elapsed = time.perf_counter() - started
         for index, result in zip(dispatch, outcomes):
             exact, template_key, normalized = resolved[index][2]
-            self._store(exact, template_key, normalized, result, None)
-            self._harvest(result)
+            certificate = getattr(result, "certificate", None)
+            ok: Optional[bool] = None
+            if self.options.verify_plans:
+                ok = self._verify(resolved[index][0], result.plan, certificate)
+                if ok is False:
+                    self.cache.stats.verify_violations += 1
+            if ok is not False:
+                self._store(exact, template_key, normalized, result, None)
+                self._harvest(result)
             results[index] = ServedResult(
                 plan=result.plan,
                 cost=result.cost,
@@ -867,19 +1012,101 @@ class OptimizerService:
                 cached=False,
                 elapsed_seconds=elapsed,
                 result=result,
+                certificate=certificate,
+                verified=bool(ok),
             )
         spec = getattr(self.optimizer, "spec", None)
         if spec is None:
-            return SharingReport(plans=tuple(r.plan for r in outcomes)), None
+            report = SharingReport(plans=tuple(r.plan for r in outcomes))
+            return report, None, (), ()
         estimator = getattr(self.optimizer, "estimator", None)
+        certifier = None
+        local_costs = None
+        if self.options.verify_plans:
+            certifier = self._sharing_certifier(spec, estimator, outcomes)
+            if certifier is not None:
+                local_costs = certifier.local_costs
         report = plan_sharing(
             outcomes,
             spec,
             self.catalog,
             options=self.options.sharing,
             estimator=estimator,
+            local_costs=local_costs,
         )
-        return report, None
+        consumer_certs: Tuple[Optional[PlanCertificate], ...] = ()
+        producer_certs: Tuple[Optional[PlanCertificate], ...] = ()
+        if certifier is not None and report.shared_plans:
+            consumers, producers = self._verify_sharing(
+                certifier, report, outcomes, expressions
+            )
+            if consumers is None:
+                # Quarantine the whole sharing pass: an unverified
+                # shared rewrite is never surfaced.  The independent
+                # (already verified) per-query answers stand.
+                report = SharingReport(plans=tuple(r.plan for r in outcomes))
+            else:
+                consumer_certs, producer_certs = consumers, producers
+        return report, None, consumer_certs, producer_certs
+
+    def _sharing_certifier(self, spec, estimator, outcomes):
+        """A SharingCertifier fed every pre-sharing plan, or None.
+
+        Returns None when any outcome lacks a usable certificate — the
+        sharing pass then runs uncertified (and its rewrites are not
+        surfaced as verified).
+        """
+        from repro.model.context import OptimizerContext
+        from repro.search.certify import SharingCertifier
+
+        context = OptimizerContext(spec, self.catalog, estimator)
+        certifier = SharingCertifier(spec, context)
+        for result in outcomes:
+            if not certifier.add_result(
+                result.plan, getattr(result, "certificate", None)
+            ):
+                return None
+        return certifier
+
+    def _verify_sharing(
+        self, certifier, report: SharingReport, outcomes, expressions
+    ):
+        """Certify and re-check every sharing rewrite; quarantine on failure.
+
+        Returns ``(consumer_certs, producer_certs)`` when every
+        rewritten consumer plan and every materialized producer passed
+        the independent checker, else ``(None, None)`` after counting
+        the violation and the quarantine.
+        """
+        consumers, producers = certifier.certify(
+            report,
+            [result.plan for result in outcomes],
+            [getattr(result, "certificate", None) for result in outcomes],
+        )
+        clean = True
+        for expression, plan, certificate in zip(
+            expressions, report.plans, consumers
+        ):
+            if (
+                certificate is None
+                or self._verify(expression, plan, certificate) is not True
+            ):
+                clean = False
+                break
+        if clean:
+            for shared, certificate in zip(report.shared_plans, producers):
+                if (
+                    certificate is None
+                    or self._verify(certificate.source, shared.plan, certificate)
+                    is not True
+                ):
+                    clean = False
+                    break
+        if not clean:
+            self.cache.stats.verify_violations += 1
+            self.cache.stats.quarantined += 1
+            return None, None
+        return tuple(consumers), tuple(producers)
 
     def _stats_snapshot(self) -> dict:
         return dict(vars(self.cache.stats))
@@ -954,7 +1181,12 @@ class OptimizerService:
             assert result is not None  # no error => a result was shipped
             exact, template_key, normalized = resolved[outcome.index][2]
             results[outcome.index] = self._serve_fresh(
-                exact, template_key, normalized, result, started
+                exact,
+                template_key,
+                normalized,
+                result,
+                started,
+                resolved[outcome.index][0],
             )
         if failure is not None:
             raise failure
@@ -1071,11 +1303,9 @@ class OptimizerService:
     ) -> OptimizationResult:
         budget = budget if budget is not None else self.options.budget
         kwargs = {}
-        if budget is not None:
-            # Every engine options class carries a ``budget`` field, so
-            # the override composes with whatever options the wrapped
-            # engine was built with.
-            kwargs["options"] = self.optimizer.options.replace(budget=budget)
+        options = self._engine_options(budget)
+        if options is not None:
+            kwargs["options"] = options
         if self.options.reuse_subplans and self._engine_seeds:
             seeds = self.subplans.seeds_for(
                 query, self.catalog, limit=self.options.max_seeds_per_query
@@ -1085,6 +1315,28 @@ class OptimizerService:
                     query, props, preoptimized=seeds, **kwargs
                 )
         return self.optimizer.optimize(query, props, **kwargs)
+
+    def _engine_options(self, budget: Optional[ResourceBudget]):
+        """The wrapped engine's options with service overrides folded in.
+
+        Returns None when nothing needs overriding (the common case, so
+        the engine runs with exactly the options it was built with).
+        Every engine options class carries a ``budget`` field;
+        certificate recording is switched on only for engines whose
+        options expose it.
+        """
+        options = self.optimizer.options
+        changed = False
+        if budget is not None:
+            options = options.replace(budget=budget)
+            changed = True
+        if (
+            self.options.verify_plans
+            and getattr(options, "certificates", None) is False
+        ):
+            options = options.replace(certificates=True)
+            changed = True
+        return options if changed else None
 
     def _store(
         self,
@@ -1100,6 +1352,7 @@ class OptimizerService:
                 plan=result.plan,
                 cost=result.cost,
                 required=result.required,
+                certificate=getattr(result, "certificate", None),
             )
         )
         if template_key is not None:

@@ -1,0 +1,39 @@
+"""Plan provenance certificates and the independent verifier.
+
+``repro.verify`` closes the trust gap between the optimizer and its
+consumers: engines emit a :class:`PlanCertificate` alongside every
+winning plan, and :func:`verify_plan` re-checks the certificate against
+the model specification alone — no memo, no engine state.  P-codes
+(registered in :mod:`repro.lint.diagnostics` next to the V/M families)
+name each way a certificate can fail.
+
+Run ``python -m repro.verify --help`` for the CLI, and see
+``docs/plan-verification.md`` for the certificate format and the
+full P-code table.
+"""
+
+from repro.verify.certificate import (
+    CERTIFICATE_KINDS,
+    KIND_DEGRADED,
+    KIND_PRODUCER,
+    KIND_SEARCH,
+    DerivationStep,
+    NodeClaim,
+    PlanCertificate,
+)
+from repro.verify.checker import VerifyReport, verify_plan
+from repro.verify.normalize import equivalent, normal_form
+
+__all__ = [
+    "CERTIFICATE_KINDS",
+    "KIND_DEGRADED",
+    "KIND_PRODUCER",
+    "KIND_SEARCH",
+    "DerivationStep",
+    "NodeClaim",
+    "PlanCertificate",
+    "VerifyReport",
+    "verify_plan",
+    "equivalent",
+    "normal_form",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.verify`` — the plan-certificate verifier CLI."""
+
+import sys
+
+from repro.verify.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

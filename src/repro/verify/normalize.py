@@ -1,0 +1,78 @@
+"""A canonical normal form for logical expressions, for equivalence checks.
+
+The verifier's primary equivalence proof is step replay: the
+certificate's transformation chain, re-validated rule application by
+rule application.  Degraded (budget-tripped) plans may carry no chain —
+the greedy fallback assembles a plan out of whatever the interrupted
+search had memoized — so the checker falls back to a *normalizer*: two
+expressions with equal normal forms are equivalent under the join
+commutativity/associativity family the bundled models share.
+
+The normal form flattens maximal join trees into an unordered multiset
+of normalized children plus the multiset of all predicate conjuncts
+(exactly the invariant ``join_commute``/``join_associate`` preserve:
+they reorder children and re-route conjuncts, never create or drop
+either).  Every other operator normalizes generically — operator, args,
+ordered normalized children — so the form is total: unknown operators
+simply never compare equal unless structurally identical, which is the
+conservative direction for a checker.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Hashable, Tuple
+
+from repro.algebra.expressions import LogicalExpression
+
+__all__ = ["normal_form", "equivalent"]
+
+_JOIN_OPERATORS = frozenset({"join"})
+
+
+def _multiset(items) -> Tuple[Tuple[Hashable, int], ...]:
+    counted = Counter(items)
+    return tuple(sorted(counted.items(), key=lambda pair: repr(pair[0])))
+
+
+def _flatten_join(expression: LogicalExpression, children, conjuncts) -> None:
+    """Collect the maximal join tree's leaves and predicate conjuncts."""
+    if expression.operator in _JOIN_OPERATORS:
+        for predicate in expression.args:
+            if hasattr(predicate, "conjuncts"):
+                conjuncts.extend(predicate.conjuncts())
+            else:
+                conjuncts.append(predicate)
+        for node in expression.inputs:
+            _flatten_join(node, children, conjuncts)
+    else:
+        children.append(normal_form(expression))
+
+
+def normal_form(expression: LogicalExpression) -> Hashable:
+    """The canonical, hashable normal form of a logical expression."""
+    if expression.operator in _JOIN_OPERATORS:
+        children: list = []
+        conjuncts: list = []
+        _flatten_join(expression, children, conjuncts)
+        return (
+            "join*",
+            _multiset(children),
+            _multiset(conjuncts),
+        )
+    return (
+        expression.operator,
+        expression.args,
+        tuple(normal_form(node) for node in expression.inputs),
+    )
+
+
+def equivalent(left: LogicalExpression, right: LogicalExpression) -> bool:
+    """Whether the two expressions share a normal form.
+
+    Sound for the bundled transformation families (a ``True`` answer
+    means provably equivalent); incomplete in general — rewrites the
+    normalizer does not model make it answer ``False``, and the caller
+    must then rely on step replay.
+    """
+    return normal_form(left) == normal_form(right)

@@ -16,6 +16,6 @@ def test_every_code_is_documented():
 def test_codes_are_stable_and_well_formed():
     for code, info in CODE_REGISTRY.items():
         assert code == info.code
-        assert code[0] in "VM"
+        assert code[0] in "VMP"
         assert code[1:].isdigit() and len(code) == 4
         assert info.title and info.hint

@@ -1,0 +1,187 @@
+"""ServiceOptions.verify_plans: verified serving, quarantine, sharing.
+
+The policy under test: fresh answers are verified before caching, hits
+are re-verified on every lookup, a failing entry (and its template
+sibling) is quarantined and the query transparently re-optimized, and
+a sharing pass that fails verification is discarded wholesale.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.models.relational import relational_model
+from repro.search import SearchOptions, VolcanoOptimizer
+from repro.service import OptimizerService, ServiceOptions
+from repro.workloads import QueryGenerator, WorkloadOptions
+
+from tests.helpers import chain_query, make_catalog
+
+SPEC = relational_model()
+
+
+def make_service(catalog, **options):
+    optimizer = VolcanoOptimizer(
+        SPEC, catalog, SearchOptions(check_consistency=False)
+    )
+    return OptimizerService(
+        optimizer, options=ServiceOptions(verify_plans=True, **options)
+    )
+
+
+@pytest.fixture
+def catalog():
+    names = ["t0", "t1", "t2", "t3"]
+    return make_catalog(
+        [(name, 500 + 100 * i) for i, name in enumerate(names)]
+    )
+
+
+def corrupt_cached_certificate(service):
+    """Double the claimed cost inside every cached certificate."""
+    touched = 0
+    for digest, entry in list(service.cache._entries.items()):
+        if entry.certificate is None:
+            continue
+        cost = entry.certificate.claimed_cost
+        bad = dataclasses.replace(entry.certificate, claimed_cost=cost + cost)
+        service.cache._entries[digest] = dataclasses.replace(
+            entry, certificate=bad
+        )
+        touched += 1
+    return touched
+
+
+def test_fresh_answers_are_verified(catalog):
+    service = make_service(catalog)
+    served = service.optimize(chain_query(["t0", "t1", "t2"]))
+    assert not served.cached
+    assert served.certificate is not None
+    assert served.verified
+    assert service.stats.verify_violations == 0
+
+
+def test_hits_are_reverified(catalog):
+    service = make_service(catalog)
+    query = chain_query(["t0", "t1", "t2"])
+    service.optimize(query)
+    served = service.optimize(query)
+    assert served.cached
+    assert served.verified
+    assert service.stats.verified_hits == 1
+    assert service.stats.quarantined == 0
+
+
+def test_verification_off_by_default(catalog):
+    optimizer = VolcanoOptimizer(
+        SPEC, catalog, SearchOptions(check_consistency=False)
+    )
+    service = OptimizerService(optimizer)
+    query = chain_query(["t0", "t1"])
+    assert not service.optimize(query).verified
+    assert not service.optimize(query).verified
+    assert service.stats.verified_hits == 0
+
+
+def test_corrupted_entry_is_quarantined_and_reoptimized(catalog):
+    service = make_service(catalog)
+    query = chain_query(["t0", "t1", "t2"])
+    first = service.optimize(query)
+    assert corrupt_cached_certificate(service) == 1
+
+    served = service.optimize(query)
+    # Not the tainted entry: the hit failed verification, the entry was
+    # dropped, and the query was transparently re-optimized.
+    assert not served.cached
+    assert served.verified
+    assert served.plan.to_sexpr() == first.plan.to_sexpr()
+    assert service.stats.verify_violations == 1
+    assert service.stats.quarantined == 1
+
+    # The re-optimization re-cached a clean entry.
+    again = service.optimize(query)
+    assert again.cached
+    assert again.verified
+    assert service.stats.quarantined == 1
+
+
+def test_quarantine_also_drops_the_template_sibling(catalog):
+    # The parameterized template entry was stored by the same engine run
+    # as the quarantined exact entry; serving it unverified would dodge
+    # the quarantine.  It must fall with the exact entry.
+    service = make_service(catalog, parameterized=True)
+    query = chain_query(["t0", "t1", "t2"])
+    service.optimize(query)
+    entries_before = len(service.cache._entries)
+    corrupt_cached_certificate(service)
+
+    served = service.optimize(query)
+    assert not served.cached
+    assert not served.parameterized
+    assert served.verified
+    # Both the exact entry and its template sibling were purged before
+    # the re-optimization stored fresh ones.
+    assert service.stats.quarantined == 1
+    assert len(service.cache._entries) == entries_before
+
+
+def test_batch_sharing_is_certified_end_to_end():
+    workload = QueryGenerator(
+        WorkloadOptions(selectivity_range=(0.1, 0.1))
+    ).generate_shared(count=8, seed=7, n_tables=5, relations=(2, 4))
+    service = make_service(workload.catalog, parameterized=False)
+    queries = [item.query for item in workload.queries]
+    required = workload.queries[0].required
+
+    batch = service.optimize_many(queries, required)
+    assert all(r.verified for r in batch.results)
+    assert batch.cache_stats.verify_violations == 0
+    report = batch.sharing_report
+    assert report is not None and report.shared_plans
+    assert len(batch.consumer_certificates) == len(report.plans)
+    assert all(c is not None for c in batch.consumer_certificates)
+    assert len(batch.producer_certificates) == len(report.shared_plans)
+    assert all(c is not None for c in batch.producer_certificates)
+
+
+def test_failing_sharing_pass_is_discarded(monkeypatch):
+    # Force every verification to fail: individual answers are still
+    # served (and counted), but no unverified shared plan escapes — the
+    # sharing report degenerates to the original per-query plans.
+    import repro.verify as verify_module
+
+    workload = QueryGenerator(
+        WorkloadOptions(selectivity_range=(0.1, 0.1))
+    ).generate_shared(count=8, seed=7, n_tables=5, relations=(2, 4))
+    service = make_service(workload.catalog, parameterized=False)
+    queries = [item.query for item in workload.queries]
+    required = workload.queries[0].required
+
+    class _Failing:
+        ok = False
+        diagnostics = ()
+
+        def render(self):
+            return "forced failure"
+
+    monkeypatch.setattr(
+        verify_module, "verify_plan", lambda *a, **k: _Failing()
+    )
+    batch = service.optimize_many(queries, required)
+    assert len(batch.results) == len(queries)
+    assert not any(r.verified for r in batch.results)
+    assert not batch.shared_plans
+    assert batch.consumer_certificates == ()
+    assert batch.producer_certificates == ()
+    assert batch.cache_stats.quarantined >= 1
+
+
+def test_stats_counters_round_trip_as_dict(catalog):
+    service = make_service(catalog)
+    query = chain_query(["t0", "t1"])
+    service.optimize(query)
+    service.optimize(query)
+    snapshot = service.stats.as_dict()
+    assert snapshot["verified_hits"] == 1
+    assert snapshot["verify_violations"] == 0
+    assert snapshot["quarantined"] == 0

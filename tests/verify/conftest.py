@@ -1,0 +1,34 @@
+"""Shared fixtures for the plan-verification tests.
+
+One optimized three-relation query with certificate recording on,
+reused module-wide: certificate construction exercises the memo walk,
+so building it once keeps the corruption/unit tests fast.
+"""
+
+import pytest
+
+from repro.algebra.predicates import eq
+from repro.models.relational import get, join, relational_model, select
+from repro.search import SearchOptions, VolcanoOptimizer
+
+from tests.helpers import make_catalog
+
+SPEC = relational_model()
+
+
+@pytest.fixture(scope="package")
+def certified_case():
+    catalog = make_catalog([("r", 1200), ("s", 2400), ("t", 4800)])
+    query = join(
+        join(select(get("r"), eq("r.v", 1)), get("s"), eq("r.k", "s.k")),
+        get("t"),
+        eq("s.k", "t.k"),
+    )
+    engine = VolcanoOptimizer(
+        SPEC,
+        catalog,
+        SearchOptions(check_consistency=False, certificates=True),
+    )
+    result = engine.optimize(query)
+    assert result.certificate is not None
+    return catalog, query, result

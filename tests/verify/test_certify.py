@@ -1,0 +1,135 @@
+"""Certificate production across every engine the repo ships.
+
+Memo engines (Volcano, task-based) record claims during search;
+memo-less baselines (EXODUS, System R) are certified after the fact by
+re-deriving provenance from a fresh logical closure.  Degraded anytime
+plans carry the ``degraded`` kind.  In every case the independent
+checker must accept the result.
+"""
+
+import pytest
+
+from repro.exodus import ExodusOptimizer
+from repro.options import ResourceBudget
+from repro.search import SearchOptions, TaskBasedOptimizer, VolcanoOptimizer
+from repro.search.certify import certify_result, standalone_certificate
+from repro.systemr import SystemROptimizer
+from repro.verify import KIND_DEGRADED, KIND_SEARCH, verify_plan
+
+from tests.helpers import chain_query, make_catalog
+
+from .conftest import SPEC
+
+MEMO_ENGINES = [VolcanoOptimizer, TaskBasedOptimizer]
+
+
+def certified_engine(engine_cls, catalog, **overrides):
+    return engine_cls(
+        SPEC,
+        catalog,
+        SearchOptions(
+            check_consistency=False, certificates=True, **overrides
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def chain_case():
+    names = [f"t{i}" for i in range(5)]
+    catalog = make_catalog(
+        [(name, 500 + 100 * i) for i, name in enumerate(names)]
+    )
+    return catalog, chain_query(names)
+
+
+@pytest.mark.parametrize("engine_cls", MEMO_ENGINES)
+def test_memo_engine_certificates_verify(engine_cls, chain_case):
+    catalog, query = chain_case
+    result = certified_engine(engine_cls, catalog).optimize(query)
+    assert result.certificate is not None
+    assert result.certificate.kind == KIND_SEARCH
+    assert result.certificate.engine == engine_cls.__name__
+    report = verify_plan(
+        SPEC, query, result.plan, result.certificate, catalog=catalog
+    )
+    assert report.ok, report.render()
+
+
+@pytest.mark.parametrize("engine_cls", MEMO_ENGINES)
+def test_certificates_off_by_default(engine_cls, chain_case):
+    catalog, query = chain_case
+    engine = engine_cls(
+        SPEC, catalog, SearchOptions(check_consistency=False)
+    )
+    assert engine.optimize(query).certificate is None
+
+
+def test_batch_certificates_verify(chain_case):
+    catalog, _ = chain_case
+    names = ["t0", "t1", "t2"]
+    queries = [
+        chain_query(names),
+        chain_query(names[:2]),
+        chain_query(list(reversed(names))),
+    ]
+    engine = certified_engine(VolcanoOptimizer, catalog)
+    results = engine.optimize_batch(queries)
+    assert len(results) == len(queries)
+    for query, result in zip(queries, results):
+        assert result.certificate is not None
+        report = verify_plan(
+            SPEC, query, result.plan, result.certificate, catalog=catalog
+        )
+        assert report.ok, report.render()
+
+
+def test_degraded_plan_carries_degraded_kind(chain_case):
+    catalog, query = chain_case
+    engine = certified_engine(VolcanoOptimizer, catalog)
+    result = engine.optimize(
+        query,
+        options=engine.options.replace(
+            budget=ResourceBudget(max_rule_firings=5)
+        ),
+    )
+    assert result.degraded
+    assert result.certificate is not None
+    assert result.certificate.kind == KIND_DEGRADED
+    report = verify_plan(
+        SPEC, query, result.plan, result.certificate, catalog=catalog
+    )
+    assert report.ok, report.render()
+
+
+@pytest.mark.parametrize("engine_cls", [ExodusOptimizer, SystemROptimizer])
+def test_baseline_engines_certify_after_the_fact(engine_cls, chain_case):
+    catalog, query = chain_case
+    result = engine_cls(SPEC, catalog).optimize(query)
+    certificate = certify_result(
+        result, SPEC, query, catalog=catalog, engine=engine_cls.__name__
+    )
+    assert certificate.kind == KIND_SEARCH
+    assert certificate.engine == engine_cls.__name__
+    report = verify_plan(
+        SPEC, query, result.plan, certificate, catalog=catalog
+    )
+    assert report.ok, report.render()
+
+
+def test_standalone_certificate_from_plain_plan(chain_case):
+    # No memo, no engine result object — just a plan and the model.
+    catalog, query = chain_case
+    reference = certified_engine(VolcanoOptimizer, catalog).optimize(query)
+    certificate = standalone_certificate(
+        SPEC, catalog, query, reference.plan, reference.required
+    )
+    report = verify_plan(
+        SPEC, query, reference.plan, certificate, catalog=catalog
+    )
+    assert report.ok, report.render()
+
+
+def test_certificate_cost_matches_result(chain_case):
+    catalog, query = chain_case
+    result = certified_engine(VolcanoOptimizer, catalog).optimize(query)
+    assert result.certificate.claimed_cost == result.cost

@@ -1,0 +1,125 @@
+"""verify_plan unit behaviour: shape gates and targeted P-codes.
+
+The corruption matrix lives in tests/verify/test_mutations.py; this
+module pins the checker's direct contract — what passes, what each
+shape violation reports, and that verification needs no memo and no
+catalog (catalog-dependent checks are skipped, not failed).
+"""
+
+import dataclasses
+import pickle
+
+from repro.algebra.expressions import LogicalExpression
+from repro.algebra.predicates import eq
+from repro.models.relational import get, join
+from repro.verify import KIND_SEARCH, PlanCertificate, VerifyReport, verify_plan
+
+from .conftest import SPEC
+
+
+def codes(report: VerifyReport):
+    return {diagnostic.code for diagnostic in report.diagnostics}
+
+
+def test_genuine_certificate_verifies(certified_case):
+    catalog, query, result = certified_case
+    report = verify_plan(
+        SPEC, query, result.plan, result.certificate, catalog=catalog
+    )
+    assert report.ok
+    assert result.certificate.kind == KIND_SEARCH
+
+
+def test_verifies_without_catalog(certified_case):
+    # The checker degrades gracefully: statistics-dependent checks are
+    # skipped when no catalog is supplied, everything else still runs.
+    _, query, result = certified_case
+    report = verify_plan(SPEC, query, result.plan, result.certificate)
+    assert report.ok
+
+
+def test_missing_certificate_is_p001(certified_case):
+    catalog, query, result = certified_case
+    report = verify_plan(SPEC, query, result.plan, None, catalog=catalog)
+    assert not report.ok
+    assert codes(report) == {"P001"}
+
+
+def test_wrong_certificate_type_is_p001(certified_case):
+    catalog, query, result = certified_case
+    report = verify_plan(
+        SPEC, query, result.plan, "not a certificate", catalog=catalog
+    )
+    assert not report.ok
+    assert codes(report) == {"P001"}
+
+
+def test_unknown_kind_is_p001(certified_case):
+    catalog, query, result = certified_case
+    bogus = dataclasses.replace(result.certificate, kind="hearsay")
+    report = verify_plan(SPEC, query, result.plan, bogus, catalog=catalog)
+    assert not report.ok
+    assert codes(report) == {"P001"}
+
+
+def test_foreign_source_is_p003(certified_case):
+    catalog, query, result = certified_case
+    other = join(get("r"), get("s"), eq("r.k", "s.k"))
+    report = verify_plan(
+        SPEC, other, result.plan, result.certificate, catalog=catalog
+    )
+    assert not report.ok
+    assert "P003" in codes(report)
+
+
+def test_claim_count_mismatch_is_p002(certified_case):
+    catalog, query, result = certified_case
+    truncated = dataclasses.replace(
+        result.certificate, claims=result.certificate.claims[:-1]
+    )
+    report = verify_plan(SPEC, query, result.plan, truncated, catalog=catalog)
+    assert not report.ok
+    assert "P002" in codes(report)
+
+
+def test_doubled_claimed_cost_is_p3xx(certified_case):
+    catalog, query, result = certified_case
+    cost = result.certificate.claimed_cost
+    inflated = dataclasses.replace(result.certificate, claimed_cost=cost + cost)
+    report = verify_plan(SPEC, query, result.plan, inflated, catalog=catalog)
+    assert not report.ok
+    assert any(code.startswith("P3") for code in codes(report))
+
+
+def test_reversed_frontier_is_p4xx(certified_case):
+    catalog, query, result = certified_case
+    frontier = result.certificate.frontier
+    swapped = LogicalExpression(
+        frontier.operator, frontier.args, tuple(reversed(frontier.inputs))
+    )
+    mangled = dataclasses.replace(result.certificate, frontier=swapped)
+    report = verify_plan(SPEC, query, result.plan, mangled, catalog=catalog)
+    assert not report.ok
+    assert any(code.startswith("P4") for code in codes(report))
+
+
+def test_report_is_deterministic(certified_case):
+    catalog, query, result = certified_case
+    first = verify_plan(
+        SPEC, query, result.plan, result.certificate, catalog=catalog
+    )
+    second = verify_plan(
+        SPEC, query, result.plan, result.certificate, catalog=catalog
+    )
+    assert first.ok and second.ok
+    assert [str(d) for d in first.diagnostics] == [
+        str(d) for d in second.diagnostics
+    ]
+
+
+def test_certificate_survives_pickle(certified_case):
+    catalog, query, result = certified_case
+    thawed = pickle.loads(pickle.dumps(result.certificate))
+    assert isinstance(thawed, PlanCertificate)
+    assert thawed == result.certificate
+    assert verify_plan(SPEC, query, result.plan, thawed, catalog=catalog).ok

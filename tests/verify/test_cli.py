@@ -1,0 +1,47 @@
+"""Exit-code and output contract of ``python -m repro.verify``."""
+
+from pathlib import Path
+
+from repro.verify.cli import main
+
+GOLDEN = Path(__file__).resolve().parents[1] / "service" / "golden_plans.json"
+
+
+def test_missing_golden_file_is_usage_error(capsys):
+    assert main(["--golden", "/nonexistent/golden.json"]) == 2
+    assert "not found" in capsys.readouterr().out
+
+
+def test_workload_mode_verifies_clean(capsys):
+    assert main(["--strict", "--skip-batch"]) == 0
+    out = capsys.readouterr().out
+    assert "0 violation(s)" in out
+    assert "0 warning(s)" in out
+
+
+def test_sharing_batch_verifies_clean(capsys):
+    assert main(["--strict"]) == 0
+    out = capsys.readouterr().out
+    assert "0 violation(s)" in out
+
+
+def test_golden_mode_verifies_the_committed_snapshots(capsys):
+    # The acceptance gate: all 84 (query, engine) golden pairs plus the
+    # mqo_sharing batch, strict, zero violations.
+    assert GOLDEN.is_file()
+    assert main(["--golden", str(GOLDEN), "--strict"]) == 0
+    out = capsys.readouterr().out
+    assert "0 violation(s)" in out
+    assert "0 warning(s)" in out
+
+
+def test_golden_mode_fails_on_tampered_snapshot(tmp_path, capsys):
+    import json
+
+    golden = json.loads(GOLDEN.read_text())
+    engine = sorted(golden)[0]
+    golden[engine][0]["cost"] = golden[engine][0]["cost"] * 2
+    tampered = tmp_path / "golden.json"
+    tampered.write_text(json.dumps(golden))
+    assert main(["--golden", str(tampered), "--skip-batch"]) == 1
+    assert "differs from golden" in capsys.readouterr().out

@@ -1,0 +1,61 @@
+"""The mutation harness must catch every seeded plan corruption.
+
+This is the verifier's own test oracle: if a corruption slips through,
+the checker has a blind spot and a buggy engine could ship a wrong
+plan with a plausible-looking certificate.
+"""
+
+import pytest
+
+from repro.verify.mutate import CORRUPTIONS, build_fixture, run_mutations
+
+
+@pytest.fixture(scope="module")
+def fixture():
+    return build_fixture()
+
+
+def test_corruption_matrix_is_broad_enough():
+    # The acceptance bar is twelve distinct corruptions; keep headroom.
+    assert len(CORRUPTIONS) >= 12
+    assert len({c.name for c in CORRUPTIONS}) == len(CORRUPTIONS)
+
+
+def test_every_corruption_is_detected(fixture):
+    outcomes = run_mutations(fixture=fixture)
+    missed = [o.corruption.name for o in outcomes if not o.detected]
+    assert not missed, f"undetected corruption(s): {missed}"
+
+
+def test_detections_cite_the_expected_family(fixture):
+    # Each corruption targets one check family (P1xx chain, P2xx
+    # properties, ...); the verdict must come from that family, not
+    # from an incidental downstream failure.
+    outcomes = run_mutations(fixture=fixture)
+    for outcome in outcomes:
+        prefix = outcome.corruption.expected_family[:2]
+        assert any(
+            code.startswith(prefix) for code in outcome.codes
+        ), (
+            f"{outcome.corruption.name}: expected a "
+            f"{outcome.corruption.expected_family} code, got {outcome.codes}"
+        )
+
+
+def test_uncorrupted_fixture_verifies_clean(fixture):
+    from repro.verify import verify_plan
+
+    assert verify_plan(
+        fixture.spec,
+        fixture.query,
+        fixture.plan,
+        fixture.certificate,
+        catalog=fixture.catalog,
+    ).ok
+    assert verify_plan(
+        fixture.spec,
+        fixture.shared_query,
+        fixture.shared_plan,
+        fixture.shared_certificate,
+        catalog=fixture.shared_catalog,
+    ).ok
