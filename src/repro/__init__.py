@@ -114,12 +114,16 @@ from repro.models import (
     setops_model,
 )
 from repro.search import (
+    STATIC_PROMISE,
     BudgetReport,
+    LearnedPromiseModel,
     OptimizationResult,
     Optimizer,
     PreoptimizedPlan,
+    PromiseModel,
     ResourceBudget,
     SearchOptions,
+    StaticPromise,
     TaskBasedOptimizer,
     VolcanoOptimizer,
 )
@@ -214,6 +218,10 @@ __all__ = [
     "SearchOptions",
     "TaskBasedOptimizer",
     "VolcanoOptimizer",
+    "PromiseModel",
+    "StaticPromise",
+    "STATIC_PROMISE",
+    "LearnedPromiseModel",
     "BatchResult",
     "CacheStats",
     "OptimizerService",

@@ -53,6 +53,15 @@ The suite:
     counters (materializations, candidates, consumer links, savings
     fraction) are deterministic for the fixed seed, so they live in
     the tight band; batch latency sits in the wall-clock band.
+``promise_ordering``
+    The learned-promise loop end to end: execute sorted chain joins
+    (merge join is the observed winner there), then re-optimize both
+    the chains and a generator workload with the trained
+    :class:`repro.search.LearnedPromiseModel`.  Repeat-workload
+    costings must *drop* (the bench asserts it) while every plan stays
+    byte-identical, rule firings stay exactly equal, and a
+    ``min_promise`` point run on both engines must agree on every
+    pruning counter.
 ``verify_overhead``
     The largest Figure 4 point run plain versus certified-and-verified
     (:func:`repro.verify.verify_plan` over every winner).  The paired
@@ -417,6 +426,160 @@ def _bench_mqo_sharing(config: RegressConfig) -> Dict[str, float]:
     }
 
 
+def _bench_promise_ordering(config: RegressConfig) -> Dict[str, float]:
+    """Learned promise ordering: repeat workloads must cost less.
+
+    Phase 1 executes sorted chain joins over an executable catalog.
+    Merge join is the observed winner there (hybrid hash does not
+    qualify under a sort requirement), so the learned model's evidence
+    lifts merge's implementation promise above hybrid hash's static
+    1.5 — flipping the pursuit order inside every join goal — and each
+    execution records a cost prior for its (query, goal) fingerprint.
+
+    Phase 2 re-optimizes two repeat workloads with the trained model:
+
+    * the chains themselves — the cost priors seed the root
+      branch-and-bound limit (``bound_seeds``), with zero retries;
+    * the generator workload — pure ordering: costings drop below the
+      static pass (asserted), rule firings stay exactly equal, and
+      every plan is byte-identical, pinning the order-independent
+      ``(cost, rank, alternative)`` winner rule under a live model.
+
+    A ``min_promise`` point then runs both engines with the trained
+    model and heuristic pruning active; their ``moves_pruned`` and
+    ``rules_fired`` counters — and their plans — must agree exactly.
+    """
+    from repro.algebra.predicates import eq
+    from repro.algebra.properties import PhysProps
+    from repro.catalog import Catalog
+    from repro.executor import TableSpec, populate_catalog
+    from repro.models.relational import get, join
+    from repro.search import LearnedPromiseModel, TaskBasedOptimizer
+
+    spec = relational_model()
+
+    # -- phase 1: train on executed sorted chain joins -------------------
+    train_catalog = Catalog()
+    populate_catalog(
+        train_catalog,
+        [
+            TableSpec("r", 300, key_distinct=50),
+            TableSpec("s", 900, key_distinct=50),
+            TableSpec("t", 600, key_distinct=50),
+            TableSpec("u", 450, key_distinct=50),
+        ],
+        seed=7,
+    )
+
+    def chain(*tables):
+        tree = get(tables[0])
+        for index in range(1, len(tables)):
+            tree = join(
+                tree,
+                get(tables[index]),
+                eq(f"{tables[index - 1]}.k", f"{tables[index]}.k"),
+            )
+        return tree
+
+    chains = [
+        (chain("r", "s", "t"), PhysProps(sort_order=("r.k",))),
+        (chain("s", "t", "u"), PhysProps(sort_order=("s.k",))),
+        (chain("r", "t", "u"), PhysProps(sort_order=("r.k",))),
+        (chain("r", "s", "t", "u"), PhysProps(sort_order=("r.k",))),
+    ]
+    model = LearnedPromiseModel(boost=0.75)
+    trained = VolcanoOptimizer(
+        spec,
+        train_catalog,
+        SearchOptions(check_consistency=False, promise_model=model),
+    )
+    service = OptimizerService(
+        trained, options=ServiceOptions(promise_model=model)
+    )
+    for query, required in chains:
+        service.execute(query, required)
+
+    # -- phase 2a: repeat the chains — cost priors seed the root bound --
+    static_chain = VolcanoOptimizer(
+        spec, train_catalog, SearchOptions(check_consistency=False)
+    )
+    identical = seeds = retries = 0
+    for query, required in chains:
+        baseline = static_chain.optimize(query, required)
+        repeat = trained.optimize(query, required)
+        seeds += repeat.stats.bound_seeds
+        retries += repeat.stats.bound_seed_retries
+        if repeat.plan.to_sexpr() == baseline.plan.to_sexpr():
+            identical += 1
+
+    # -- phase 2b: the generator workload — pure ordering ----------------
+    workload = QueryGenerator(
+        WorkloadOptions(selectivity_range=(0.1, 0.1))
+    ).generate_shared(count=8, seed=11, n_tables=6, relations=(2, 4))
+
+    def sweep(promise_model):
+        optimizer = VolcanoOptimizer(
+            spec,
+            workload.catalog,
+            SearchOptions(check_consistency=False, promise_model=promise_model),
+        )
+        costings = fired = 0
+        plans = []
+        samples: List[float] = []
+        for entry in workload.queries:
+            started = time.perf_counter()
+            result = optimizer.optimize(entry.query, PhysProps())
+            samples.append(time.perf_counter() - started)
+            costings += result.stats.algorithm_costings
+            fired += result.stats.rules_fired
+            plans.append(result.plan.to_sexpr())
+        return costings, fired, plans, samples
+
+    static_costings, static_fired, static_plans, _ = sweep(None)
+    learned_costings, learned_fired, learned_plans, times = sweep(model)
+    identical += sum(
+        1 for a, b in zip(static_plans, learned_plans) if a == b
+    )
+    assert learned_costings < static_costings, (
+        "learned ordering must reduce repeat-workload costings "
+        f"({learned_costings} vs {static_costings})"
+    )
+
+    # -- min_promise point: both engines, identical pruning accounting --
+    heuristic = SearchOptions(
+        check_consistency=False, min_promise=0.9, promise_model=model
+    )
+    entry = workload.queries[0]
+    pruned = parity_delta = 0
+    counters = []
+    for engine_cls in (VolcanoOptimizer, TaskBasedOptimizer):
+        result = engine_cls(spec, workload.catalog, heuristic).optimize(
+            entry.query, PhysProps()
+        )
+        counters.append(
+            (
+                result.stats.moves_pruned,
+                result.stats.rules_fired,
+                result.plan.to_sexpr(),
+            )
+        )
+    pruned = counters[0][0]
+    parity_delta = sum(
+        1 for a, b in zip(counters[0], counters[1]) if a != b
+    )
+    return {
+        "median_ms": _median_ms(times),
+        "static_costings": float(static_costings),
+        "learned_costings": float(learned_costings),
+        "rule_firing_delta": float(abs(learned_fired - static_fired)),
+        "plans_identical": float(identical),
+        "bound_seeds": float(seeds),
+        "bound_seed_retries": float(retries),
+        "min_promise_pruned": float(pruned),
+        "min_promise_parity_delta": float(parity_delta),
+    }
+
+
 def _bench_verify_overhead(config: RegressConfig) -> Dict[str, float]:
     """Certificate recording plus independent re-verification.
 
@@ -501,6 +664,7 @@ def run_regress(
         ("feedback_loop", _bench_feedback_loop),
         ("batch_throughput", _bench_batch_throughput),
         ("mqo_sharing", _bench_mqo_sharing),
+        ("promise_ordering", _bench_promise_ordering),
         ("verify_overhead", _bench_verify_overhead),
     ):
         benches[name] = runner(config)
@@ -540,6 +704,16 @@ _COUNT_METRICS = {
     "sharing_candidates",
     "consumer_links",
     "savings_fraction",
+    # promise_ordering: deterministic search counters; the two deltas
+    # and the retry count must hold at exactly zero.
+    "static_costings",
+    "learned_costings",
+    "rule_firing_delta",
+    "plans_identical",
+    "bound_seeds",
+    "bound_seed_retries",
+    "min_promise_pruned",
+    "min_promise_parity_delta",
     # verify_overhead: every certified plan must keep verifying.
     "verified_ok",
 }

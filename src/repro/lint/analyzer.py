@@ -19,6 +19,7 @@ by the engine and by :class:`repro.lint.invariants.MemoAuditor`.
 from __future__ import annotations
 
 import itertools
+import math
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.algebra.expressions import LogicalExpression, group_leaf, is_group_leaf
@@ -249,14 +250,33 @@ def _check_pattern(
 def _check_rules_wellformed(spec: ModelSpecification, report: LintReport) -> None:
     for rule in spec.transformations:
         _check_pattern(rule.pattern, rule.name, "transformation", spec, report)
+        _check_promise(rule, "transformation", report)
     for rule in spec.implementations:
         _check_pattern(rule.pattern, rule.name, "implementation", spec, report)
+        _check_promise(rule, "implementation", report)
         if rule.algorithm not in spec.algorithms:
             report.add(
                 "V004",
                 f"implementation {rule.name!r}",
                 f"targets undeclared algorithm {rule.algorithm!r}",
             )
+
+
+def _check_promise(rule, kind: str, report: LintReport) -> None:
+    """Promise must be a finite number: it orders move pursuit, feeds
+    ``min_promise`` pruning, and is scaled by promise models — a NaN or
+    infinity silently corrupts all three."""
+    promise = rule.promise
+    if (
+        isinstance(promise, bool)
+        or not isinstance(promise, (int, float))
+        or not math.isfinite(promise)
+    ):
+        report.add(
+            "V010",
+            f"{kind} {rule.name!r}",
+            f"promise is {promise!r}; expected a finite number",
+        )
 
 
 def _check_rewrite_output(

@@ -103,6 +103,10 @@ V009 = _register(
     "V009", Severity.INFO, "rule could not be probed statically",
     "the rewrite/condition needs real arguments; covered at run time instead",
 )
+V010 = _register(
+    "V010", Severity.ERROR, "rule promise is not a finite number",
+    "promise orders move pursuit; give the rule a finite numeric promise",
+)
 
 # -- coverage / closure ------------------------------------------------------
 

@@ -22,6 +22,12 @@ from repro.search.engine import (
 )
 from repro.search.tasks import TaskBasedOptimizer, lifo_scheduler
 from repro.search.memo import Group, GroupExpression, Memo, Winner
+from repro.search.promise import (
+    STATIC_PROMISE,
+    LearnedPromiseModel,
+    PromiseModel,
+    StaticPromise,
+)
 from repro.search.sharing import (
     SharedPlan,
     SharingOptions,
@@ -42,6 +48,10 @@ __all__ = [
     "GroupExpression",
     "Memo",
     "Winner",
+    "PromiseModel",
+    "StaticPromise",
+    "STATIC_PROMISE",
+    "LearnedPromiseModel",
     "SearchStats",
     "Tracer",
     "ResourceBudget",

@@ -76,6 +76,7 @@ from repro.options import (
 )
 from repro.search.certify import CertificateBuilder, ClaimRecord
 from repro.search.memo import GoalKey, Group, Memo, Winner
+from repro.search.promise import STATIC_PROMISE, PromiseModel
 from repro.search.tracing import SearchStats, Tracer
 from repro.verify.certificate import PlanCertificate
 
@@ -151,6 +152,15 @@ class SearchOptions(OptionsBase):
         (wall-clock deadline, costing quota, rule-firing quota).  When a
         limit trips, the engine degrades gracefully and flags the result
         ``degraded=True``; see :mod:`repro.search.engine`.
+    ``promise_model``
+        A :class:`~repro.search.promise.PromiseModel` supplying rule
+        promises (move ordering, ``min_promise`` pruning) and optional
+        cost-bound priors.  ``None`` means the static model — promises
+        are the rule authors' numbers, bit-for-bit the historical
+        behavior.  Under exhaustive search a model can only *reorder*
+        moves, and winners are selected by the order-independent
+        ``(cost, rank, alternative)`` rule, so the chosen plan is
+        identical for every model; see ``docs/search-internals.md``.
     ``trace``
         Record a human-readable search trace (slow; for debugging).
     ``certificates``
@@ -162,6 +172,7 @@ class SearchOptions(OptionsBase):
     branch_and_bound: bool = True
     cache_failures: bool = True
     min_promise: Optional[float] = None
+    promise_model: Optional[PromiseModel] = None
     check_consistency: bool = True
     max_groups: Optional[int] = None
     budget: Optional[ResourceBudget] = None
@@ -316,12 +327,26 @@ class PreoptimizedPlan:
 
 @dataclass(frozen=True)
 class _AlgorithmMove:
-    """One costed candidate source: an implementation rule binding."""
+    """One costed candidate source: an implementation rule binding.
+
+    ``promise`` is the active promise model's number (it orders the
+    pursuit); ``rank`` is the move's position under the *static*
+    ordering — stable sort by descending ``rule.promise``, discovery
+    order within ties.  Winner selection compares ``(cost, rank,
+    alternative)``, never the pursuit position, so the chosen plan is
+    independent of how a model reorders equal-cost moves.
+    """
 
     rule: ImplementationRule
     args: Tuple
     input_groups: Tuple[int, ...]
     promise: float
+    rank: int
+
+
+def _move_order(move: _AlgorithmMove) -> Tuple[float, int]:
+    """Pursuit order: descending promise, static rank within ties."""
+    return (-move.promise, move.rank)
 
 
 class _SearchRun:
@@ -344,6 +369,7 @@ class _SearchRun:
         "agenda",
         "move_cache",
         "claims",
+        "promise",
     )
 
     def __init__(
@@ -363,6 +389,13 @@ class _SearchRun:
         self.meter = meter
         # The task driver's agenda (None in the recursive engine).
         self.agenda: Optional[List] = None
+        # The active promise model; STATIC_PROMISE (compared by
+        # identity for the fast path) unless the options name one.
+        self.promise: PromiseModel = (
+            options.promise_model
+            if options.promise_model is not None
+            else STATIC_PROMISE
+        )
         # Provenance claims for certificate construction: id(plan node)
         # → (plan, ClaimRecord).  Keeping the plan in the value pins its
         # id, so reused ids always carry a fresh, overwritten record.
@@ -500,15 +533,15 @@ class VolcanoOptimizer:
                 self._explore_closure(run, root)
                 if preoptimized:
                     self._plant_preoptimized(run, root, preoptimized)
-                winner = self._find_best_plan(
-                    run, root, required, limit, excluded=None, depth=0
-                )
+                winner = self._solve_root(run, root, required, limit, query)
             except BudgetTripped as trip:
                 winner, report = self._degrade(run, root, required, limit, trip)
             if winner is None:
                 raise OptimizationFailedError(
                     f"no plan for goal [{required}] within limit {limit}"
                 )
+            if report is None:
+                run.promise.observe_result(query, required, winner.cost)
             if options.check_consistency and not self.spec.props_cover(
                 winner.plan.properties, required
             ):
@@ -608,9 +641,7 @@ class VolcanoOptimizer:
                 roots.append(root)
                 try:
                     self._explore_closure(run, root)
-                    winner = self._find_best_plan(
-                        run, root, required, limit, excluded=None, depth=0
-                    )
+                    winner = self._solve_root(run, root, required, limit, query)
                 except BudgetTripped as trip:
                     # No per-query degradation here: the budget belongs
                     # to the batch, so the whole batch reports the trip.
@@ -634,6 +665,7 @@ class VolcanoOptimizer:
                         f"chosen plan delivers [{winner.plan.properties}] "
                         f"which does not satisfy the goal [{required}]"
                     )
+                run.promise.observe_result(query, required, winner.cost)
                 # Extract immediately: a later root's closure may merge
                 # groups and clear memoized winners, but the Winner
                 # object (and its plan) stays valid.
@@ -680,6 +712,41 @@ class VolcanoOptimizer:
         finally:
             stats.elapsed_seconds = time.perf_counter() - started
 
+    def _solve_root(
+        self,
+        run: _SearchRun,
+        root: int,
+        required: PhysProps,
+        limit: Cost,
+        query: LogicalExpression,
+    ) -> Optional[Winner]:
+        """Drive the root goal, seeding the cost limit from any prior.
+
+        When the promise model carries an observed-cost prior for this
+        (query, goal) fingerprint and branch-and-bound is on, the first
+        attempt runs under the tighter prior as its limit.  Soundness:
+        pruning is strict (``bound < total``), so a winner found under
+        *any* limit is the true optimum — a prior at or above the
+        optimum changes nothing but the work.  A prior *below* the
+        optimum (statistics moved since it was recorded) makes the
+        seeded attempt fail; the search then retries at the caller's
+        limit, and the failure cache never blocks the wider retry
+        (failures are cached at the limit they failed under).
+        """
+        if run.options.branch_and_bound:
+            prior = run.promise.cost_bound(query, required)
+            if prior is not None and prior < limit:
+                run.stats.bound_seeds += 1
+                winner = self._find_best_plan(
+                    run, root, required, prior, excluded=None, depth=0
+                )
+                if winner is not None:
+                    return winner
+                run.stats.bound_seed_retries += 1
+        return self._find_best_plan(
+            run, root, required, limit, excluded=None, depth=0
+        )
+
     # ------------------------------------------------------------------
     # Anytime degradation (resource governance)
     # ------------------------------------------------------------------
@@ -713,7 +780,14 @@ class VolcanoOptimizer:
         if winner is not None and not winner.cost <= limit:
             winner = None
         if winner is None:
-            plan = greedy_plan(memo, run.context, gid, required, claims=run.claims)
+            plan = greedy_plan(
+                memo,
+                run.context,
+                gid,
+                required,
+                claims=run.claims,
+                promise_model=run.promise,
+            )
             if plan is not None and plan.cost <= limit:
                 run.stats.greedy_plans += 1
                 winner = Winner(plan, plan.cost)
@@ -783,9 +857,14 @@ class VolcanoOptimizer:
             index += 1
             for rule in self._transformations.get(mexpr.operator, ()):
                 meter.check("exploration")
-                if (
-                    options.min_promise is not None
-                    and rule.promise < options.min_promise
+                # Heuristic pruning consults the promise model; the
+                # exhaustive default (min_promise None) never calls it.
+                # This method is shared by both engines — the recursive
+                # driver and the task driver prune (and account) the
+                # exact same rules.
+                if options.min_promise is not None and (
+                    run.promise.transformation_promise(rule, group.logical_props)
+                    < options.min_promise
                 ):
                     stats.moves_pruned += 1
                     continue
@@ -886,14 +965,23 @@ class VolcanoOptimizer:
         excluded: Optional[PhysProps],
         depth: int,
     ) -> Optional[Winner]:
-        """Generate, order, and pursue moves for one goal."""
+        """Generate, order, and pursue moves for one goal.
+
+        Winner selection is by ``(cost, rank)`` — strictly cheaper
+        always wins; at equal cost the move with the lower *static*
+        rank wins regardless of pursuit order.  Under the static model
+        pursuit order equals rank order, so the tie-break never fires
+        and behavior is bit-identical to plain first-minimum selection;
+        under a learned model it makes the chosen plan independent of
+        how the model reordered the moves.  Enforcer moves rank after
+        every algorithm move, in specification order.
+        """
         memo = run.memo
         group = memo.group(gid)
-        moves = self._algorithm_moves(run, group)
-        # "order the set of moves by promise"
-        moves.sort(key=lambda move: -move.promise)
+        moves = self._ordered_moves(run, group)
 
         best: Optional[Winner] = None
+        best_rank = 0
         bound = limit if run.options.branch_and_bound else INFINITE_COST
         for move in moves:
             run.meter.check("costing")
@@ -902,12 +990,18 @@ class VolcanoOptimizer:
             )
             if candidate is None:
                 continue
-            if best is None or candidate.cost < best.cost:
+            if (
+                best is None
+                or candidate.cost < best.cost
+                or (candidate.cost == best.cost and move.rank < best_rank)
+            ):
                 best = candidate
+                best_rank = move.rank
                 if run.options.branch_and_bound and candidate.cost < bound:
                     bound = candidate.cost
         # Enforcer moves: "enforcers for required PhysProp".
         if not required.is_any:
+            rank = len(moves)
             for enforcer_name in self.spec.enforcers:
                 for application in self.spec.enforcer_applications(
                     enforcer_name, run.context, required, group.logical_props
@@ -917,15 +1011,38 @@ class VolcanoOptimizer:
                         run, gid, enforcer_name, application, required, bound,
                         excluded, depth,
                     )
+                    current_rank = rank
+                    rank += 1
                     if candidate is None:
                         continue
-                    if best is None or candidate.cost < best.cost:
+                    if (
+                        best is None
+                        or candidate.cost < best.cost
+                        or (
+                            candidate.cost == best.cost
+                            and current_rank < best_rank
+                        )
+                    ):
                         best = candidate
+                        best_rank = current_rank
                         if run.options.branch_and_bound and candidate.cost < bound:
                             bound = candidate.cost
         if best is not None and not best.cost <= limit:
             return None
         return best
+
+    def _ordered_moves(self, run: _SearchRun, group: Group) -> List[_AlgorithmMove]:
+        """A group's algorithm moves in pursuit order.
+
+        The ordering contract shared by both engines (documented in
+        ``docs/search-internals.md``, "Promise and move ordering"):
+        stable sort by descending model promise, static rank within
+        ties — so equal-promise moves are pursued in discovery order,
+        identically in the recursive and the task-based driver.
+        """
+        moves = self._algorithm_moves(run, group)
+        moves.sort(key=_move_order)
+        return moves
 
     def _algorithm_moves(self, run: _SearchRun, group: Group) -> List[_AlgorithmMove]:
         """Implementation-rule bindings over every expression of a group.
@@ -937,6 +1054,11 @@ class VolcanoOptimizer:
         when any of them changes — see
         :meth:`repro.search.memo.Memo.cached_moves`.  A fresh list is
         returned on every call so drivers may sort it in place.
+
+        Each move carries the active promise model's promise and its
+        static rank (position under stable descending-``rule.promise``
+        order).  The memo (and therefore this cache) is per-run, so
+        baking per-run model promises into cached moves is sound.
         """
         memo, context = run.memo, run.context
         cached = memo.cached_moves(group.id)
@@ -944,7 +1066,7 @@ class VolcanoOptimizer:
             return list(cached)
         probes = {group.id: group.version}
         expressions_of = memo.probing_expressions_of(probes)
-        moves: List[_AlgorithmMove] = []
+        found: List[Tuple[ImplementationRule, Tuple, Tuple[int, ...]]] = []
         seen = set()
         for mexpr in group.expressions:
             for rule in self._implementations.get(mexpr.operator, ()):
@@ -970,9 +1092,32 @@ class VolcanoOptimizer:
                     if fingerprint in seen:
                         continue
                     seen.add(fingerprint)
-                    moves.append(
-                        _AlgorithmMove(rule, args, input_groups, rule.promise)
-                    )
+                    found.append((rule, args, input_groups))
+        # Static ranks: stable descending rule promise, discovery order
+        # within ties — the reference order every tie-break compares by.
+        order = sorted(
+            range(len(found)), key=lambda index: -found[index][0].promise
+        )
+        ranks = [0] * len(found)
+        for rank, index in enumerate(order):
+            ranks[index] = rank
+        if run.promise is STATIC_PROMISE:
+            moves = [
+                _AlgorithmMove(rule, args, input_groups, rule.promise, ranks[i])
+                for i, (rule, args, input_groups) in enumerate(found)
+            ]
+        else:
+            props = group.logical_props
+            moves = [
+                _AlgorithmMove(
+                    rule,
+                    args,
+                    input_groups,
+                    run.promise.implementation_promise(rule, props),
+                    ranks[i],
+                )
+                for i, (rule, args, input_groups) in enumerate(found)
+            ]
         memo.store_moves(group.id, probes, tuple(moves))
         return moves
 

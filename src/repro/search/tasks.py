@@ -24,7 +24,12 @@ control flow differs:
 
 The *scheduler* is the parameterization hook: LIFO reproduces the
 recursive engine's order exactly; a priority scheduler can reorder
-sibling moves globally by promise.
+sibling moves globally by promise.  Plan identity does not depend on
+the scheduler: winners are adopted by the order-independent
+``(cost, move rank, alternative index)`` rule shared with the
+recursive engine (see docs/search-internals.md, "Promise and move
+ordering"), so any fair scheduler — and any promise model reordering
+the moves — yields the same plan under exhaustive search.
 
 Per-run state (memo, stats, agenda, budget meter) travels in the
 :class:`~repro.search.engine._SearchRun` object every task receives, so
@@ -59,6 +64,7 @@ class _GoalState:
         "limit",
         "bound",
         "best",
+        "best_key",
         "finished",
         "key",
     )
@@ -70,14 +76,30 @@ class _GoalState:
         self.limit = limit
         self.bound = limit if branch_and_bound else INFINITE_COST
         self.best: Optional[Winner] = None
+        self.best_key: Tuple[int, int] = (0, 0)
         self.finished = False
         # The (interned, when the caller passes memo.goal_key) dict key
         # for winner/failure/in-progress tables.
         self.key: GoalKey = key if key is not None else (required, excluded)
 
-    def offer(self, candidate: Winner, branch_and_bound: bool) -> None:
-        if self.best is None or candidate.cost < self.best.cost:
+    def offer(
+        self, candidate: Winner, key: Tuple[int, int], branch_and_bound: bool
+    ) -> None:
+        """Adopt ``candidate`` when it beats the incumbent.
+
+        ``key`` is ``(move rank, alternative index)`` — the same
+        order-independent tie-break the recursive engine applies:
+        strictly cheaper wins; at equal cost the lexicographically
+        smaller key wins, whatever order the scheduler pursued the
+        tasks in.  Enforcer offers rank after every algorithm move.
+        """
+        if (
+            self.best is None
+            or candidate.cost < self.best.cost
+            or (candidate.cost == self.best.cost and key < self.best_key)
+        ):
             self.best = candidate
+            self.best_key = key
             if branch_and_bound and candidate.cost < self.bound:
                 self.bound = candidate.cost
 
@@ -140,19 +162,29 @@ class _BeginGoal(_Task):
             return
         group.mark_in_progress(key)
         run.stats.find_best_plan_calls += 1
-        # Finish runs after every move task (stack discipline: push first).
-        run.agenda.append(_FinishGoal(state))
-        # Enforcer moves.
+        # The ordering contract (docs/search-internals.md, "Promise and
+        # move ordering"): algorithm moves are pursued in the shared
+        # pursuit order — descending model promise, static rank (i.e.
+        # discovery order) within ties — then enforcers in
+        # specification order.  The agenda is a LIFO stack, so tasks
+        # are pushed in *reverse*: naive ascending-sort-then-push used
+        # to explore equal-promise ties backwards, diverging from the
+        # recursive engine on equal-cost plans.
+        moves = engine._ordered_moves(run, group)
+        enforcers = []
         if not state.required.is_any:
+            rank = len(moves)
             for name in engine.spec.enforcers:
                 for application in engine.spec.enforcer_applications(
                     name, run.context, state.required, group.logical_props
                 ):
-                    run.agenda.append(_CostEnforcer(state, name, application))
-        # Algorithm moves, highest promise on top of the stack.
-        moves = engine._algorithm_moves(run, group)
-        moves.sort(key=lambda move: move.promise)
-        for move in moves:
+                    enforcers.append(_CostEnforcer(state, name, application, rank))
+                    rank += 1
+        # Finish runs after every move task (stack discipline: push first).
+        run.agenda.append(_FinishGoal(state))
+        for task in reversed(enforcers):
+            run.agenda.append(task)
+        for move in reversed(moves):
             run.agenda.append(_ExpandMove(state, move))
 
 
@@ -171,7 +203,8 @@ class _ExpandMove(_Task):
         algorithm, node, alternatives, local = engine._move_applicability(
             run, group, move, state.required
         )
-        for requirements in alternatives or ():
+        tasks = []
+        for alt, requirements in enumerate(alternatives or ()):
             if len(requirements) != len(move.input_groups):
                 raise SearchError(
                     f"algorithm {algorithm.name!r} returned "
@@ -180,11 +213,15 @@ class _ExpandMove(_Task):
                 )
             run.stats.algorithm_costings += 1
             run.meter.charge_costing()
-            run.agenda.append(
+            tasks.append(
                 _CostAlternative(
-                    state, move, node, tuple(requirements), local, (), 0
+                    state, move, node, tuple(requirements), local, (), 0, alt
                 )
             )
+        # Reverse-push so the LIFO agenda pursues alternatives in the
+        # algorithm's own order, like the recursive engine.
+        for task in reversed(tasks):
+            run.agenda.append(task)
 
 
 class _CostAlternative(_Task):
@@ -198,10 +235,11 @@ class _CostAlternative(_Task):
         "total",
         "plans",
         "index",
+        "alt",
         "started",
     )
 
-    def __init__(self, state, move, node, requirements, total, plans, index):
+    def __init__(self, state, move, node, requirements, total, plans, index, alt):
         self.state = state
         self.move = move
         self.node = node
@@ -209,6 +247,9 @@ class _CostAlternative(_Task):
         self.total = total
         self.plans: Tuple[PhysicalPlan, ...] = plans
         self.index = index
+        # The alternative's position in the algorithm's applicability
+        # order; with the move's rank it forms the offer tie-break key.
+        self.alt = alt
         self.started = False
 
     def step(self, engine, run) -> None:
@@ -235,6 +276,7 @@ class _CostAlternative(_Task):
                     self.total + winner.cost,
                     self.plans + (winner.plan,),
                     self.index + 1,
+                    self.alt,
                 )
             )
             return
@@ -294,16 +336,23 @@ class _CostAlternative(_Task):
                     inputs=self.node.inputs,
                 ),
             )
-        state.offer(Winner(plan, self.total), run.options.branch_and_bound)
+        state.offer(
+            Winner(plan, self.total),
+            (self.move.rank, self.alt),
+            run.options.branch_and_bound,
+        )
 
 
 class _CostEnforcer(_Task):
-    __slots__ = ("state", "name", "application", "local", "started")
+    __slots__ = ("state", "name", "application", "rank", "local", "started")
 
-    def __init__(self, state, name, application: EnforcerApplication):
+    def __init__(self, state, name, application: EnforcerApplication, rank: int):
         self.state = state
         self.name = name
         self.application = application
+        # Enforcers rank after every algorithm move, in specification
+        # order — the recursive engine's evaluation order.
+        self.rank = rank
         self.local: Optional[Cost] = None
         self.started = False
 
@@ -382,7 +431,7 @@ class _CostEnforcer(_Task):
                     required=state.required,
                 ),
             )
-        state.offer(Winner(plan, total), run.options.branch_and_bound)
+        state.offer(Winner(plan, total), (self.rank, 0), run.options.branch_and_bound)
 
 
 class _FinishGoal(_Task):

@@ -61,6 +61,11 @@ class SearchStats:
     # Resource-governance counters (repro.options.ResourceBudget).
     budget_trips: int = 0
     greedy_plans: int = 0
+    # Promise-model counters (repro.search.promise): root searches
+    # seeded from an observed-cost prior, and how many of those seeds
+    # were too tight (statistics moved) and forced a full-limit retry.
+    bound_seeds: int = 0
+    bound_seed_retries: int = 0
     # Wall-clock, filled in by the engine.
     elapsed_seconds: float = 0.0
 
@@ -95,6 +100,8 @@ class SearchStats:
             "winners_harvested": self.winners_harvested,
             "budget_trips": self.budget_trips,
             "greedy_plans": self.greedy_plans,
+            "bound_seeds": self.bound_seeds,
+            "bound_seed_retries": self.bound_seed_retries,
             "elapsed_seconds": self.elapsed_seconds,
         }
 

@@ -52,6 +52,7 @@ from repro.feedback import (
 )
 from repro.options import BudgetReport, OptionsBase, ResourceBudget, check_positive
 from repro.search.engine import OptimizationResult, PreoptimizedPlan
+from repro.search.promise import PromiseModel
 from repro.search.sharing import (
     SharedPlan,
     SharingOptions,
@@ -119,6 +120,19 @@ class ServiceOptions(OptionsBase):
         stale and the next optimization of those queries is fresh.
         When None (the default), executions still record feedback
         telemetry but statistics are never rewritten.
+    ``promise_model``
+        A :class:`~repro.search.promise.PromiseModel` folded into every
+        engine run through this service (unless the engine's own
+        options already carry one).  Pair it with
+        :class:`~repro.search.promise.LearnedPromiseModel` to close the
+        feedback loop: :meth:`OptimizerService.execute` feeds each
+        instrumented execution's report (and the accumulated
+        :attr:`feedback` store) into the model, so later
+        :meth:`optimize` / :meth:`optimize_many` calls order moves and
+        seed branch-and-bound limits from observed behavior.  Under
+        exhaustive search served plans are unaffected — the engines'
+        winner selection is ordering-independent — only the search
+        effort changes.
     ``sharing``
         Multi-query optimization policy for :meth:`optimize_many`
         (:class:`~repro.search.sharing.SharingOptions`).  When enabled
@@ -153,6 +167,7 @@ class ServiceOptions(OptionsBase):
     max_subplans: int = 256
     max_seeds_per_query: int = 32
     budget: Optional[ResourceBudget] = None
+    promise_model: Optional[PromiseModel] = None
     feedback_policy: Optional[FeedbackPolicy] = None
     sharing: SharingOptions = field(default_factory=SharingOptions)
     verify_plans: bool = False
@@ -1245,6 +1260,15 @@ class OptimizerService:
                 degraded=served.degraded,
             )
             self.feedback.record(report)
+            model = self.options.promise_model
+            if model is None:
+                model = getattr(self.optimizer.options, "promise_model", None)
+            observe = getattr(model, "observe", None)
+            if callable(observe):
+                # Close the loop: a learned promise model folds this
+                # execution's report (and the store's aggregates) into
+                # its priors, steering later optimize() calls.
+                observe(report, self.feedback)
             policy = policy if policy is not None else self.options.feedback_policy
             if policy is not None and not served.degraded:
                 refresh = refresh_statistics(
@@ -1329,6 +1353,13 @@ class OptimizerService:
         changed = False
         if budget is not None:
             options = options.replace(budget=budget)
+            changed = True
+        model = self.options.promise_model
+        if model is not None and getattr(options, "promise_model", model) is None:
+            # Fold the service's model in — unless the engine's options
+            # already pin one (engine-level wins), or the engine's
+            # options class has no such field (baselines).
+            options = options.replace(promise_model=model)
             changed = True
         if (
             self.options.verify_plans

@@ -41,8 +41,14 @@ def test_results_shape(results):
         "feedback_loop",
         "batch_throughput",
         "mqo_sharing",
+        "promise_ordering",
         "verify_overhead",
     }
+    ordering = benches["promise_ordering"]
+    assert ordering["learned_costings"] < ordering["static_costings"]
+    assert ordering["rule_firing_delta"] == 0
+    assert ordering["bound_seed_retries"] == 0
+    assert ordering["min_promise_parity_delta"] == 0
     for metrics in benches.values():
         assert metrics["median_ms"] > 0
     for size in (3, 4):

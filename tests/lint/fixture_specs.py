@@ -292,3 +292,17 @@ def broken_enforcer_no_relaxation() -> ModelSpecification:
     spec = clean_spec()
     spec.add_enforcer(_enforcer_base("lazy_sort", enforce))
     return spec
+
+
+def broken_nonfinite_promise() -> ModelSpecification:
+    """V010: an implementation rule's promise is NaN."""
+    spec = clean_spec()
+    spec.implementations.append(
+        ImplementationRule(
+            "combine_to_nan",
+            _combine_pattern(),
+            "hash_combine",
+            promise=float("nan"),
+        )
+    )
+    return spec

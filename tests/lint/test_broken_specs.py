@@ -14,6 +14,7 @@ EXPECTED = [
     ("broken_missing_parts", "V005"),
     ("broken_dropped_binding", "V006"),
     ("broken_rewrite_unknown_operator", "V007"),
+    ("broken_nonfinite_promise", "V010"),
     ("broken_unimplementable_operator", "V101"),
     ("broken_enforcer_gap", "V104"),
     ("broken_growing_cycle", "V201"),

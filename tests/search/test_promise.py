@@ -1,0 +1,457 @@
+"""Cross-engine promise parity and learned-promise safety.
+
+The parity half of this suite is the regression test for the
+tie-ordering bug: the task-based driver used to pursue equal-promise
+moves in *reversed* discovery order (ascending sort popped off a LIFO
+agenda), so on equal-cost plans the two engines returned different —
+equally optimal — trees.  The ordering contract and the
+order-independent ``(cost, rank, alternative)`` winner rule (see
+``docs/search-internals.md``, "Promise and move ordering") make the
+engines agree byte-for-byte; the safety half proves that no promise
+model — learned or adversarial — can change the chosen plan under
+exhaustive search.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.algebra.predicates import eq
+from repro.algebra.properties import ANY_PROPS, PhysProps, sorted_on
+from repro.catalog import Catalog
+from repro.executor import TableSpec, populate_catalog
+from repro.feedback.report import FeedbackReport, OperatorFeedback
+from repro.models.relational import get, join, relational_model
+from repro.search import (
+    LearnedPromiseModel,
+    PromiseModel,
+    STATIC_PROMISE,
+    SearchOptions,
+    StaticPromise,
+    TaskBasedOptimizer,
+    VolcanoOptimizer,
+)
+from repro.service import OptimizerService, ServiceOptions
+from repro.workloads import QueryGenerator, WorkloadOptions
+
+from tests.helpers import chain_query, make_catalog
+
+ENGINES = (VolcanoOptimizer, TaskBasedOptimizer)
+
+
+class FlipModel:
+    """Boosts one algorithm above everything else; nothing more."""
+
+    def __init__(self, algorithm, promise=3.0):
+        self.algorithm = algorithm
+        self.promise = promise
+
+    def transformation_promise(self, rule, props):
+        return rule.promise
+
+    def implementation_promise(self, rule, props):
+        return self.promise if rule.algorithm == self.algorithm else rule.promise
+
+    def cost_bound(self, query, required):
+        return None
+
+    def observe_result(self, query, required, cost):
+        return None
+
+
+class PriorModel(FlipModel):
+    """A fixed cost prior for every query (and no reordering)."""
+
+    def __init__(self, prior):
+        super().__init__(algorithm=None)
+        self.prior = prior
+
+    def cost_bound(self, query, required):
+        return self.prior
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return relational_model()
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return make_catalog([("r", 1200), ("s", 2400), ("t", 4800), ("u", 7200)])
+
+
+def chain(*tables):
+    tree = get(tables[0])
+    for index in range(1, len(tables)):
+        tree = join(
+            tree,
+            get(tables[index]),
+            eq(f"{tables[index - 1]}.k", f"{tables[index]}.k"),
+        )
+    return tree
+
+
+# ---------------------------------------------------------------------------
+# Cross-engine parity
+# ---------------------------------------------------------------------------
+
+
+def test_engines_agree_on_equal_cost_ties(spec):
+    """The bug this PR fixes: equal-cost ties diverged across engines.
+
+    The golden workload's generator settings produce several queries
+    whose optimum is reached by multiple equal-cost trees; the old task
+    driver pursued equal-promise moves reversed and returned different
+    (equally optimal) plans for them.  Both engines must now agree on
+    every query, byte for byte.
+    """
+    workload = QueryGenerator(
+        WorkloadOptions(selectivity_range=(0.1, 0.1))
+    ).generate_shared(count=12, seed=7, n_tables=6, relations=(2, 4))
+    options = SearchOptions(check_consistency=False)
+    recursive = VolcanoOptimizer(spec, workload.catalog, options)
+    task_based = TaskBasedOptimizer(spec, workload.catalog, options)
+    required = workload.queries[0].required
+    for entry in workload.queries:
+        first = recursive.optimize(entry.query, required)
+        second = task_based.optimize(entry.query, required)
+        assert first.cost == second.cost
+        assert first.plan.to_sexpr() == second.plan.to_sexpr()
+
+
+def _recorded_orders(engine_cls, spec, catalog, model, query, required):
+    """Every group's move list (algorithms, promises, ranks), in order."""
+    orders = {}
+
+    class Spy(engine_cls):
+        def _ordered_moves(self, run, group):
+            moves = super()._ordered_moves(run, group)
+            snapshot = tuple(
+                (move.rule.algorithm, move.input_groups, move.promise, move.rank)
+                for move in moves
+            )
+            previous = orders.setdefault(group.id, snapshot)
+            assert previous == snapshot, "move order changed between goals"
+            return moves
+
+    options = SearchOptions(check_consistency=False, promise_model=model)
+    Spy(spec, catalog, options).optimize(query, required)
+    return orders
+
+
+@pytest.mark.parametrize(
+    "model",
+    [None, StaticPromise(), LearnedPromiseModel(), FlipModel("merge_join")],
+    ids=["default", "static", "learned_cold", "flip"],
+)
+def test_move_generation_and_order_parity(spec, catalog, model):
+    """Both engines generate the same moves in the same pursuit order."""
+    query = chain_query(["r", "s", "t", "u"])
+    required = sorted_on("r.k")
+    recursive = _recorded_orders(
+        VolcanoOptimizer, spec, catalog, model, query, required
+    )
+    task_based = _recorded_orders(
+        TaskBasedOptimizer, spec, catalog, model, query, required
+    )
+    assert recursive == task_based
+
+
+def test_pursuit_order_and_static_ranks(spec, catalog):
+    """Pursuit sorts by model promise; ranks stay the static reference."""
+    query = chain_query(["r", "s", "t"])
+    static = _recorded_orders(
+        VolcanoOptimizer, spec, catalog, None, query, ANY_PROPS
+    )
+    flipped = _recorded_orders(
+        VolcanoOptimizer,
+        spec,
+        catalog,
+        FlipModel("merge_join"),
+        query,
+        ANY_PROPS,
+    )
+    join_orders = [
+        order
+        for order in static.values()
+        if {name for name, *_ in order} == {"merge_join", "hybrid_hash_join"}
+    ]
+    assert join_orders, "no join group seen"
+    for gid, order in static.items():
+        # Static pursuit: descending rule promise, ranks in that order.
+        assert [rank for *_, rank in order] == list(range(len(order)))
+        promises = [promise for _, _, promise, _ in order]
+        assert promises == sorted(promises, reverse=True)
+        # The flip model reorders the pursuit but never rewrites ranks:
+        # the same (algorithm, rank) pairs appear, sorted by the model's
+        # promise numbers.
+        refit = flipped[gid]
+        assert sorted((name, rank) for name, _, _, rank in refit) == sorted(
+            (name, rank) for name, _, _, rank in order
+        )
+        if {name for name, *_ in order} == {"merge_join", "hybrid_hash_join"}:
+            assert refit[0][0] == "merge_join"
+
+
+@pytest.mark.parametrize("min_promise", [None, 0.9])
+@pytest.mark.parametrize(
+    "model", [None, LearnedPromiseModel()], ids=["static", "learned"]
+)
+def test_min_promise_filtering_parity(spec, catalog, min_promise, model):
+    """Pruning accounting is identical across engines for every model."""
+    query = chain_query(["r", "s", "t", "u"])
+    options = SearchOptions(
+        check_consistency=False, min_promise=min_promise, promise_model=model
+    )
+    results = [
+        engine_cls(spec, catalog, options).optimize(query, sorted_on("s.k"))
+        for engine_cls in ENGINES
+    ]
+    first, second = results
+    assert first.stats.moves_pruned == second.stats.moves_pruned
+    assert first.stats.rules_fired == second.stats.rules_fired
+    assert first.plan.to_sexpr() == second.plan.to_sexpr()
+    if min_promise is not None:
+        assert first.stats.moves_pruned > 0
+
+
+# ---------------------------------------------------------------------------
+# No model changes the plan under exhaustive search
+# ---------------------------------------------------------------------------
+
+_ALGORITHMS = (
+    "file_scan",
+    "filter",
+    "filter_scan",
+    "merge_join",
+    "hybrid_hash_join",
+    "project",
+)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.fixed_dictionaries(
+        {name: st.floats(0.0, 8.0, allow_nan=False) for name in _ALGORITHMS}
+    ),
+    st.booleans(),
+)
+def test_any_promise_model_preserves_plan(promises, want_sorted):
+    spec = relational_model()
+    catalog = make_catalog([("r", 1200), ("s", 2400), ("t", 4800)])
+    query = chain_query(["r", "s", "t"])
+    required = sorted_on("r.k") if want_sorted else ANY_PROPS
+
+    class Arbitrary(FlipModel):
+        def __init__(self):
+            super().__init__(algorithm=None)
+
+        def implementation_promise(self, rule, props):
+            return promises.get(rule.algorithm, rule.promise)
+
+    baseline = VolcanoOptimizer(
+        spec, catalog, SearchOptions(check_consistency=False)
+    ).optimize(query, required)
+    for engine_cls in ENGINES:
+        options = SearchOptions(check_consistency=False, promise_model=Arbitrary())
+        result = engine_cls(spec, catalog, options).optimize(query, required)
+        assert result.cost == baseline.cost
+        assert result.plan.to_sexpr() == baseline.plan.to_sexpr()
+
+
+@pytest.mark.parametrize("engine_cls", ENGINES, ids=["recursive", "tasks"])
+def test_learned_cost_prior_seeds_without_changing_plans(
+    spec, catalog, engine_cls
+):
+    """Repeat optimizations seed the root bound; plans stay identical."""
+    query = chain_query(["r", "s", "t", "u"])
+    required = sorted_on("r.k")
+    baseline = engine_cls(
+        spec, catalog, SearchOptions(check_consistency=False)
+    ).optimize(query, required)
+
+    model = LearnedPromiseModel()
+    optimizer = engine_cls(
+        spec, catalog, SearchOptions(check_consistency=False, promise_model=model)
+    )
+    cold = optimizer.optimize(query, required)
+    assert cold.stats.bound_seeds == 0
+    assert model.priors == 1
+    repeat = optimizer.optimize(query, required)
+    assert repeat.stats.bound_seeds == 1
+    assert repeat.stats.bound_seed_retries == 0
+    for result in (cold, repeat):
+        assert result.cost == baseline.cost
+        assert result.plan.to_sexpr() == baseline.plan.to_sexpr()
+
+
+@pytest.mark.parametrize("engine_cls", ENGINES, ids=["recursive", "tasks"])
+def test_too_tight_prior_retries_transparently(spec, catalog, engine_cls):
+    """A below-optimum prior fails the seeded attempt, then retries."""
+    query = chain_query(["r", "s", "t"])
+    baseline = engine_cls(
+        spec, catalog, SearchOptions(check_consistency=False)
+    ).optimize(query)
+    impossible = baseline.cost - baseline.cost  # zero-cost prior
+    options = SearchOptions(
+        check_consistency=False, promise_model=PriorModel(impossible)
+    )
+    result = engine_cls(spec, catalog, options).optimize(query)
+    assert result.stats.bound_seeds == 1
+    assert result.stats.bound_seed_retries == 1
+    assert result.cost == baseline.cost
+    assert result.plan.to_sexpr() == baseline.plan.to_sexpr()
+
+
+# ---------------------------------------------------------------------------
+# The learned loop end to end
+# ---------------------------------------------------------------------------
+
+
+def test_learned_model_end_to_end_via_service(spec):
+    """Execution feedback flips pursuit order; plans never change."""
+    catalog = Catalog()
+    populate_catalog(
+        catalog,
+        [
+            TableSpec("r", 300, key_distinct=50),
+            TableSpec("s", 900, key_distinct=50),
+            TableSpec("t", 600, key_distinct=50),
+        ],
+        seed=7,
+    )
+    query = chain("r", "s", "t")
+    required = PhysProps(sort_order=("r.k",))
+
+    model = LearnedPromiseModel(boost=0.75, observation_scale=2)
+    optimizer = VolcanoOptimizer(
+        spec, catalog, SearchOptions(check_consistency=False, promise_model=model)
+    )
+    service = OptimizerService(
+        optimizer, options=ServiceOptions(promise_model=model)
+    )
+    service.execute(query, required)
+    service.execute(query, required)
+
+    # Sorted-output chains run merge joins; the evidence accumulated.
+    evidence = model.algorithm_evidence("merge_join")
+    assert evidence is not None and evidence.observations >= 2
+    assert model.algorithm_evidence("hybrid_hash_join") is None
+    assert model.priors >= 1
+    merge_rule = next(
+        rule for rule in spec.implementations if rule.algorithm == "merge_join"
+    )
+    hash_rule = next(
+        rule
+        for rule in spec.implementations
+        if rule.algorithm == "hybrid_hash_join"
+    )
+    assert model.implementation_promise(
+        merge_rule, None
+    ) > model.implementation_promise(hash_rule, None)
+
+    # Repeats: both engines, same plans as a static engine, bounds seeded.
+    for engine_cls in ENGINES:
+        static = engine_cls(
+            spec, catalog, SearchOptions(check_consistency=False)
+        ).optimize(query, required)
+        repeat = engine_cls(
+            spec,
+            catalog,
+            SearchOptions(check_consistency=False, promise_model=model),
+        ).optimize(query, required)
+        assert repeat.stats.bound_seeds == 1
+        assert repeat.stats.bound_seed_retries == 0
+        assert repeat.cost == static.cost
+        assert repeat.plan.to_sexpr() == static.plan.to_sexpr()
+
+
+def test_service_options_fold_model_into_engine_calls(spec, catalog):
+    """``ServiceOptions(promise_model=...)`` reaches plain optimize()."""
+    model = LearnedPromiseModel()
+    optimizer = VolcanoOptimizer(spec, catalog, SearchOptions(check_consistency=False))
+    service = OptimizerService(
+        optimizer, options=ServiceOptions(promise_model=model)
+    )
+    service.optimize(chain_query(["r", "s"]))
+    assert model.priors == 1  # the engine's observe_result reached it
+
+
+def test_observe_skips_enforcers_and_quarantines_degraded():
+    def op(node_id, algorithm, enforcer=False, est=100.0, actual=400):
+        return OperatorFeedback(
+            node_id=node_id,
+            algorithm=algorithm,
+            is_enforcer=enforcer,
+            table=None,
+            alias=None,
+            predicate=None,
+            estimated_rows=est,
+            actual_rows=actual,
+        )
+
+    model = LearnedPromiseModel()
+    report = FeedbackReport(
+        plan=None,
+        operators=(op(0, "sort", enforcer=True), op(1, "merge_join")),
+    )
+    model.observe(report)
+    assert model.algorithm_evidence("sort") is None
+    evidence = model.algorithm_evidence("merge_join")
+    assert evidence.observations == 1
+    assert evidence.mean_q_error == pytest.approx(4.0)
+
+    degraded = FeedbackReport(
+        plan=None, operators=(op(1, "merge_join"),), degraded=True
+    )
+    model.observe(degraded)
+    evidence = model.algorithm_evidence("merge_join")
+    # The appearance counts; the untrusted q-error is quarantined to 1.0.
+    assert evidence.observations == 2
+    assert evidence.mean_q_error == pytest.approx(2.5)
+
+
+def test_static_promise_satisfies_protocol():
+    assert isinstance(STATIC_PROMISE, PromiseModel)
+    assert isinstance(LearnedPromiseModel(), PromiseModel)
+
+
+# ---------------------------------------------------------------------------
+# Greedy degradation
+# ---------------------------------------------------------------------------
+
+
+def test_greedy_degradation_unchanged_without_model(spec, catalog):
+    """No model (or the static one) must reproduce historical greedy."""
+    from repro.model.context import OptimizerContext
+    from repro.search.extract import greedy_plan
+
+    result = VolcanoOptimizer(
+        spec, catalog, SearchOptions(check_consistency=False)
+    ).optimize(chain_query(["r", "s", "t"]))
+    context = OptimizerContext(spec, catalog)
+    context.group_props_resolver = result.memo.logical_props
+    root = max(
+        (group for group in result.memo.groups()),
+        key=lambda group: len(group.logical_props.tables),
+    ).id
+    default = greedy_plan(result.memo, context, root, ANY_PROPS)
+    static = greedy_plan(
+        result.memo, context, root, ANY_PROPS, promise_model=STATIC_PROMISE
+    )
+    assert default is not None
+    assert default.to_sexpr() == static.to_sexpr()
+    # A model *may* steer greedy extraction (it is the one deliberate
+    # ordering-sensitive path) — but the result is still a valid plan
+    # over the same tables.
+    steered = greedy_plan(
+        result.memo,
+        context,
+        root,
+        ANY_PROPS,
+        promise_model=FlipModel("merge_join"),
+    )
+    assert steered is not None
+    assert {args[0] for args in steered.leaf_args()} == {
+        args[0] for args in default.leaf_args()
+    }
