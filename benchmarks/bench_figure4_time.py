@@ -7,6 +7,13 @@ queries at increasing complexity.  The paper's claims, asserted here:
 * EXODUS falls behind by roughly an order of magnitude for complex
   queries ("for more complex queries, the EXODUS' and Volcano's
   optimization times differ by about an order of magnitude").
+
+The Volcano line is measured twice: interpreted (the baseline) and with
+the generated specialized search kernel (``SearchOptions(kernel=...)``,
+see ``repro.generator.kernel``) — same plans, fewer interpreted frames.
+
+Pass ``--profile`` to print cProfile's top-20 cumulative hotspots per
+point, so a speedup (or regression) is attributable to specific frames.
 """
 
 import pytest
@@ -21,27 +28,43 @@ EXODUS_SIZES = [2, 4, 5]  # beyond this the prototype "ran much longer"
 
 
 @pytest.mark.parametrize("size", SIZES)
-def test_volcano_optimization_time(benchmark, spec, generator, size):
+def test_volcano_optimization_time(benchmark, spec, generator, profiled, size):
     query = generator.generate(size, seed=101)
     options = SearchOptions(check_consistency=False)
 
     def optimize():
         return VolcanoOptimizer(spec, query.catalog, options).optimize(query.query)
 
-    result = run_once(benchmark, optimize)
+    result = run_once(benchmark, profiled(optimize, f"volcano-{size}"))
+    assert result.cost.total() > 0
+    benchmark.extra_info["memo_footprint"] = result.stats.memo_footprint()
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_volcano_kernelized_optimization_time(
+    benchmark, spec, generator, profiled, size
+):
+    """The same line with the generated specialized search kernel."""
+    query = generator.generate(size, seed=101)
+    options = SearchOptions(check_consistency=False, kernel="specialized")
+
+    def optimize():
+        return VolcanoOptimizer(spec, query.catalog, options).optimize(query.query)
+
+    result = run_once(benchmark, profiled(optimize, f"volcano-kernel-{size}"))
     assert result.cost.total() > 0
     benchmark.extra_info["memo_footprint"] = result.stats.memo_footprint()
 
 
 @pytest.mark.parametrize("size", EXODUS_SIZES)
-def test_exodus_optimization_time(benchmark, spec, generator, size):
+def test_exodus_optimization_time(benchmark, spec, generator, profiled, size):
     query = generator.generate(size, seed=101)
     options = ExodusOptions(node_budget=1500, transformation_budget=1500)
 
     def optimize():
         return ExodusOptimizer(spec, query.catalog, options).optimize(query.query)
 
-    result = run_once(benchmark, optimize)
+    result = run_once(benchmark, profiled(optimize, f"exodus-{size}"))
     assert result.cost.total() > 0
     benchmark.extra_info["mesh_size"] = result.stats.mesh_size()
     benchmark.extra_info["aborted"] = result.aborted

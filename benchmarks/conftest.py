@@ -8,10 +8,57 @@ Full-scale reproduction (the paper's 50 queries per size, sizes 2–8) is
 the CLI harness: ``python -m repro.bench figure4``.
 """
 
+import cProfile
+import io
+import pstats
+
 import pytest
 
 from repro.models.relational import relational_model
 from repro.workloads import QueryGenerator, WorkloadOptions
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--profile",
+        action="store_true",
+        default=False,
+        help="print cProfile top-20 cumulative hotspots for each "
+        "benchmark point (figure-4 time benchmarks)",
+    )
+
+
+@pytest.fixture
+def profiled(request):
+    """Wrap a benchmark callable with cProfile when --profile is on.
+
+    Returns a decorator: ``function = profiled(function, label)``.  The
+    profile covers every round the benchmark runs and prints the top 20
+    cumulative-time entries once per point, so speedups (e.g. kernel
+    tiers) are attributable to specific frames.  Without --profile the
+    callable is returned unwrapped — zero overhead on normal runs.
+    """
+    if not request.config.getoption("--profile"):
+        return lambda function, label=None: function
+
+    def wrap(function, label=None):
+        profile = cProfile.Profile()
+        tag = label or request.node.name
+
+        def wrapped(*args, **kwargs):
+            return profile.runcall(function, *args, **kwargs)
+
+        def report():
+            stream = io.StringIO()
+            stats = pstats.Stats(profile, stream=stream)
+            stats.sort_stats("cumulative").print_stats(20)
+            print(f"\n=== cProfile [{tag}] (top 20 cumulative) ===")
+            print(stream.getvalue())
+
+        request.addfinalizer(report)
+        return wrapped
+
+    return wrap
 
 
 @pytest.fixture(scope="session")

@@ -68,10 +68,19 @@ The suite:
     fractional overhead is held to an absolute cap — provenance
     certificates must stay effectively free — and every certificate
     must keep verifying (``verified_ok`` in the tight band).
+``kernel_speedup``
+    The largest Figure 4 point run interpreted versus with the
+    generated specialized search kernel
+    (``SearchOptions(kernel="specialized")``).  Plans must stay
+    byte-identical and costing/rule-firing counters exactly equal
+    (tight band at zero delta); the paired speedup ratio is held to an
+    absolute floor — the kernel must never make the search slower.
 """
 
 from __future__ import annotations
 
+import contextlib
+import gc
 import json
 import os
 import platform
@@ -117,6 +126,10 @@ class RegressConfig:
     # Fail the certified-serving bench when its fractional latency
     # overhead exceeds this absolute cap (the "< 10%" promise).
     verify_overhead_cap: float = 0.10
+    # Fail the kernel bench when the specialized kernel's paired
+    # speedup over the interpreted engine drops below this floor
+    # (generous against machine noise; the kernel must never lose).
+    kernel_speedup_floor: float = 0.95
 
 
 def _median_ms(samples: List[float]) -> float:
@@ -132,6 +145,30 @@ def _p95_ms(samples: List[float]) -> float:
 def _rate(hits: int, misses: int) -> float:
     total = hits + misses
     return hits / total if total else 0.0
+
+
+@contextlib.contextmanager
+def _quiesced_gc():
+    """Hold the cyclic collector still while a ratio bench times.
+
+    The ratio benches (``verify_overhead``, ``kernel_speedup``) compare
+    two arms against tight absolute bands, and the arms allocate at
+    different rates — certificates and kernels both add objects.  Run
+    mid-suite, the process carries the earlier benches' live heap, so a
+    generational collection landing inside one arm's timing window can
+    swing the ratio by 30%+ while a fresh process measures ~0.  Collect
+    the debris, freeze the inherited heap out of consideration, and
+    disable collection for the duration; the wall-clock benches keep
+    the collector on because their 2.5x band absorbs it.
+    """
+    gc.collect()
+    gc.freeze()
+    gc.disable()
+    try:
+        yield
+    finally:
+        gc.enable()
+        gc.unfreeze()
 
 
 # ---------------------------------------------------------------------------
@@ -586,9 +623,10 @@ def _bench_verify_overhead(config: RegressConfig) -> Dict[str, float]:
     The largest Figure 4 point, run both ways per query: the plain
     engine versus certificates on followed by
     :func:`repro.verify.verify_plan` over the winner.  The paired
-    min-of-two design cancels warm-up asymmetry, so
-    ``verify_overhead`` is the certified pipeline's real fractional
-    latency cost; it is held to an absolute cap
+    min-of-two design cancels warm-up asymmetry and the timing runs
+    under :func:`_quiesced_gc` (mid-suite collector pauses would skew
+    the ratio), so ``verify_overhead`` is the certified pipeline's real
+    fractional latency cost; it is held to an absolute cap
     (:attr:`RegressConfig.verify_overhead_cap`) instead of the loose
     wall-clock band.
     """
@@ -602,38 +640,117 @@ def _bench_verify_overhead(config: RegressConfig) -> Dict[str, float]:
     base_times: List[float] = []
     verified_times: List[float] = []
     verified_ok = 0
-    for query in generator.generate_batch(
-        size, config.queries_per_size, seed=config.seed
-    ):
-        best_base = best_verified = float("inf")
-        ok = False
-        for _ in range(2):
-            optimizer = VolcanoOptimizer(spec, query.catalog, plain)
-            started = time.perf_counter()
-            optimizer.optimize(query.query, query.required)
-            best_base = min(best_base, time.perf_counter() - started)
+    with _quiesced_gc():
+        for query in generator.generate_batch(
+            size, config.queries_per_size, seed=config.seed
+        ):
+            best_base = best_verified = float("inf")
+            ok = False
+            for _ in range(2):
+                optimizer = VolcanoOptimizer(spec, query.catalog, plain)
+                started = time.perf_counter()
+                optimizer.optimize(query.query, query.required)
+                best_base = min(best_base, time.perf_counter() - started)
 
-            optimizer = VolcanoOptimizer(spec, query.catalog, certified)
-            started = time.perf_counter()
-            result = optimizer.optimize(query.query, query.required)
-            report = verify_plan(
-                spec,
-                query.query,
-                result.plan,
-                result.certificate,
-                catalog=query.catalog,
-            )
-            best_verified = min(best_verified, time.perf_counter() - started)
-            ok = report.ok
-        verified_ok += 1 if ok else 0
-        base_times.append(best_base)
-        verified_times.append(best_verified)
+                optimizer = VolcanoOptimizer(spec, query.catalog, certified)
+                started = time.perf_counter()
+                result = optimizer.optimize(query.query, query.required)
+                report = verify_plan(
+                    spec,
+                    query.query,
+                    result.plan,
+                    result.certificate,
+                    catalog=query.catalog,
+                )
+                best_verified = min(
+                    best_verified, time.perf_counter() - started
+                )
+                ok = report.ok
+            verified_ok += 1 if ok else 0
+            base_times.append(best_base)
+            verified_times.append(best_verified)
     overhead = sum(verified_times) / sum(base_times) - 1.0
     return {
         "median_ms": _median_ms(verified_times),
         "base_median_ms": _median_ms(base_times),
         "verify_overhead": max(0.0, overhead),
         "verified_ok": float(verified_ok),
+    }
+
+
+def _bench_kernel_speedup(config: RegressConfig) -> Dict[str, float]:
+    """The specialized-kernel Figure 4 point, paired against interpreted.
+
+    The largest Figure 4 point run both ways per query — the interpreted
+    engine versus ``SearchOptions(kernel="specialized")`` (the generated
+    per-model move loops; see :mod:`repro.generator.kernel`) — with a
+    min-of-two per mode to cancel warm-up asymmetry, timed under
+    :func:`_quiesced_gc` like every ratio bench.  The kernel only
+    swaps binding enumerators, so the deterministic side must be
+    *exactly* invariant: byte-identical plans, equal costing and
+    rule-firing counters, zero auditor violations.  Those live in the
+    tight band at zero-delta; the paired ``kernel_speedup`` ratio is
+    held to an absolute floor (:attr:`RegressConfig.kernel_speedup_floor`)
+    instead of the loose wall-clock band — the kernel must never make
+    the search slower.
+    """
+    spec = relational_model()
+    generator = QueryGenerator()
+    size = max(config.sizes)
+    interpreted = SearchOptions(check_consistency=False)
+    kernelized = SearchOptions(check_consistency=False, kernel="specialized")
+    interpreted_times: List[float] = []
+    kernel_times: List[float] = []
+    plans_identical = 0
+    costings_delta = 0
+    firings_delta = 0
+    violations = 0
+    with _quiesced_gc():
+        for query in generator.generate_batch(
+            size, config.queries_per_size, seed=config.seed
+        ):
+            best_interpreted = best_kernel = float("inf")
+            base_result = kernel_result = None
+            base_stats = kernel_stats = None
+            for _ in range(2):
+                optimizer = VolcanoOptimizer(spec, query.catalog, interpreted)
+                started = time.perf_counter()
+                base_result = optimizer.optimize(query.query, query.required)
+                best_interpreted = min(
+                    best_interpreted, time.perf_counter() - started
+                )
+                base_stats = base_result.stats
+
+                optimizer = VolcanoOptimizer(spec, query.catalog, kernelized)
+                auditor = MemoAuditor()
+                auditor.attach(optimizer)
+                started = time.perf_counter()
+                kernel_result = optimizer.optimize(query.query, query.required)
+                best_kernel = min(best_kernel, time.perf_counter() - started)
+                kernel_stats = kernel_result.stats
+                violations += len(auditor.violations)
+            interpreted_times.append(best_interpreted)
+            kernel_times.append(best_kernel)
+            if (
+                base_result.plan.to_sexpr() == kernel_result.plan.to_sexpr()
+                and base_result.cost == kernel_result.cost
+            ):
+                plans_identical += 1
+            costings_delta += abs(
+                base_stats.algorithm_costings - kernel_stats.algorithm_costings
+            )
+            firings_delta += abs(
+                base_stats.rule_bindings_tried
+                - kernel_stats.rule_bindings_tried
+            )
+    return {
+        "median_ms": _median_ms(kernel_times),
+        "interpreted_median_ms": _median_ms(interpreted_times),
+        "kernel_speedup": sum(interpreted_times) / sum(kernel_times),
+        "plans_identical": float(plans_identical),
+        "costings_delta": float(costings_delta),
+        "rule_firing_delta": float(firings_delta),
+        "audit_violations": violations,
     }
 
 
@@ -666,6 +783,7 @@ def run_regress(
         ("mqo_sharing", _bench_mqo_sharing),
         ("promise_ordering", _bench_promise_ordering),
         ("verify_overhead", _bench_verify_overhead),
+        ("kernel_speedup", _bench_kernel_speedup),
     ):
         benches[name] = runner(config)
         note(f"{name}: {benches[name]['median_ms']:.1f} ms median")
@@ -716,6 +834,9 @@ _COUNT_METRICS = {
     "min_promise_parity_delta",
     # verify_overhead: every certified plan must keep verifying.
     "verified_ok",
+    # kernel_speedup: kernelized runs must be observably identical to
+    # interpreted ones — every plan equal, both deltas exactly zero.
+    "costings_delta",
 }
 
 
@@ -756,6 +877,12 @@ def compare(
                     failures.append(
                         f"{label} (certified serving beyond the "
                         f"{config.verify_overhead_cap:.0%} overhead cap)"
+                    )
+            elif metric == "kernel_speedup":
+                if value < config.kernel_speedup_floor:
+                    failures.append(
+                        f"{label} (specialized kernel below the "
+                        f"{config.kernel_speedup_floor:.2f}x speedup floor)"
                     )
             elif metric.endswith("hit_rate"):
                 if value < base_value - config.rate_tolerance:

@@ -28,6 +28,7 @@ plans to one built directly with :func:`repro.generator.generate_optimizer`.
 
 from __future__ import annotations
 
+import hashlib
 import importlib
 import importlib.util
 import sys
@@ -38,7 +39,34 @@ from repro.errors import GenerationError
 from repro.model.patterns import AnyPattern
 from repro.model.spec import ModelSpecification
 
-__all__ = ["generate_source", "compile_and_load", "render_pattern_code"]
+__all__ = [
+    "generate_source",
+    "compile_and_load",
+    "render_pattern_code",
+    "source_fingerprint",
+]
+
+#: Header marker carrying the content hash of the generated module; see
+#: :func:`source_fingerprint`.
+_FINGERPRINT_MARKER = "# spec-fingerprint: "
+
+
+def source_fingerprint(source: str) -> Optional[str]:
+    """The content hash embedded in a generated module's header, if any.
+
+    :func:`generate_source` stamps every module with a
+    ``# spec-fingerprint: <hash>`` first line — the SHA-256 of the rest
+    of the module text, i.e. of everything the generator froze from the
+    specification.  :func:`compile_and_load` compares fingerprints to
+    skip rewriting (and re-importing machinery for) modules whose
+    specification has not changed.  Returns ``None`` for text without
+    the marker (hand-written or pre-fingerprint modules — always
+    regenerated).
+    """
+    first_line, _, _ = source.partition("\n")
+    if first_line.startswith(_FINGERPRINT_MARKER):
+        return first_line[len(_FINGERPRINT_MARKER):].strip() or None
+    return None
 
 
 def render_pattern_code(pattern) -> str:
@@ -68,7 +96,11 @@ def _parse_provider(provider: str) -> Tuple[str, str]:
 
 
 def generate_source(
-    spec: ModelSpecification, provider: str, provider_args: str = ""
+    spec: ModelSpecification,
+    provider: str,
+    provider_args: str = "",
+    *,
+    kernel_tier: Optional[str] = None,
 ) -> str:
     """Emit a Python optimizer module for ``spec``.
 
@@ -77,8 +109,23 @@ def generate_source(
     e.g. ``"RelationalModelOptions(select_pushdown=True)"`` — the
     expression is embedded verbatim and evaluated at import time in the
     provider module's namespace).
+
+    ``kernel_tier`` bakes a default specialized-kernel tier into the
+    module: ``build_optimizer`` then fills ``SearchOptions.kernel`` with
+    that tier whenever the caller left it unset (see
+    :mod:`repro.generator.kernel`; ``"compiled"`` falls back to the
+    pure-Python specialized kernel automatically when no toolchain is
+    present).  ``None`` keeps the historical interpreted default.
     """
     spec.validate()
+    if kernel_tier is not None:
+        from repro.generator.kernel import KERNEL_TIERS
+
+        if kernel_tier not in KERNEL_TIERS:
+            raise GenerationError(
+                f"unknown kernel tier {kernel_tier!r}; "
+                f"expected one of {KERNEL_TIERS}"
+            )
     module_name, attribute = _parse_provider(provider)
 
     # Integer-code every name, exactly once, in deterministic order.
@@ -103,6 +150,9 @@ def generate_source(
     emit(f"from {module_name} import {attribute} as _provider")
     emit("")
     emit(f"MODEL_NAME = {spec.name!r}")
+    emit("# Default specialized-kernel tier baked in at generation time;")
+    emit("# None = interpreted (the engine walks pattern objects).")
+    emit(f"KERNEL_TIER = {kernel_tier!r}")
     emit("")
     emit("# Operator table: name -> (code, arity); None arity = variadic.")
     emit("OPERATORS = {")
@@ -193,11 +243,18 @@ def generate_source(
     emit('    """Link the generated tables with the search engine."""')
     emit("    spec = _build_spec()")
     emit("    _verify(spec)")
+    emit("    if KERNEL_TIER is not None:")
+    emit("        if options is None:")
+    emit("            options = SearchOptions(kernel=KERNEL_TIER)")
+    emit("        elif options.kernel is None:")
+    emit("            options = options.replace(kernel=KERNEL_TIER)")
     emit("    return VolcanoOptimizer(")
     emit("        spec, catalog, options=options, estimator=estimator")
     emit("    )")
     emit("")
-    return "\n".join(lines)
+    body = "\n".join(lines)
+    digest = hashlib.sha256(body.encode("utf-8")).hexdigest()[:16]
+    return f"{_FINGERPRINT_MARKER}{digest}\n{body}"
 
 
 def compile_and_load(
@@ -206,15 +263,48 @@ def compile_and_load(
     path: Path,
     module_name: Optional[str] = None,
     provider_args: str = "",
+    *,
+    tier: Optional[str] = None,
+    force: bool = False,
 ):
     """Write generated source to ``path`` and import it.
 
     Returns the loaded module, whose ``build_optimizer(catalog)`` is the
     generated optimizer's entry point.
+
+    ``path`` may be a module file (the historical behaviour) or an
+    existing **directory**, in which case the module lands in a
+    content-keyed subdirectory ``<path>/<model>-<fingerprint>/optimizer.py``
+    — the cache layout shared with :func:`repro.generator.kernel`.
+    Either way, an existing file whose embedded ``# spec-fingerprint:``
+    header matches the freshly generated source is reused without being
+    rewritten (the specification has not changed); ``force=True``
+    rewrites unconditionally.  The module records what happened in
+    ``GENERATED`` (``True`` when the file was (re)written, ``False``
+    when the cached copy was reused).
+
+    ``tier`` bakes a default specialized-kernel tier into the module
+    (see :func:`generate_source`) and eagerly resolves the kernel — so
+    ``tier="compiled"`` attempts the native build *now*, at "compile and
+    link" time, and the module's ``KERNEL_STATUS`` records the effective
+    ``(tier, fallback_reason)`` pair.  A missing toolchain degrades to
+    the pure-Python specialized kernel; it never fails the load.
     """
-    source = generate_source(spec, provider, provider_args=provider_args)
+    source = generate_source(
+        spec, provider, provider_args=provider_args, kernel_tier=tier
+    )
+    fingerprint = source_fingerprint(source)
     path = Path(path)
-    path.write_text(source)
+    if path.is_dir():
+        path = path / f"{spec.name}-{fingerprint}" / "optimizer.py"
+        path.parent.mkdir(parents=True, exist_ok=True)
+    reused = (
+        not force
+        and path.exists()
+        and source_fingerprint(path.read_text()) == fingerprint
+    )
+    if not reused:
+        path.write_text(source)
     name = module_name or f"generated_optimizer_{spec.name}"
     module_spec = importlib.util.spec_from_file_location(name, path)
     if module_spec is None or module_spec.loader is None:
@@ -226,4 +316,13 @@ def compile_and_load(
     except Exception as error:
         sys.modules.pop(name, None)
         raise GenerationError(f"generated module failed to load: {error}") from error
+    setattr(module, "GENERATED", not reused)
+    if tier is not None and tier != "interpreted":
+        from repro.generator.kernel import kernel_for
+
+        kernel = kernel_for(spec, tier, force=force)
+        status = (kernel.tier, kernel.fallback_reason)
+        setattr(module, "KERNEL_STATUS", status)
+    else:
+        setattr(module, "KERNEL_STATUS", ("interpreted", None))
     return module

@@ -39,44 +39,49 @@ __all__ = [
 class Cost:
     """Base class for cost values.
 
-    Subclasses must implement ``_value`` (a float used for comparisons),
+    Subclasses must implement ``total`` (a float used for comparisons),
     ``__add__`` and ``__sub__`` against their own type.  Comparisons
     against :data:`INFINITE_COST` work for every subclass.
+
+    Comparisons read the cached ``_total`` float; the bundled cost types
+    precompute it at construction and :data:`INFINITE_COST` pins it to
+    ``+inf``, which makes the infinite-handling branches fall out of plain
+    float comparison.  Subclasses defined outside this module need no
+    cache: ``__getattr__`` lazily answers ``_total`` from ``total()``.
     """
+
+    is_infinite = False
+    _total: float  # cached total(); annotation only — filled per subclass
 
     def total(self) -> float:
         """A single comparable number summarizing this cost."""
         raise NotImplementedError
 
-    @property
-    def is_infinite(self) -> bool:
-        return False
+    def __getattr__(self, name: str) -> float:
+        if name == "_total":
+            return self.total()
+        raise AttributeError(name)
 
-    # Comparison operators are shared: infinite handling first, then the
-    # subclass's scalar summary.
+    # Comparison operators are shared; ``_total`` is ``+inf`` for the
+    # infinite cost, so IEEE float ordering gives the right answer for
+    # every finite/infinite combination.
 
     def __lt__(self, other: "Cost") -> bool:
-        if other.is_infinite:
-            return not self.is_infinite
-        if self.is_infinite:
-            return False
-        return self.total() < other.total()
+        return self._total < other._total
 
     def __le__(self, other: "Cost") -> bool:
-        return self < other or self == other
+        return self._total <= other._total
 
     def __gt__(self, other: "Cost") -> bool:
-        return other < self
+        return other._total < self._total
 
     def __ge__(self, other: "Cost") -> bool:
-        return other <= self
+        return other._total <= self._total
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Cost):
             return NotImplemented
-        if self.is_infinite or other.is_infinite:
-            return self.is_infinite and other.is_infinite
-        return self.total() == other.total()
+        return self._total == other._total
 
     def __hash__(self):
         return hash(self.total())
@@ -86,15 +91,13 @@ class InfiniteCost(Cost):
     """The unreachable upper bound; arithmetic saturates."""
 
     _instance = None
+    _total = float("inf")
+    is_infinite = True
 
     def __new__(cls):
         if cls._instance is None:
             cls._instance = super().__new__(cls)
         return cls._instance
-
-    @property
-    def is_infinite(self) -> bool:
-        return True
 
     def total(self) -> float:
         """Infinite cost summarizes to +inf."""
@@ -127,6 +130,9 @@ class ScalarCost(Cost):
     """Cost as one number, e.g. estimated elapsed seconds."""
 
     value: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_total", self.value)
 
     def total(self) -> float:
         """The scalar value itself."""
@@ -172,9 +178,12 @@ class CpuIoCost(Cost):
     io: float = 0.0
     io_weight: float = 100.0
 
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_total", self.cpu + self.io * self.io_weight)
+
     def total(self) -> float:
         """CPU plus weighted I/O."""
-        return self.cpu + self.io * self.io_weight
+        return self._total
 
     def __add__(self, other: Cost) -> Cost:
         if other.is_infinite:
@@ -216,6 +225,9 @@ class ResourceCost(Cost):
     memory_bytes: float = 1 << 20
     base_io_weight: float = 100.0
 
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_total", self.cpu + self.io * self._io_weight())
+
     def _io_weight(self) -> float:
         if self.memory_bytes <= 0:
             return self.base_io_weight
@@ -225,7 +237,7 @@ class ResourceCost(Cost):
 
     def total(self) -> float:
         """CPU plus memory-pressure-weighted I/O."""
-        return self.cpu + self.io * self._io_weight()
+        return self._total
 
     def __add__(self, other: Cost) -> Cost:
         if other.is_infinite:

@@ -239,6 +239,28 @@ def _project_props(context, args, input_props) -> LogicalProperties:
 # Algorithm support functions (applicability / cost / physical properties)
 # ---------------------------------------------------------------------------
 
+# Pure-function memo size cap.  The support-function caches below key on
+# immutable algebra values (predicates, column-name frozensets, physical
+# property vectors); the same few hundred keys recur tens of thousands of
+# times per optimization, so a plain dict with an overflow flush is all
+# the policy needed.
+_MEMO_LIMIT = 65536
+_MISSING = object()
+
+_equi_pairs_cache: dict = {}
+
+
+def _equi_pairs(predicate, left_columns, right_columns):
+    """Cached :func:`equi_join_pairs` (pure in its hashable arguments)."""
+    key = (predicate, left_columns, right_columns)
+    hit = _equi_pairs_cache.get(key, _MISSING)
+    if hit is _MISSING:
+        hit = equi_join_pairs(predicate, left_columns, right_columns)
+        if len(_equi_pairs_cache) >= _MEMO_LIMIT:
+            _equi_pairs_cache.clear()
+        _equi_pairs_cache[key] = hit
+    return hit
+
 
 def _unsorted_only(required: PhysProps) -> bool:
     """True when a plain serial, unsorted result satisfies ``required``."""
@@ -411,22 +433,32 @@ def _merge_join_key_orders(
 def _merge_join_algorithm(
     constants: CostConstants, max_permutations: int
 ) -> AlgorithmDef:
+    memo: dict = {}
+
     def applicability(context, node, required):
         (predicate,) = node.args
         left, right = node.inputs
-        pairs = equi_join_pairs(predicate, left.column_names, right.column_names)
-        if not pairs:
-            return []
+        key = (predicate, left.column_names, right.column_names, required)
+        hit = memo.get(key)
+        if hit is not None:
+            return list(hit)
+        pairs = _equi_pairs(predicate, left.column_names, right.column_names)
         alternatives = []
-        for order in _merge_join_key_orders(pairs, required, max_permutations):
-            delivered = PhysProps(
-                sort_order=tuple(frozenset(pair) for pair in order)
-            )
-            if not delivered.covers(required):
-                continue
-            left_req = PhysProps(sort_order=tuple(pair[0] for pair in order))
-            right_req = PhysProps(sort_order=tuple(pair[1] for pair in order))
-            alternatives.append((left_req, right_req))
+        if pairs:
+            for order in _merge_join_key_orders(pairs, required, max_permutations):
+                delivered = PhysProps(
+                    sort_order=tuple(frozenset(pair) for pair in order)
+                )
+                if not delivered.covers(required):
+                    continue
+                left_req = PhysProps(sort_order=tuple(pair[0] for pair in order))
+                right_req = PhysProps(sort_order=tuple(pair[1] for pair in order))
+                alternatives.append((left_req, right_req))
+        if len(memo) >= _MEMO_LIMIT:
+            memo.clear()
+        # Stored as a tuple (immutable); callers get a fresh list, the
+        # applicability contract's return type.
+        memo[key] = tuple(alternatives)
         return alternatives
 
     def cost(context, node):
@@ -440,7 +472,7 @@ def _merge_join_algorithm(
     def derive_props(context, node, input_props):
         (predicate,) = node.args
         left, right = node.inputs
-        pairs = equi_join_pairs(predicate, left.column_names, right.column_names)
+        pairs = _equi_pairs(predicate, left.column_names, right.column_names)
         lookup = {}
         for left_name, right_name in pairs or ():
             lookup.setdefault(left_name, set()).update((left_name, right_name))
@@ -468,7 +500,7 @@ def _hash_join_algorithm(constants: CostConstants) -> AlgorithmDef:
     def applicability(context, node, required):
         (predicate,) = node.args
         left, right = node.inputs
-        pairs = equi_join_pairs(predicate, left.column_names, right.column_names)
+        pairs = _equi_pairs(predicate, left.column_names, right.column_names)
         if not pairs:
             return []
         # "hybrid hash join does not qualify" for sorted output.
@@ -568,6 +600,8 @@ def _join_associate_rule(allow_cross_products: bool) -> TransformationRule:
         args_as="p2",
     )
 
+    memo: dict = {}
+
     def condition(binding, context):
         if allow_cross_products:
             return True
@@ -580,13 +614,22 @@ def _join_associate_rule(allow_cross_products: bool) -> TransformationRule:
         return join(binding["a"], inner, top_predicate)
 
     def _route_predicates(binding, context):
+        # Pure in (p1, p2, b columns, c columns) — and evaluated twice
+        # per firing (condition then rewrite) on bindings that recur
+        # across groups, so the memo hit rate is high.
         (p1,) = binding["p1"]
         (p2,) = binding["p2"]
         b_columns = context.logical_props(binding["b"]).column_names
         c_columns = context.logical_props(binding["c"]).column_names
-        combined = conjunction_of([p1, p2])
-        inner, top = split_conjuncts(combined, b_columns | c_columns)
-        return inner, top
+        key = (p1, p2, b_columns, c_columns)
+        hit = memo.get(key)
+        if hit is None:
+            combined = conjunction_of([p1, p2])
+            hit = split_conjuncts(combined, b_columns | c_columns)
+            if len(memo) >= _MEMO_LIMIT:
+                memo.clear()
+            memo[key] = hit
+        return hit
 
     # A slightly lower promise than commutativity: associativity grows the
     # search space (it creates new equivalence classes, Figure 3), so a
@@ -625,12 +668,25 @@ def _select_push_into_join_rule() -> TransformationRule:
         args_as="ps",
     )
 
+    memo: dict = {}
+
+    def _split(ps, left_columns, right_columns):
+        key = (ps, left_columns, right_columns)
+        hit = memo.get(key)
+        if hit is None:
+            left_part, rest = split_conjuncts(ps, left_columns)
+            right_part, keep = split_conjuncts(rest, right_columns)
+            hit = (left_part, right_part, keep)
+            if len(memo) >= _MEMO_LIMIT:
+                memo.clear()
+            memo[key] = hit
+        return hit
+
     def condition(binding, context):
         (ps,) = binding["ps"]
         left_columns = context.logical_props(binding["l"]).column_names
         right_columns = context.logical_props(binding["r"]).column_names
-        left_part, rest = split_conjuncts(ps, left_columns)
-        right_part, _ = split_conjuncts(rest, right_columns)
+        left_part, right_part, _ = _split(ps, left_columns, right_columns)
         return not left_part.is_true or not right_part.is_true
 
     def rewrite(binding, context):
@@ -638,8 +694,7 @@ def _select_push_into_join_rule() -> TransformationRule:
         (pj,) = binding["pj"]
         left_columns = context.logical_props(binding["l"]).column_names
         right_columns = context.logical_props(binding["r"]).column_names
-        left_part, rest = split_conjuncts(ps, left_columns)
-        right_part, keep = split_conjuncts(rest, right_columns)
+        left_part, right_part, keep = _split(ps, left_columns, right_columns)
         left = binding["l"] if left_part.is_true else select(binding["l"], left_part)
         right = (
             binding["r"] if right_part.is_true else select(binding["r"], right_part)

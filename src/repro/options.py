@@ -191,7 +191,7 @@ class BudgetMeter:
         "costings",
         "rule_firings",
         "tripped",
-        "_armed",
+        "armed",
         "_deadline_at",
         "_clock",
     )
@@ -208,10 +208,10 @@ class BudgetMeter:
         self.costings = 0
         self.rule_firings = 0
         self.tripped: Optional[str] = None
-        self._armed = budget is not None and not budget.is_unbounded
+        self.armed = budget is not None and not budget.is_unbounded
         self._deadline_at = (
             self.started + budget.deadline_seconds
-            if self._armed and budget.deadline_seconds is not None
+            if self.armed and budget.deadline_seconds is not None
             else None
         )
 
@@ -229,7 +229,7 @@ class BudgetMeter:
 
     def check(self, phase: str) -> None:
         """Raise :class:`BudgetTripped` when any limit has been hit."""
-        if not self._armed:
+        if not self.armed:
             return
         if self.tripped is not None:
             raise BudgetTripped(self.tripped, phase)

@@ -57,6 +57,7 @@ from repro.catalog.selectivity import SelectivityEstimator
 from repro.errors import (
     BudgetExceededError,
     OptimizationFailedError,
+    OptionsError,
     PlanValidationError,
     ReproError,
     SearchError,
@@ -167,6 +168,16 @@ class SearchOptions(OptionsBase):
         Record per-node provenance claims during costing and attach a
         :class:`~repro.verify.certificate.PlanCertificate` to the
         result, verifiable by :func:`repro.verify.verify_plan`.
+    ``kernel``
+        The specialized search kernel to run with (see
+        :mod:`repro.generator.kernel`): ``None`` or ``"interpreted"``
+        walks pattern objects (the baseline), ``"specialized"`` resolves
+        the generated pure-Python kernel for this engine's model, and
+        ``"compiled"`` additionally attempts a native build, falling
+        back to the specialized tier when no toolchain is present.  A
+        pre-built :class:`~repro.generator.kernel.SearchKernel` is also
+        accepted.  Kernels only swap the binding enumerators; plans,
+        costs, and certificates are byte-identical across tiers.
     """
 
     branch_and_bound: bool = True
@@ -178,10 +189,21 @@ class SearchOptions(OptionsBase):
     budget: Optional[ResourceBudget] = None
     trace: bool = False
     certificates: bool = False
+    kernel: Optional[object] = None
 
     def validate(self) -> None:
         """Check field invariants; raise :class:`OptionsError` on failure."""
         check_positive("max_groups", self.max_groups)
+        kernel = self.kernel
+        if isinstance(kernel, str) and kernel not in (
+            "interpreted",
+            "specialized",
+            "compiled",
+        ):
+            raise OptionsError(
+                f"kernel must be one of 'interpreted', 'specialized', "
+                f"'compiled', or a SearchKernel; got {kernel!r}"
+            )
 
 
 @dataclass
@@ -325,7 +347,6 @@ class PreoptimizedPlan:
     required: PhysProps = ANY_PROPS
 
 
-@dataclass(frozen=True)
 class _AlgorithmMove:
     """One costed candidate source: an implementation rule binding.
 
@@ -335,13 +356,42 @@ class _AlgorithmMove:
     order within ties.  Winner selection compares ``(cost, rank,
     alternative)``, never the pursuit position, so the chosen plan is
     independent of how a model reorders equal-cost moves.
+
+    ``applicability`` memoizes ``(algorithm, node, alternatives, local
+    cost)`` per required property vector: move objects live in the
+    per-run moves cache and are revisited once per property goal on
+    their group, and the model calls are pure within a run.  Keying the
+    cache on the move object itself (instead of a run-global dict keyed
+    by the full move identity) makes the hit path one small-dict probe.
     """
 
-    rule: ImplementationRule
-    args: Tuple
-    input_groups: Tuple[int, ...]
-    promise: float
-    rank: int
+    __slots__ = (
+        "rule",
+        "args",
+        "input_groups",
+        "promise",
+        "rank",
+        "applicability",
+        "node",
+    )
+
+    def __init__(
+        self,
+        rule: ImplementationRule,
+        args: Tuple,
+        input_groups: Tuple[int, ...],
+        promise: float,
+        rank: int,
+    ):
+        self.rule = rule
+        self.args = args
+        self.input_groups = input_groups
+        self.promise = promise
+        self.rank = rank
+        self.applicability: Dict = {}
+        # The AlgorithmNode is required-independent; built lazily once
+        # per move (see _move_applicability) instead of once per goal.
+        self.node: Optional[AlgorithmNode] = None
 
 
 def _move_order(move: _AlgorithmMove) -> Tuple[float, int]:
@@ -366,10 +416,11 @@ class _SearchRun:
         "stats",
         "tracer",
         "meter",
+        "metered",
         "agenda",
-        "move_cache",
         "claims",
         "promise",
+        "kernel",
     )
 
     def __init__(
@@ -387,8 +438,14 @@ class _SearchRun:
         self.stats = stats
         self.tracer = tracer
         self.meter = meter
+        # Budget accounting is skipped entirely on unbudgeted runs: the
+        # meter's counters are only ever read in trip reports, so with
+        # no (or an unbounded) budget the checks are pure overhead.
+        self.metered = meter.armed
         # The task driver's agenda (None in the recursive engine).
         self.agenda: Optional[List] = None
+        # The specialized search kernel (None = interpreted paths).
+        self.kernel = None
         # The active promise model; STATIC_PROMISE (compared by
         # identity for the fast path) unless the options name one.
         self.promise: PromiseModel = (
@@ -402,12 +459,6 @@ class _SearchRun:
         self.claims: Optional[Dict[int, Tuple[PhysicalPlan, ClaimRecord]]] = (
             {} if options.certificates else None
         )
-        # Applicability/cost memoization per (algorithm, group, args,
-        # inputs, required) — these model calls are pure within a run,
-        # and the same move is revisited once per property goal on its
-        # group.  Costing starts only after logical closure, so group
-        # ids and logical properties are stable for the cache lifetime.
-        self.move_cache: Dict = {}
 
     def expressions_of(self, gid: int):
         """Pattern-matching callback: a group's expressions as triples."""
@@ -417,6 +468,14 @@ class _SearchRun:
     def trace(self, kind: str, detail: str, depth: int) -> None:
         if self.tracer.enabled:
             self.tracer.emit(kind, detail, depth)
+
+
+def _dispatch_pairs(rules):
+    """Rules keyed by top operator, with empty matcher and delta slots."""
+    table: Dict[str, List] = {}
+    for rule in rules:
+        table.setdefault(rule.top_operator, []).append((rule, None, None))
+    return {operator: tuple(triples) for operator, triples in table.items()}
 
 
 class VolcanoOptimizer:
@@ -442,12 +501,16 @@ class VolcanoOptimizer:
         self.estimator = estimator
         # Compiled dispatch tables (the generator's "very fast pattern
         # matching"): rules indexed by their pattern's top operator.
-        self._transformations: Dict[str, List[TransformationRule]] = {}
-        for rule in spec.transformations:
-            self._transformations.setdefault(rule.top_operator, []).append(rule)
-        self._implementations: Dict[str, List[ImplementationRule]] = {}
-        for rule in spec.implementations:
-            self._implementations.setdefault(rule.top_operator, []).append(rule)
+        # Entries are (rule, matcher, delta) triples so a specialized
+        # kernel can slot its generated matchers in without a second
+        # code path; matcher None means "interpret the pattern", delta
+        # None means "no append-only cache resume for this rule".
+        self._transformations: Dict[
+            str, Tuple[Tuple[TransformationRule, None, None], ...]
+        ] = _dispatch_pairs(spec.transformations)
+        self._implementations: Dict[
+            str, Tuple[Tuple[ImplementationRule, None, None], ...]
+        ] = _dispatch_pairs(spec.implementations)
         # Post-optimize hooks: callables invoked with each
         # OptimizationResult while its memo is still live.  This is the
         # attachment point for runtime invariant checkers such as
@@ -526,6 +589,7 @@ class VolcanoOptimizer:
         run = _SearchRun(
             options, memo, context, stats, tracer, BudgetMeter(options.budget)
         )
+        run.kernel = self._resolve_kernel(options)
         try:
             root = memo.insert_expression(query)
             report: Optional[BudgetReport] = None
@@ -632,6 +696,7 @@ class VolcanoOptimizer:
         run = _SearchRun(
             options, memo, context, stats, tracer, BudgetMeter(options.budget)
         )
+        run.kernel = self._resolve_kernel(options)
         try:
             roots: List[int] = []
             winners: List[Winner] = []
@@ -711,6 +776,19 @@ class VolcanoOptimizer:
             raise
         finally:
             stats.elapsed_seconds = time.perf_counter() - started
+
+    def _resolve_kernel(self, options: SearchOptions):
+        """Resolve ``options.kernel`` to a bound SearchKernel (or None).
+
+        Imported lazily: the default (interpreted) path never touches
+        the generator package, and the generator package imports this
+        module.
+        """
+        if options.kernel is None:
+            return None
+        from repro.generator.kernel import resolve_kernel
+
+        return resolve_kernel(self.spec, options.kernel)
 
     def _solve_root(
         self,
@@ -848,6 +926,14 @@ class VolcanoOptimizer:
             return False
         changed = False
         index = 0
+        # Kernelized runs dispatch through the kernel's (rule, matcher)
+        # tables — same rule objects in the same order, with a generated
+        # matcher alongside; everything below is tier-independent.
+        transformations = (
+            run.kernel.transformation_dispatch
+            if run.kernel is not None
+            else self._transformations
+        )
         # The expression list can grow (and the group object change via a
         # merge) while we iterate, so re-fetch by canonical id each step.
         while index < len(memo.group(gid).expressions):
@@ -855,8 +941,9 @@ class VolcanoOptimizer:
             group = memo.group(gid)
             mexpr = group.expressions[index]
             index += 1
-            for rule in self._transformations.get(mexpr.operator, ()):
-                meter.check("exploration")
+            for rule, matcher, delta in transformations.get(mexpr.operator, ()):
+                if run.metered:
+                    meter.check("exploration")
                 # Heuristic pruning consults the promise model; the
                 # exhaustive default (min_promise None) never calls it.
                 # This method is shared by both engines — the recursive
@@ -868,11 +955,21 @@ class VolcanoOptimizer:
                 ):
                     stats.moves_pruned += 1
                     continue
-                for binding in memo.rule_bindings(rule.name, rule.pattern, mexpr):
+                # A valid cached enumeration means every binding below
+                # is already fingerprinted in group.applied — the loop
+                # would be a pure no-op, so skip the re-walk entirely.
+                if memo.rule_bindings_applied(rule.name, mexpr):
+                    continue
+                for binding in memo.rule_bindings(
+                    rule.name, rule.pattern, mexpr, matcher, delta
+                ):
+                    # Bindings are built in pattern-traversal order, so
+                    # equal bindings always itemize identically — the
+                    # tuple is as injective as a frozenset and cheaper.
                     fingerprint = (
                         rule.name,
                         mexpr,
-                        frozenset(binding.items()),
+                        tuple(binding.items()),
                     )
                     if fingerprint in group.applied:
                         continue
@@ -887,7 +984,8 @@ class VolcanoOptimizer:
                         results = [results]
                     for new_expression in results:
                         stats.rules_fired += 1
-                        meter.charge_rule_firing()
+                        if run.metered:
+                            meter.charge_rule_firing()
                         if memo.add_expression_to_group(new_expression, gid):
                             changed = True
                         gid = memo.canonical(gid)
@@ -913,7 +1011,8 @@ class VolcanoOptimizer:
         group = memo.group(gid)
         key: GoalKey = memo.goal_key(required, excluded)
         stats.find_best_plan_calls += 1
-        run.meter.check("costing")
+        if run.metered:
+            run.meter.check("costing")
         if run.tracer.enabled:  # skip f-string rendering on the hot path
             run.trace("goal", f"g{gid} [{required}] limit={limit}", depth)
 
@@ -975,19 +1074,132 @@ class VolcanoOptimizer:
         under a learned model it makes the chosen plan independent of
         how the model reordered the moves.  Enforcer moves rank after
         every algorithm move, in specification order.
+
+        The move loop is the engine's hottest code: the algorithm-move
+        pursuit (Figure 2's "TotalCost := cost of the algorithm; for
+        each input while TotalCost < Limit") is written inline rather
+        than as a helper, input sub-goals take a memoized-winner fast
+        path that bypasses the :meth:`_find_best_plan` call, and cost
+        bounds compare by their precomputed float totals.  Every
+        counter, meter charge, claim, and selection rule is unchanged —
+        tracing runs route through the full ``_find_best_plan`` so goal
+        lines are still emitted.
         """
-        memo = run.memo
+        memo, stats, context = run.memo, run.stats, run.context
         group = memo.group(gid)
         moves = self._ordered_moves(run, group)
 
+        spec = self.spec
+        metered, tracing = run.metered, run.tracer.enabled
+        b_and_b = run.options.branch_and_bound
+        claims = run.claims
         best: Optional[Winner] = None
         best_rank = 0
-        bound = limit if run.options.branch_and_bound else INFINITE_COST
+        bound = limit if b_and_b else INFINITE_COST
         for move in moves:
-            run.meter.check("costing")
-            candidate = self._pursue_algorithm(
-                run, group, move, required, bound, excluded, depth
-            )
+            if metered:
+                run.meter.check("costing")
+            entry = move.applicability.get(required)
+            if entry is None:
+                entry = self._move_applicability(run, group, move, required)
+            algorithm, node, alternatives, local = entry
+            if not alternatives:
+                continue
+            bound_total = bound._total
+            candidate: Optional[Winner] = None
+            for input_requirements in alternatives:
+                if len(input_requirements) != len(move.input_groups):
+                    raise SearchError(
+                        f"algorithm {algorithm.name!r} returned "
+                        f"{len(input_requirements)} input requirements for "
+                        f"{len(move.input_groups)} inputs"
+                    )
+                stats.algorithm_costings += 1
+                if metered:
+                    run.meter.charge_costing()
+                # "TotalCost := cost of the algorithm"
+                total = local
+                if b_and_b and bound_total < total._total:
+                    stats.moves_pruned += 1
+                    continue
+                # "for each input I while TotalCost < Limit …"
+                input_winners: List[Winner] = []
+                abandoned = False
+                for input_gid, input_required in zip(
+                    move.input_groups, input_requirements
+                ):
+                    # Memoized-winner fast path of _find_best_plan: the
+                    # overwhelmingly common case once the memo warms up.
+                    # Counter/meter order matches the full function.
+                    sub_group = memo.group(input_gid)
+                    winner = (
+                        sub_group.winners.get((input_required, None))
+                        if not tracing
+                        else None
+                    )
+                    if winner is not None:
+                        stats.find_best_plan_calls += 1
+                        if metered:
+                            run.meter.check("costing")
+                        stats.winner_hits += 1
+                        sub = (
+                            winner
+                            if winner.cost._total <= bound_total - total._total
+                            else None
+                        )
+                    else:
+                        sub = self._find_best_plan(
+                            run, input_gid, input_required, bound - total,
+                            None, depth + 1,
+                        )
+                    if sub is None:
+                        stats.inputs_abandoned += 1
+                        abandoned = True
+                        break
+                    total = total + sub.cost
+                    input_winners.append(sub)
+                    if b_and_b and bound_total < total._total:
+                        stats.inputs_abandoned += 1
+                        abandoned = True
+                        break
+                if abandoned:
+                    continue
+                delivered = algorithm.derive_props(
+                    context,
+                    node,
+                    tuple(winner.plan.properties for winner in input_winners),
+                )
+                if not spec.props_cover(delivered, required):
+                    # The applicability function over-promised; skip (a
+                    # stricter model could raise here).
+                    continue
+                if excluded is not None and spec.props_cover(delivered, excluded):
+                    # "since merge-join is able to satisfy the excluding
+                    # properties, it would not be considered a suitable
+                    # algorithm for the sort input."
+                    stats.moves_pruned += 1
+                    continue
+                plan = PhysicalPlan(
+                    algorithm.name,
+                    move.args,
+                    tuple(winner.plan for winner in input_winners),
+                    properties=delivered,
+                    cost=total,
+                )
+                if claims is not None:
+                    claims[id(plan)] = (
+                        plan,
+                        ClaimRecord(
+                            rule=move.rule.name,
+                            gid=group.id,
+                            input_groups=move.input_groups,
+                            local=local,
+                            output=node.output,
+                            inputs=node.inputs,
+                        ),
+                    )
+                if candidate is None or total._total < candidate.cost._total:
+                    candidate = Winner(plan, total)
             if candidate is None:
                 continue
             if (
@@ -997,7 +1209,7 @@ class VolcanoOptimizer:
             ):
                 best = candidate
                 best_rank = move.rank
-                if run.options.branch_and_bound and candidate.cost < bound:
+                if b_and_b and candidate.cost < bound:
                     bound = candidate.cost
         # Enforcer moves: "enforcers for required PhysProp".
         if not required.is_any:
@@ -1006,7 +1218,8 @@ class VolcanoOptimizer:
                 for application in self.spec.enforcer_applications(
                     enforcer_name, run.context, required, group.logical_props
                 ):
-                    run.meter.check("costing")
+                    if run.metered:
+                        run.meter.check("costing")
                     candidate = self._pursue_enforcer(
                         run, gid, enforcer_name, application, required, bound,
                         excluded, depth,
@@ -1040,9 +1253,7 @@ class VolcanoOptimizer:
         ties — so equal-promise moves are pursued in discovery order,
         identically in the recursive and the task-based driver.
         """
-        moves = self._algorithm_moves(run, group)
-        moves.sort(key=_move_order)
-        return moves
+        return self._algorithm_moves(run, group)
 
     def _algorithm_moves(self, run: _SearchRun, group: Group) -> List[_AlgorithmMove]:
         """Implementation-rule bindings over every expression of a group.
@@ -1052,31 +1263,50 @@ class VolcanoOptimizer:
         for each (promises are goal-independent).  The cache records
         which groups the pattern matcher read and is dropped exactly
         when any of them changes — see
-        :meth:`repro.search.memo.Memo.cached_moves`.  A fresh list is
-        returned on every call so drivers may sort it in place.
+        :meth:`repro.search.memo.Memo.cached_moves`.  The returned list
+        is already in pursuit order; a fresh list is returned on every
+        call so drivers may consume it freely.
 
         Each move carries the active promise model's promise and its
         static rank (position under stable descending-``rule.promise``
         order).  The memo (and therefore this cache) is per-run, so
-        baking per-run model promises into cached moves is sound.
+        baking per-run model promises into cached moves is sound — and
+        so is storing the list already in pursuit order (the sort is
+        paid once per group, not once per goal).
         """
         memo, context = run.memo, run.context
         cached = memo.cached_moves(group.id)
         if cached is not None:
             return list(cached)
-        probes = {group.id: group.version}
+        probes = {
+            group.id: (
+                group.version,
+                group.structure_version,
+                len(group.expressions),
+            )
+        }
         expressions_of = memo.probing_expressions_of(probes)
+        implementations = (
+            run.kernel.implementation_dispatch
+            if run.kernel is not None
+            else self._implementations
+        )
         found: List[Tuple[ImplementationRule, Tuple, Tuple[int, ...]]] = []
         seen = set()
         for mexpr in group.expressions:
-            for rule in self._implementations.get(mexpr.operator, ()):
-                for binding in match_memo(
-                    rule.pattern,
-                    mexpr.operator,
-                    mexpr.args,
-                    mexpr.input_groups,
-                    expressions_of,
-                ):
+            for rule, matcher, _delta in implementations.get(mexpr.operator, ()):
+                bindings = (
+                    matcher(mexpr.args, mexpr.input_groups, expressions_of)
+                    if matcher is not None
+                    else match_memo(
+                        rule.pattern,
+                        mexpr.operator,
+                        mexpr.args,
+                        mexpr.input_groups,
+                        expressions_of,
+                    )
+                )
+                for binding in bindings:
                     run.stats.rule_bindings_tried += 1
                     if not rule.applies(binding, context):
                         continue
@@ -1118,6 +1348,7 @@ class VolcanoOptimizer:
                 )
                 for i, (rule, args, input_groups) in enumerate(found)
             ]
+        moves.sort(key=_move_order)
         memo.store_moves(group.id, probes, tuple(moves))
         return moves
 
@@ -1134,117 +1365,32 @@ class VolcanoOptimizer:
         algorithm node and the required properties, and the same move is
         re-evaluated once per property goal on its group (and again on
         re-entries with widened cost limits) — memoizing them per run
-        removes the bulk of repeated model-code work.  Budget accounting
-        is untouched: callers still charge one costing per alternative
+        removes the bulk of repeated model-code work.  The cache rides
+        on the move object itself (one entry per required vector), which
+        is sound because move objects live exactly as long as their
+        group's moves-cache entry: any change to a matched group drops
+        the moves and their caches together.  Budget accounting is
+        untouched: callers still charge one costing per alternative
         pursued, so degraded/anytime semantics are byte-compatible.
         """
-        key = (move.rule.algorithm, group.id, move.args, move.input_groups, required)
-        entry = run.move_cache.get(key)
+        entry = move.applicability.get(required)
         if entry is not None:
             return entry
         memo = run.memo
         algorithm = self.spec.algorithm(move.rule.algorithm)
-        node = AlgorithmNode(
-            move.args,
-            group.logical_props,
-            tuple(memo.logical_props(gid) for gid in move.input_groups),
-        )
+        node = move.node
+        if node is None:
+            node = AlgorithmNode(
+                move.args,
+                group.logical_props,
+                tuple(memo.logical_props(gid) for gid in move.input_groups),
+            )
+            move.node = node
         alternatives = algorithm.applicability(run.context, node, required)
         local = algorithm.cost(run.context, node) if alternatives else None
         entry = (algorithm, node, alternatives, local)
-        run.move_cache[key] = entry
+        move.applicability[required] = entry
         return entry
-
-    def _pursue_algorithm(
-        self,
-        run: _SearchRun,
-        group: Group,
-        move: _AlgorithmMove,
-        required: PhysProps,
-        bound: Cost,
-        excluded: Optional[PhysProps],
-        depth: int,
-    ) -> Optional[Winner]:
-        context, stats = run.context, run.stats
-        algorithm, node, alternatives, local = self._move_applicability(
-            run, group, move, required
-        )
-        if not alternatives:
-            return None
-        best: Optional[Winner] = None
-        for input_requirements in alternatives:
-            if len(input_requirements) != len(move.input_groups):
-                raise SearchError(
-                    f"algorithm {algorithm.name!r} returned "
-                    f"{len(input_requirements)} input requirements for "
-                    f"{len(move.input_groups)} inputs"
-                )
-            stats.algorithm_costings += 1
-            run.meter.charge_costing()
-            # "TotalCost := cost of the algorithm"
-            total = local
-            if run.options.branch_and_bound and bound < total:
-                stats.moves_pruned += 1
-                continue
-            # "for each input I while TotalCost < Limit …"
-            input_winners: List[Winner] = []
-            abandoned = False
-            for input_gid, input_required in zip(
-                move.input_groups, input_requirements
-            ):
-                sub = self._find_best_plan(
-                    run, input_gid, input_required, bound - total, None, depth + 1
-                )
-                if sub is None:
-                    stats.inputs_abandoned += 1
-                    abandoned = True
-                    break
-                total = total + sub.cost
-                input_winners.append(sub)
-                if run.options.branch_and_bound and bound < total:
-                    stats.inputs_abandoned += 1
-                    abandoned = True
-                    break
-            if abandoned:
-                continue
-            delivered = algorithm.derive_props(
-                context,
-                node,
-                tuple(winner.plan.properties for winner in input_winners),
-            )
-            if not self.spec.props_cover(delivered, required):
-                # The applicability function over-promised; skip (a
-                # stricter model could raise here).
-                continue
-            if excluded is not None and self.spec.props_cover(delivered, excluded):
-                # "since merge-join is able to satisfy the excluding
-                # properties, it would not be considered a suitable
-                # algorithm for the sort input."
-                stats.moves_pruned += 1
-                continue
-            plan = PhysicalPlan(
-                algorithm.name,
-                move.args,
-                tuple(winner.plan for winner in input_winners),
-                properties=delivered,
-                cost=total,
-            )
-            if run.claims is not None:
-                run.claims[id(plan)] = (
-                    plan,
-                    ClaimRecord(
-                        rule=move.rule.name,
-                        gid=group.id,
-                        input_groups=move.input_groups,
-                        local=local,
-                        output=node.output,
-                        inputs=node.inputs,
-                    ),
-                )
-            candidate = Winner(plan, total)
-            if best is None or candidate.cost < best.cost:
-                best = candidate
-        return best
 
     def _pursue_enforcer(
         self,
@@ -1273,7 +1419,8 @@ class VolcanoOptimizer:
             application.args, group.logical_props, (group.logical_props,)
         )
         stats.enforcer_costings += 1
-        run.meter.charge_costing()
+        if run.metered:
+            run.meter.charge_costing()
         # "TotalCost := cost of the enforcer" …
         local = enforcer.cost(context, node)
         total = local

@@ -138,6 +138,7 @@ class Group:
         "in_progress",
         "merged_into",
         "version",
+        "structure_version",
     )
 
     def __init__(self, group_id: int, logical_props: LogicalProperties):
@@ -163,6 +164,13 @@ class Group:
         # group they read, so a version mismatch — or a merge — is the
         # exact signal that a cached result may be stale.
         self.version = 0
+        # Structure version: bumped only when the expression list
+        # changes by something other than an append (merges rewrite and
+        # re-home expressions).  While it holds still, any version drift
+        # is pure append-only growth — the condition under which a
+        # stale binding enumeration can be *delta-resumed* over just the
+        # new expressions instead of re-walked (see rule_bindings).
+        self.structure_version = 0
 
     def mark_in_progress(self, key: GoalKey) -> None:
         """Push an in-progress mark for a goal (reference counted)."""
@@ -212,8 +220,12 @@ class Memo:
         # Derivation caches (exact invalidation via probe records; see
         # rule_bindings / cached_moves below).
         self._props_cache: Dict[GroupExpression, LogicalProperties] = {}
-        self._binding_cache: Dict[Tuple, Tuple[Dict[int, int], List[dict]]] = {}
-        self._moves_cache: Dict[int, Tuple[Dict[int, int], tuple]] = {}
+        self._binding_cache: Dict[
+            Tuple, Tuple[Dict[int, Tuple[int, int, int]], List[dict]]
+        ] = {}
+        self._moves_cache: Dict[
+            int, Tuple[Dict[int, Tuple[int, int, int]], tuple]
+        ] = {}
         # Batch scoping: the root group of every query optimized against
         # this memo, in insertion order (ids as registered; ``roots``
         # resolves them through the union-find on read).
@@ -253,6 +265,9 @@ class Memo:
 
     def group(self, group_id: int) -> Group:
         """The live group for an id (following merges)."""
+        group = self._groups[group_id]
+        if group.merged_into is None:
+            return group
         return self._groups[self.canonical(group_id)]
 
     def group_count(self) -> int:
@@ -329,7 +344,7 @@ class Memo:
         if expression.operator == GROUP_LEAF:
             return self.canonical(expression.args[0])
         input_groups = tuple(
-            self.insert_expression(node) for node in expression.inputs
+            [self.insert_expression(node) for node in expression.inputs]
         )
         mexpr = GroupExpression(expression.operator, expression.args, input_groups)
         group_id, _ = self._intern(mexpr, target_group=None)
@@ -354,7 +369,7 @@ class Memo:
             self._merge(group_id, other)
             return True
         input_groups = tuple(
-            self.insert_expression(node) for node in expression.inputs
+            [self.insert_expression(node) for node in expression.inputs]
         )
         mexpr = GroupExpression(expression.operator, expression.args, input_groups)
         _, changed = self._intern(mexpr, target_group=group_id)
@@ -416,18 +431,27 @@ class Memo:
         record (group, version) probes, and the version bump on the
         changed group invalidates exactly the entries that read it.
         """
-        stack = [gid]
+        # Hot on the exploration fixpoint's attach path: locals bound,
+        # canonical() skipped for unmerged owners (the common case).
+        # Pushed ids are canonical and the walk itself never merges, so
+        # popped ids need no re-canonicalization.
+        groups = self._groups
+        parents_get = self._parents.get
+        table_get = self._table.get
+        stack = [self.canonical(gid)]
         seen = set()
         while stack:
-            current = self.canonical(stack.pop())
+            current = stack.pop()
             if current in seen:
                 continue
             seen.add(current)
-            for mexpr in self._parents.get(current, ()):
-                owner = self._table.get(mexpr)
+            for mexpr in parents_get(current, ()):
+                owner = table_get(mexpr)
                 if owner is None:
                     continue  # the expression was rewritten away by a merge
-                owner_group = self._groups[self.canonical(owner)]
+                owner_group = groups[owner]
+                if owner_group.merged_into is not None:
+                    owner_group = groups[self.canonical(owner)]
                 owner_group.explored = False
                 stack.append(owner_group.id)
 
@@ -467,32 +491,65 @@ class Memo:
 
     # -- derivation caches (probe-validated) ----------------------------------
 
-    def probing_expressions_of(self, probes: Dict[int, int]):
+    def probing_expressions_of(self, probes: Dict[int, Tuple[int, int, int]]):
         """An ``expressions_of`` callback that records which groups it reads.
 
-        Each read group's (canonical id, version) lands in ``probes`` —
-        recorded at *first* read, so a mid-enumeration mutation leaves a
-        stale version behind and conservatively invalidates the entry.
+        Each read group's canonical id maps to its ``(version,
+        structure_version, expression count)`` — recorded at *first*
+        read, so a mid-enumeration mutation leaves a stale version
+        behind and conservatively invalidates the entry.  The structure
+        version and count let a later re-enumeration prove the group
+        only *appended* expressions since, and resume from the recorded
+        count (delta enumeration).
         """
 
         def expressions_of(gid: int):
             group = self._groups[self.canonical(gid)]
-            probes.setdefault(group.id, group.version)
+            if group.id not in probes:
+                probes[group.id] = (
+                    group.version,
+                    group.structure_version,
+                    len(group.expressions),
+                )
             for mexpr in group.expressions:
                 yield mexpr.operator, mexpr.args, mexpr.input_groups
 
         return expressions_of
 
-    def probes_valid(self, probes: Dict[int, int]) -> bool:
+    def probes_valid(self, probes: Dict[int, Tuple[int, int, int]]) -> bool:
         """True while every probed group is unmerged at its recorded version."""
         groups = self._groups
-        for gid, version in probes.items():
+        for gid, probe in probes.items():
             group = groups[gid]
-            if group.merged_into is not None or group.version != version:
+            if group.merged_into is not None or group.version != probe[0]:
                 return False
         return True
 
-    def rule_bindings(self, rule_name: str, pattern, mexpr: GroupExpression):
+    def probes_append_only(self, probes: Dict[int, Tuple[int, int, int]]) -> bool:
+        """True when every probed group has only *appended* since recording.
+
+        The delta-enumeration precondition: no probed group merged away
+        or had expressions rewritten in place, so each one's recorded
+        expression count is an intact prefix of its current list.
+        """
+        groups = self._groups
+        for gid, probe in probes.items():
+            group = groups[gid]
+            if (
+                group.merged_into is not None
+                or group.structure_version != probe[1]
+            ):
+                return False
+        return True
+
+    def rule_bindings(
+        self,
+        rule_name: str,
+        pattern,
+        mexpr: GroupExpression,
+        matcher=None,
+        delta=None,
+    ):
         """Memoized transformation-rule binding enumeration.
 
         Returns an iterable of binding dicts, identical to what
@@ -504,6 +561,12 @@ class Memo:
         the same bindings.  On a miss the enumeration stays *lazy* (the
         engine fires rules mid-iteration and the live generator must see
         their effects), filling the cache as it yields.
+
+        ``matcher`` is an optional specialized binding enumerator (a
+        generated kernel's unrolled equivalent of ``match_memo`` for
+        this rule's pattern — see :mod:`repro.generator.kernel`); it is
+        only consulted on a cache miss, so interpreted and kernelized
+        runs share cache contents and hit semantics bit for bit.
         """
         key = (rule_name, mexpr)
         entry = self._binding_cache.get(key)
@@ -513,20 +576,107 @@ class Memo:
                 self.stats.binding_cache_hits += 1
                 return [dict(binding) for binding in bindings]
             del self._binding_cache[key]
+            if delta is not None and self.probes_append_only(probes):
+                # Every probed group only grew, so the cached bindings
+                # are an intact prefix-product of the current walk: the
+                # delta enumerator replays them positionally and yields
+                # only combinations touching at least one new
+                # expression.  Old combinations were all fingerprinted
+                # by the exploration pass that filled the cache, so
+                # skipping their dict-build/hash is observably a no-op.
+                self.stats.binding_cache_misses += 1
+                return self._enumerate_delta(key, mexpr, delta, probes, bindings)
         self.stats.binding_cache_misses += 1
-        return self._enumerate_bindings(key, pattern, mexpr)
+        return self._enumerate_bindings(key, pattern, mexpr, matcher)
 
-    def _enumerate_bindings(self, key, pattern, mexpr: GroupExpression):
-        probes: Dict[int, int] = {}
+    def rule_bindings_applied(self, rule_name: str, mexpr: GroupExpression) -> bool:
+        """True when exploration may skip this (rule, expression) pair.
+
+        A still-valid cache entry proves a prior enumeration of the same
+        pair ran to completion while every group it read was in its
+        current state — and the exploration loop that completed it
+        fingerprinted every binding into the owning group's ``applied``
+        set (fingerprints survive merges: ``_merge_into`` unions the
+        sets, and a merge that *rewrites* the expression changes the
+        cache key).  Re-walking the bindings would therefore be a pure
+        no-op; the engine skips it without re-hashing anything.  Counts
+        as a cache hit; a stale entry is dropped (not counted — the
+        follow-up :meth:`rule_bindings` call records the miss).
+        """
+        entry = self._binding_cache.get((rule_name, mexpr))
+        if entry is None:
+            return False
+        if self.probes_valid(entry[0]):
+            self.stats.binding_cache_hits += 1
+            return True
+        # Leave the stale entry in place: the follow-up rule_bindings
+        # call may still resume it incrementally (delta enumeration)
+        # when its probed groups only appended.
+        return False
+
+    def _enumerate_bindings(self, key, pattern, mexpr: GroupExpression, matcher=None):
+        probes: Dict[int, Tuple[int, int, int]] = {}
         expressions_of = self.probing_expressions_of(probes)
         collected: List[dict] = []
-        for binding in match_memo(
-            pattern, mexpr.operator, mexpr.args, mexpr.input_groups, expressions_of
-        ):
+        if matcher is None:
+            iterator = match_memo(
+                pattern, mexpr.operator, mexpr.args, mexpr.input_groups, expressions_of
+            )
+        else:
+            iterator = matcher(mexpr.args, mexpr.input_groups, expressions_of)
+        for binding in iterator:
             collected.append(dict(binding))
             yield binding
         # Only a run-to-completion enumeration is cached; an abandoned
         # generator (budget trip) stores nothing.
+        self._binding_cache[key] = (probes, collected)
+
+    def _enumerate_delta(self, key, mexpr, delta, old_probes, old_bindings):
+        """Resume a stale append-only enumeration from its cached prefix.
+
+        ``delta`` is the generated delta matcher for this rule's pattern
+        (see :mod:`repro.generator.kernel`).  It walks the full product
+        in interpreter order but consumes cached binding dicts
+        *positionally* for combinations whose every index falls inside
+        the recorded old prefix — those were all fingerprinted into the
+        owning group's ``applied`` set by the exploration pass that
+        filled the cache, so the engine loop treats them as no-ops
+        either way; skipping the dict build and hash is unobservable.
+        Only combinations touching at least one new expression are
+        yielded.  The rebuilt ``collected`` list preserves exact
+        full-walk order, so later cache hits replay identically.
+
+        A merge firing *mid-walk* can rewrite a probed group's prefix
+        out from under the positional replay; the matcher watches the
+        merge counter and degrades to yielding everything from that
+        point on — exactly the interpreter's behaviour — leaving a
+        stale entry that is never served.
+        """
+        probes: Dict[int, Tuple[int, int, int]] = {}
+        expressions_of = self.probing_expressions_of(probes)
+        canonical = self.canonical
+
+        def old_len(gid: int) -> int:
+            probe = old_probes.get(canonical(gid))
+            return probe[2] if probe is not None else 0
+
+        stats = self.stats
+        epoch = stats.group_merges
+
+        def unchanged() -> bool:
+            return stats.group_merges == epoch
+
+        collected: List[dict] = []
+        for binding in delta(
+            mexpr.args,
+            mexpr.input_groups,
+            expressions_of,
+            old_len,
+            old_bindings,
+            collected,
+            unchanged,
+        ):
+            yield binding
         self._binding_cache[key] = (probes, collected)
 
     def cached_moves(self, gid: int):
@@ -541,7 +691,9 @@ class Memo:
         del self._moves_cache[gid]
         return None
 
-    def store_moves(self, gid: int, probes: Dict[int, int], moves: tuple) -> None:
+    def store_moves(
+        self, gid: int, probes: Dict[int, Tuple[int, int, int]], moves: tuple
+    ) -> None:
         """Memoize a group's move list together with its probe record."""
         self.stats.moves_cache_misses += 1
         self._moves_cache[gid] = (probes, moves)
@@ -597,9 +749,15 @@ class Memo:
             )
         dead.merged_into = keeper.id
         # Both groups' contents change: stale any probe-validated cache
-        # entry that read either of them.
+        # entry that read either of them.  Only the *dead* group's
+        # structure changes, though — the keeper strictly appends (its
+        # recorded prefix stays intact), which is what lets delta
+        # enumeration resume over it.  If a keeper-owned expression
+        # itself needs rewriting it shows up in the parent loop below,
+        # which does bump the owner's structure version.
         keeper.version += 1
         dead.version += 1
+        dead.structure_version += 1
         # Move the expressions across.
         for mexpr in dead.expressions:
             self._table.pop(mexpr, None)
@@ -642,6 +800,9 @@ class Memo:
             owner = self.canonical(owner)
             owner_group = self._groups[owner]
             owner_group.version += 1
+            # The rewrite removes an expression from the middle of the
+            # list: the owner's recorded prefixes are no longer intact.
+            owner_group.structure_version += 1
             rewritten = self._canonical_mexpr(parent)
             if parent in owner_group.expression_set:
                 owner_group.expression_set.discard(parent)

@@ -199,10 +199,11 @@ class _ExpandMove(_Task):
 
     def step(self, engine, run) -> None:
         state, move = self.state, self.move
-        group = run.memo.group(state.gid)
-        algorithm, node, alternatives, local = engine._move_applicability(
-            run, group, move, state.required
-        )
+        entry = move.applicability.get(state.required)
+        if entry is None:
+            group = run.memo.group(state.gid)
+            entry = engine._move_applicability(run, group, move, state.required)
+        algorithm, node, alternatives, local = entry
         tasks = []
         for alt, requirements in enumerate(alternatives or ()):
             if len(requirements) != len(move.input_groups):
@@ -212,7 +213,8 @@ class _ExpandMove(_Task):
                     f"{len(move.input_groups)} inputs"
                 )
             run.stats.algorithm_costings += 1
-            run.meter.charge_costing()
+            if run.metered:
+                run.meter.charge_costing()
             tasks.append(
                 _CostAlternative(
                     state, move, node, tuple(requirements), local, (), 0, alt
@@ -376,7 +378,8 @@ class _CostEnforcer(_Task):
                 application.args, group.logical_props, (group.logical_props,)
             )
             run.stats.enforcer_costings += 1
-            run.meter.charge_costing()
+            if run.metered:
+                run.meter.charge_costing()
             self.local = engine.spec.enforcer(self.name).cost(run.context, node)
         if run.options.branch_and_bound and state.bound < self.local:
             run.stats.moves_pruned += 1
@@ -489,10 +492,15 @@ class TaskBasedOptimizer(VolcanoOptimizer):
         saved = run.agenda
         run.agenda = [_BeginGoal(state)]
         try:
-            while run.agenda:
-                run.meter.check("costing")
-                task = self._scheduler(run.agenda)
-                task.step(self, run)
+            if run.metered:
+                while run.agenda:
+                    run.meter.check("costing")
+                    task = self._scheduler(run.agenda)
+                    task.step(self, run)
+            else:
+                while run.agenda:
+                    task = self._scheduler(run.agenda)
+                    task.step(self, run)
         finally:
             run.agenda = saved
         if not state.finished:

@@ -50,7 +50,13 @@ from repro.feedback import (
     observed_report,
     refresh_statistics,
 )
-from repro.options import BudgetReport, OptionsBase, ResourceBudget, check_positive
+from repro.options import (
+    BudgetReport,
+    OptionsBase,
+    OptionsError,
+    ResourceBudget,
+    check_positive,
+)
 from repro.search.engine import OptimizationResult, PreoptimizedPlan
 from repro.search.promise import PromiseModel
 from repro.search.sharing import (
@@ -141,6 +147,16 @@ class ServiceOptions(OptionsBase):
         greedy sharing pass proposes materialized common subplans; see
         :class:`BatchResult.sharing_report`.  Individual answers are
         unaffected — sharing only adds the batch-level report.
+    ``kernel``
+        A specialized search kernel folded into every engine run through
+        this service (unless the engine's own options already pin one):
+        a tier string — ``"interpreted"``, ``"specialized"``,
+        ``"compiled"`` — or a pre-built
+        :class:`~repro.generator.kernel.SearchKernel`; see
+        :mod:`repro.generator.kernel`.  Kernels only swap the engine's
+        binding enumerators, so served plans, costs, and certificates
+        are byte-identical across tiers; engines whose options have no
+        kernel field (baselines) are left untouched.
     ``verify_plans``
         Re-check every served plan against its provenance certificate
         with the independent checker (:func:`repro.verify.verify_plan`).
@@ -170,6 +186,7 @@ class ServiceOptions(OptionsBase):
     promise_model: Optional[PromiseModel] = None
     feedback_policy: Optional[FeedbackPolicy] = None
     sharing: SharingOptions = field(default_factory=SharingOptions)
+    kernel: Optional[object] = None
     verify_plans: bool = False
 
     def validate(self) -> None:
@@ -178,6 +195,16 @@ class ServiceOptions(OptionsBase):
         check_positive("selectivity_buckets", self.selectivity_buckets)
         check_positive("max_subplans", self.max_subplans)
         check_positive("max_seeds_per_query", self.max_seeds_per_query)
+        kernel = self.kernel
+        if isinstance(kernel, str) and kernel not in (
+            "interpreted",
+            "specialized",
+            "compiled",
+        ):
+            raise OptionsError(
+                f"kernel must be one of 'interpreted', 'specialized', "
+                f"'compiled', or a SearchKernel; got {kernel!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -1360,6 +1387,12 @@ class OptimizerService:
             # already pin one (engine-level wins), or the engine's
             # options class has no such field (baselines).
             options = options.replace(promise_model=model)
+            changed = True
+        kernel = self.options.kernel
+        if kernel is not None and getattr(options, "kernel", kernel) is None:
+            # Same folding rule as promise_model: engine-level wins, and
+            # baseline engines without a kernel field are left alone.
+            options = options.replace(kernel=kernel)
             changed = True
         if (
             self.options.verify_plans

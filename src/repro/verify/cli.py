@@ -52,13 +52,15 @@ def _workload(recipe: dict):
     return generator.generate_shared(**recipe)
 
 
-def _make_engine(engine_cls, spec, catalog):
+def _make_engine(engine_cls, spec, catalog, kernel=None):
     from repro.search import SearchOptions
 
     return engine_cls(
         spec,
         catalog,
-        SearchOptions(check_consistency=False, certificates=True),
+        SearchOptions(
+            check_consistency=False, certificates=True, kernel=kernel
+        ),
     )
 
 
@@ -107,7 +109,7 @@ def _costs_match(total: float, expected: float) -> bool:
     )
 
 
-def _run_golden(golden_path: Path, tally: _Tally) -> None:
+def _run_golden(golden_path: Path, tally: _Tally, kernel=None) -> None:
     """42 queries x both engines against the committed snapshots."""
     from repro.models.relational import relational_model
 
@@ -128,7 +130,7 @@ def _run_golden(golden_path: Path, tally: _Tally) -> None:
                 f"{len(queries)} queries",
             )
             continue
-        engine = _make_engine(engine_cls, spec, workload.catalog)
+        engine = _make_engine(engine_cls, spec, workload.catalog, kernel)
         for index, (query, expected) in enumerate(zip(queries, snapshots)):
             label = f"{engine_name}[{index}]"
             result = engine.optimize(query, required)
@@ -146,7 +148,7 @@ def _run_golden(golden_path: Path, tally: _Tally) -> None:
             )
 
 
-def _run_workload(tally: _Tally) -> None:
+def _run_workload(tally: _Tally, kernel=None) -> None:
     """Both engines over the sharing workload, single-query plans only."""
     from repro.models.relational import relational_model
 
@@ -154,7 +156,7 @@ def _run_workload(tally: _Tally) -> None:
     workload = _workload(SHARING_RECIPE)
     required = workload.queries[0].required
     for engine_name, engine_cls in _engines().items():
-        engine = _make_engine(engine_cls, spec, workload.catalog)
+        engine = _make_engine(engine_cls, spec, workload.catalog, kernel)
         for index, item in enumerate(workload.queries):
             result = engine.optimize(item.query, required)
             tally.verify(
@@ -163,7 +165,7 @@ def _run_workload(tally: _Tally) -> None:
             )
 
 
-def _run_sharing_batch(tally: _Tally) -> None:
+def _run_sharing_batch(tally: _Tally, kernel=None) -> None:
     """The mqo_sharing batch: pre-sharing, consumer, and producer plans."""
     from repro.model.context import OptimizerContext
     from repro.models.relational import relational_model
@@ -174,7 +176,7 @@ def _run_sharing_batch(tally: _Tally) -> None:
     workload = _workload(SHARING_RECIPE)
     queries = [item.query for item in workload.queries]
     required = workload.queries[0].required
-    engine = _make_engine(VolcanoOptimizer, spec, workload.catalog)
+    engine = _make_engine(VolcanoOptimizer, spec, workload.catalog, kernel)
     results = engine.optimize_batch(queries, required)
     for index, (query, result) in enumerate(zip(queries, results)):
         tally.verify(
@@ -241,6 +243,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "warning)",
     )
     parser.add_argument(
+        "--kernel",
+        choices=("interpreted", "specialized", "compiled"),
+        default=None,
+        help="run every engine with this specialized-kernel tier "
+        "(repro.generator.kernel); plans and certificates must be "
+        "byte-identical to interpreted runs",
+    )
+    parser.add_argument(
         "--skip-batch",
         action="store_true",
         help="skip the multi-query sharing batch verification",
@@ -259,11 +269,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if not golden_path.is_file():
             print(f"error: golden file not found: {golden_path}")
             return 2
-        _run_golden(golden_path, tally)
+        _run_golden(golden_path, tally, options.kernel)
     else:
-        _run_workload(tally)
+        _run_workload(tally, options.kernel)
     if not options.skip_batch:
-        _run_sharing_batch(tally)
+        _run_sharing_batch(tally, options.kernel)
 
     print(tally.render())
     return 1 if tally.failed else 0

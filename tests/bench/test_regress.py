@@ -21,6 +21,10 @@ SMALL = RegressConfig(
     micro_repeats=3,
     batch_queries=4,
     verify_overhead_cap=0.75,
+    # 4-relation searches finish in ~5 ms: kernel resolution and module
+    # import are not amortized, so the paired speedup the committed
+    # floor governs (n=8) is meaningless here — only parity is.
+    kernel_speedup_floor=0.0,
 )
 
 
@@ -43,7 +47,13 @@ def test_results_shape(results):
         "mqo_sharing",
         "promise_ordering",
         "verify_overhead",
+        "kernel_speedup",
     }
+    kernel = benches["kernel_speedup"]
+    assert kernel["plans_identical"] == SMALL.queries_per_size
+    assert kernel["costings_delta"] == 0
+    assert kernel["rule_firing_delta"] == 0
+    assert kernel["audit_violations"] == 0
     ordering = benches["promise_ordering"]
     assert ordering["learned_costings"] < ordering["static_costings"]
     assert ordering["rule_firing_delta"] == 0
