@@ -75,6 +75,14 @@ The suite:
     byte-identical and costing/rule-firing counters exactly equal
     (tight band at zero delta); the paired speedup ratio is held to an
     absolute floor — the kernel must never make the search slower.
+``server_throughput``
+    The optimizer server (:mod:`repro.server`) end to end over real
+    sockets: an in-process :class:`~repro.server.ServerThread`, a cold
+    fan-out of 8 concurrent clients on one query (single-flight must
+    collapse it to exactly one engine run — the ``cold_*`` counters
+    are deterministic and sit in the tight band), then a warm phase of
+    concurrent clients hammering the cached plan for wire-format
+    latency and throughput (wall-clock band).
 """
 
 from __future__ import annotations
@@ -754,6 +762,97 @@ def _bench_kernel_speedup(config: RegressConfig) -> Dict[str, float]:
     }
 
 
+def _bench_server_throughput(config: RegressConfig) -> Dict[str, float]:
+    """The optimizer server over real sockets: dedup then warm latency.
+
+    Phase 1 (deterministic): 8 clients release through a barrier onto
+    the same cold query.  The engine is wrapped with a short sleep so
+    every follower provably arrives mid-flight; single-flight must then
+    collapse the fan-out to exactly one run — 8 misses, 7 shared waits,
+    1 insertion, in the tight band.  The delay never taints phase 2:
+    warm requests are cache hits and do not reach the engine.
+
+    Phase 2 (wall clock): 4 clients × 50 requests on the now-cached
+    plan measure the full wire path — HTTP parse, cache hit, JSON
+    response — as median/p95 latency and aggregate throughput.
+    """
+    import threading
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.feedback import drifted_workload
+    from repro.generator.generate import generate_optimizer
+    from repro.options import ServerOptions
+    from repro.server import OptimizerServer, ServerClient, ServerThread
+
+    chain = "SELECT * FROM r, s, t WHERE r.k = s.k AND s.k = t.k"
+    fanout, clients, repeats = 8, 4, 50
+
+    class DelayedOptimizer:
+        """Holds the cold flight open long enough to collect followers."""
+
+        def __init__(self, inner):
+            self._inner = inner
+
+        def __getattr__(self, name):
+            return getattr(self._inner, name)
+
+        def optimize(self, *args, **kwargs):
+            time.sleep(0.15)
+            return self._inner.optimize(*args, **kwargs)
+
+    scenario = drifted_workload(seed=7, growth=4)
+    service = OptimizerService(
+        DelayedOptimizer(
+            generate_optimizer(relational_model(), scenario.catalog)
+        ),
+        options=ServiceOptions(verify_plans=True),
+    )
+    server = OptimizerServer(
+        service,
+        options=ServerOptions(max_concurrent=fanout, workers=fanout),
+    )
+    with ServerThread(server) as harness:
+        barrier = threading.Barrier(fanout)
+
+        def cold_request():
+            with ServerClient(harness.address) as client:
+                barrier.wait()
+                return client.optimize(chain)
+
+        with ThreadPoolExecutor(max_workers=fanout) as pool:
+            for future in [pool.submit(cold_request) for _ in range(fanout)]:
+                future.result()
+        cold = service.stats.snapshot()
+
+        def warm_requests():
+            samples: List[float] = []
+            with ServerClient(harness.address) as client:
+                for _ in range(repeats):
+                    started = time.perf_counter()
+                    client.optimize(chain)
+                    samples.append(time.perf_counter() - started)
+            return samples
+
+        started = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=clients) as pool:
+            collected = [
+                future.result()
+                for future in [
+                    pool.submit(warm_requests) for _ in range(clients)
+                ]
+            ]
+        elapsed = time.perf_counter() - started
+    times = [sample for samples in collected for sample in samples]
+    return {
+        "median_ms": _median_ms(times),
+        "p95_ms": _p95_ms(times),
+        "queries_per_second": len(times) / elapsed,
+        "cold_misses": float(cold.misses),
+        "cold_shared_waits": float(cold.shared_waits),
+        "cold_insertions": float(cold.insertions),
+    }
+
+
 # ---------------------------------------------------------------------------
 # Orchestration, comparison, reporting
 # ---------------------------------------------------------------------------
@@ -784,6 +883,7 @@ def run_regress(
         ("promise_ordering", _bench_promise_ordering),
         ("verify_overhead", _bench_verify_overhead),
         ("kernel_speedup", _bench_kernel_speedup),
+        ("server_throughput", _bench_server_throughput),
     ):
         benches[name] = runner(config)
         note(f"{name}: {benches[name]['median_ms']:.1f} ms median")
@@ -837,6 +937,11 @@ _COUNT_METRICS = {
     # kernel_speedup: kernelized runs must be observably identical to
     # interpreted ones — every plan equal, both deltas exactly zero.
     "costings_delta",
+    # server_throughput: single-flight must collapse the cold fan-out
+    # to exactly one engine run (8 misses, 7 shared waits, 1 insert).
+    "cold_misses",
+    "cold_shared_waits",
+    "cold_insertions",
 }
 
 

@@ -29,6 +29,8 @@ __all__ = [
     "WorkloadError",
     "OptionsError",
     "ServiceError",
+    "ServerError",
+    "AdmissionError",
 ]
 
 
@@ -177,3 +179,27 @@ class OptionsError(ReproError):
 
 class ServiceError(ReproError):
     """The optimizer service (plan cache front-end) was misused."""
+
+
+class ServerError(ReproError):
+    """The optimizer server (:mod:`repro.server`) rejected a request.
+
+    ``status`` carries the HTTP status code the server maps the error
+    to on the wire (default 400: the request itself was malformed).
+    """
+
+    def __init__(self, message, status=400):
+        super().__init__(message)
+        self.status = status
+
+
+class AdmissionError(ServerError):
+    """The server's admission controller refused the request (HTTP 429).
+
+    ``reason`` distinguishes a full queue (``"queue_full"``) from a
+    queued request whose wait for a slot timed out (``"timeout"``).
+    """
+
+    def __init__(self, message, reason):
+        super().__init__(message, status=429)
+        self.reason = reason

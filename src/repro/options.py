@@ -46,7 +46,17 @@ __all__ = [
     "BudgetReport",
     "BudgetMeter",
     "BudgetTripped",
+    "KERNEL_TIERS",
+    "PROMISE_HINTS",
+    "QueryHints",
+    "ServerOptions",
 ]
+
+#: The generated-kernel tiers a hint or option may name.
+KERNEL_TIERS = ("interpreted", "specialized", "compiled")
+
+#: The promise-model dispositions a per-query hint may name.
+PROMISE_HINTS = ("service", "static", "none")
 
 
 def check_positive(name: str, value) -> None:
@@ -257,3 +267,162 @@ class BudgetMeter:
             budget=self.budget if self.budget is not None else ResourceBudget(),
             best_cost=best_cost,
         )
+
+
+@dataclasses.dataclass(frozen=True, kw_only=True)
+class QueryHints(OptionsBase):
+    """Per-request steering of one optimization through the service.
+
+    The production plan-management knob set: a client (or the server's
+    request deserializer) attaches hints to a single query, and the
+    service folds them into the engine options for that one run — the
+    service's own defaults and the engine's construction-time options
+    are untouched.
+
+    ``engine``
+        Which named engine serves the request.  Interpreted by the
+        server (:mod:`repro.server`), which validates it against its
+        configured engine set; the service itself ignores it (it wraps
+        exactly one engine).
+    ``kernel``
+        A generated-kernel tier (one of :data:`KERNEL_TIERS`) for this
+        run.  Unlike :attr:`~repro.service.ServiceOptions.kernel`, a
+        hint *overrides* an engine-pinned kernel — an explicit
+        per-query hint outranks construction-time defaults.  Plans are
+        byte-identical across tiers, so this only trades compilation
+        and dispatch cost.
+    ``budget``
+        A :class:`ResourceBudget` for this run, same semantics as the
+        per-request ``budget=`` argument of
+        :meth:`~repro.service.OptimizerService.optimize` (which wins
+        when both are given).
+    ``promise``
+        Promise-model disposition: ``"service"`` (explicit default —
+        the service's configured model, if any), ``"static"`` (force
+        the identity :data:`~repro.search.promise.STATIC_PROMISE`,
+        bit-for-bit historical move ordering), or ``"none"`` (force
+        *no* promise model for this run, even one pinned in the
+        engine's own options).
+
+    Hints only steer *fresh* optimizations: a cache or pin hit serves
+    the stored plan regardless (the plan would be identical anyway —
+    kernel and promise never change answers, only effort).
+    """
+
+    engine: Optional[str] = None
+    kernel: Optional[str] = None
+    budget: Optional[ResourceBudget] = None
+    promise: Optional[str] = None
+
+    def validate(self) -> None:
+        """Check field invariants; raise :class:`OptionsError` on failure."""
+        if self.kernel is not None and self.kernel not in KERNEL_TIERS:
+            raise OptionsError(
+                f"kernel hint must be one of {KERNEL_TIERS}, got {self.kernel!r}"
+            )
+        if self.promise is not None and self.promise not in PROMISE_HINTS:
+            raise OptionsError(
+                f"promise hint must be one of {PROMISE_HINTS}, "
+                f"got {self.promise!r}"
+            )
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no hint is set (the request carries no steering)."""
+        return (
+            self.engine is None
+            and self.kernel is None
+            and self.budget is None
+            and self.promise is None
+        )
+
+
+@dataclasses.dataclass(frozen=True, kw_only=True)
+class ServerOptions(OptionsBase):
+    """Policy knobs of the long-lived optimizer server (:mod:`repro.server`).
+
+    **Admission control** — the server never lets unbounded concurrent
+    optimizations pile onto the shared cache:
+
+    ``max_concurrent``
+        Optimization-triggering requests allowed in flight at once
+        (each occupies one worker thread).
+    ``max_queue_depth``
+        Requests allowed to *wait* for a slot beyond that; one more and
+        the server fast-fails the request with a 429 instead of
+        building an invisible backlog.
+    ``queue_timeout_seconds``
+        How long a queued request may wait for a slot before it is
+        429'd (a per-request ``deadline_seconds`` tightens this and,
+        once admitted, the remainder becomes the optimization's
+        wall-clock budget).
+
+    **Plan management** — the regression guard's evidence thresholds:
+
+    ``guard_plans``
+        Whether the plan-regression guard is active: a refreshed plan
+        (same query, new statistics) whose estimated cost regresses
+        beyond what the incumbent's *observed* execution evidence
+        supports is rolled back and quarantined
+        (:class:`~repro.server.PlanRegistry`).
+    ``guard_threshold``
+        Base tolerated estimated-cost growth factor of a refresh over
+        its incumbent.
+    ``guard_slack_cap``
+        Upper bound on the evidence slack: an incumbent whose own
+        estimates were off by q (its observed q-error) licenses a
+        refresh up to ``threshold * min(q, cap)`` — genuine drift
+        produces honestly-costlier plans, and the guard must not roll
+        those back.
+    ``verify_pins``
+        Re-check a plan's provenance certificate through
+        :func:`repro.verify.verify_plan` when it is pinned; a failing
+        certificate refuses the pin.
+
+    **Lifecycle**:
+
+    ``workers``
+        Size of the thread pool optimizations run on (at least
+        ``max_concurrent``).
+    ``drain_seconds``
+        Graceful-shutdown patience: how long to wait for in-flight
+        requests to finish before the event loop is torn down anyway.
+    ``request_timeout_seconds``
+        Idle read timeout on an open connection.
+    """
+
+    max_concurrent: int = 4
+    max_queue_depth: int = 16
+    queue_timeout_seconds: float = 10.0
+    guard_plans: bool = True
+    guard_threshold: float = 1.5
+    guard_slack_cap: float = 16.0
+    verify_pins: bool = True
+    workers: int = 4
+    drain_seconds: float = 10.0
+    request_timeout_seconds: float = 60.0
+
+    def validate(self) -> None:
+        """Check field invariants; raise :class:`OptionsError` on failure."""
+        check_positive("max_concurrent", self.max_concurrent)
+        if self.max_queue_depth < 0:
+            raise OptionsError(
+                f"max_queue_depth must be >= 0, got {self.max_queue_depth!r}"
+            )
+        check_positive("queue_timeout_seconds", self.queue_timeout_seconds)
+        check_positive("workers", self.workers)
+        check_positive("drain_seconds", self.drain_seconds)
+        check_positive("request_timeout_seconds", self.request_timeout_seconds)
+        if self.guard_threshold < 1.0:
+            raise OptionsError(
+                f"guard_threshold must be >= 1.0, got {self.guard_threshold!r}"
+            )
+        if self.guard_slack_cap < 1.0:
+            raise OptionsError(
+                f"guard_slack_cap must be >= 1.0, got {self.guard_slack_cap!r}"
+            )
+        if self.workers < self.max_concurrent:
+            raise OptionsError(
+                f"workers ({self.workers}) must cover max_concurrent "
+                f"({self.max_concurrent}) admission slots"
+            )

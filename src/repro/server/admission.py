@@ -1,0 +1,160 @@
+"""Admission control for the optimizer server.
+
+A long-lived optimizer service has one scarce resource: engine runs.
+Directed dynamic programming is CPU-bound and (per query) seconds-long
+in the worst case; letting every incoming request start one would melt
+the box and — worse — build an invisible backlog whose requests all
+eventually time out anyway.  The standard remedy is **admission
+control with fast-fail**: a hard bound on concurrent optimizations, a
+short bounded queue for bursts, and an immediate 429 for everything
+beyond it, so clients learn *now* that they should back off.
+
+:class:`AdmissionController` implements that for the asyncio server.
+It runs entirely on the event loop (no locks needed: between awaits,
+state mutations are atomic), hands out slots FIFO, and supports
+graceful drain for shutdown.  Cache *hits* are not admitted through it
+— the server only charges requests that may run the engine.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Deque, Dict, Optional
+
+from repro.errors import AdmissionError
+from repro.options import ServerOptions
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Bounded concurrency + bounded FIFO queue + fast-fail overflow.
+
+    ``async with controller.slot():`` around the work; requests beyond
+    ``max_concurrent`` wait in a queue of at most ``max_queue_depth``,
+    for at most ``queue_timeout_seconds`` (tightened per-request via
+    ``timeout=``); both overflows raise
+    :class:`~repro.errors.AdmissionError` (HTTP 429) immediately.
+    """
+
+    def __init__(self, options: Optional[ServerOptions] = None) -> None:
+        self.options = options or ServerOptions()
+        self._active = 0
+        self._waiters: Deque["asyncio.Future[None]"] = deque()
+        self._drained = asyncio.Event()
+        self._drained.set()
+        self.admitted = 0
+        self.rejected_busy = 0
+        self.rejected_timeout = 0
+
+    @property
+    def active(self) -> int:
+        """Requests currently holding a slot."""
+        return self._active
+
+    @property
+    def queued(self) -> int:
+        """Requests currently waiting for a slot."""
+        return len(self._waiters)
+
+    async def acquire(self, timeout: Optional[float] = None) -> None:
+        """Take a slot, waiting in the bounded queue if none is free.
+
+        ``timeout`` overrides (tightens or loosens) the configured
+        queue timeout for this one request — the per-request deadline
+        propagated from the client.  Raises
+        :class:`~repro.errors.AdmissionError` when the queue is full
+        or the wait expires.
+        """
+        if self._active < self.options.max_concurrent and not self._waiters:
+            self._grant()
+            return
+        if len(self._waiters) >= self.options.max_queue_depth:
+            self.rejected_busy += 1
+            raise AdmissionError(
+                f"server busy: {self._active} optimizations in flight, "
+                f"queue of {len(self._waiters)} full",
+                reason="queue_full",
+            )
+        future: "asyncio.Future[None]" = asyncio.get_running_loop().create_future()
+        self._waiters.append(future)
+        wait = timeout if timeout is not None else self.options.queue_timeout_seconds
+        try:
+            await asyncio.wait_for(future, timeout=wait)
+        except asyncio.TimeoutError:
+            # wait_for cancelled the future, so release() will skip it;
+            # just drop it from the queue if it is still there.
+            try:
+                self._waiters.remove(future)
+            except ValueError:
+                pass
+            self.rejected_timeout += 1
+            raise AdmissionError(
+                f"timed out after {wait:.1f}s waiting for an optimization "
+                "slot",
+                reason="timeout",
+            ) from None
+
+    def release(self) -> None:
+        """Return a slot; the oldest live waiter (if any) inherits it."""
+        while self._waiters:
+            future = self._waiters.popleft()
+            if future.cancelled():
+                continue
+            # The slot transfers: _active is unchanged, the waiter runs.
+            self.admitted += 1
+            future.set_result(None)
+            return
+        self._active -= 1
+        if self._active == 0:
+            self._drained.set()
+
+    def _grant(self) -> None:
+        self._active += 1
+        self.admitted += 1
+        self._drained.clear()
+
+    def slot(self, timeout: Optional[float] = None) -> "_Slot":
+        """An ``async with`` guard: acquire on entry, release on exit."""
+        return _Slot(self, timeout)
+
+    async def drain(self, timeout: Optional[float] = None) -> bool:
+        """Wait for every admitted request to finish; True when drained.
+
+        Shutdown calls this after the listener stops accepting; queued
+        waiters still get their turn (they were already admitted to the
+        queue), so a drain bounds *new* work, not promised work.
+        """
+        try:
+            await asyncio.wait_for(self._drained.wait(), timeout=timeout)
+            return True
+        except asyncio.TimeoutError:
+            return False
+
+    def counters(self) -> Dict[str, int]:
+        """JSON-ready snapshot for the stats endpoint."""
+        return {
+            "active": self._active,
+            "queued": len(self._waiters),
+            "max_concurrent": self.options.max_concurrent,
+            "max_queue_depth": self.options.max_queue_depth,
+            "admitted": self.admitted,
+            "rejected_busy": self.rejected_busy,
+            "rejected_timeout": self.rejected_timeout,
+        }
+
+
+class _Slot:
+    """Context manager pairing one acquire with exactly one release."""
+
+    def __init__(self, controller: AdmissionController, timeout: Optional[float]):
+        self._controller = controller
+        self._timeout = timeout
+
+    async def __aenter__(self) -> AdmissionController:
+        await self._controller.acquire(self._timeout)
+        return self._controller
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        self._controller.release()

@@ -1,0 +1,848 @@
+"""The long-lived optimizer server: asyncio HTTP/JSON over the service.
+
+:class:`OptimizerServer` promotes an
+:class:`~repro.service.OptimizerService` from a library object to a
+process boundary: a small HTTP/1.1 server (stdlib asyncio streams, no
+framework) that many clients share.  The division of labor:
+
+* the **event loop** parses requests, runs admission control
+  (:class:`~repro.server.admission.AdmissionController`), and writes
+  responses — it never blocks on optimization;
+* a **thread pool** runs the CPU-bound work (translation, engine
+  runs, plan execution); the service underneath is thread-safe (locked
+  cache, single-flight deduplication), so concurrent requests share
+  one plan cache correctly;
+* the **plan registry** (:class:`~repro.server.registry.PlanRegistry`)
+  sits in front of the service: pinned keys are served without
+  touching the optimizer at all, and every fresh answer is routed
+  through the regression guard before it reaches the wire.
+
+Endpoints (all bodies JSON):
+
+====================  ====================================================
+``GET  /health``      liveness + catalog statistics version
+``GET  /stats``       cache counters, admission counters, registry state
+``GET  /plans``       pins, quarantined refreshes, recent events
+``POST /optimize``    ``{"sql": ...}`` (+ hints) → plan payload
+``POST /execute``     optimize + run the plan + feedback round trip
+``POST /prepare``     parameterize a SQL statement server-side
+``POST /bind``        bind parameters to a prepared statement → plan
+``POST /batch``       ``{"queries": [...]}`` → multi-query optimization
+``POST /plans/pin``   pin the served plan for a query
+``POST /plans/unpin`` lift a pin (operator pins and guard rollbacks)
+``POST /admin/statistics``  update one table's statistics (versioned)
+``POST /admin/shutdown``    begin graceful drain
+====================  ====================================================
+
+Per-request **hints** ride as top-level fields of any optimize-like
+body: ``engine`` selects among the server's configured engines (which
+share one plan cache — post-PR8 both memo engines produce
+byte-identical plans, so a cross-engine hit is sound), ``kernel`` /
+``promise`` / ``budget`` steer that one run
+(:class:`~repro.options.QueryHints`), and ``deadline_seconds`` bounds
+the whole request — queue wait included; whatever remains after
+admission becomes the optimization's wall-clock budget.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+from repro.catalog.statistics import ColumnStatistics, TableStatistics
+from repro.errors import ReproError, ServerError
+from repro.options import QueryHints, ResourceBudget, ServerOptions
+from repro.server.admission import AdmissionController
+from repro.server.protocol import (
+    executed_payload,
+    parse_budget,
+    parse_hints,
+    require,
+    served_payload,
+)
+from repro.server.registry import PlanRegistry, stable_key
+from repro.service.service import OptimizerService, PreparedQuery, ServedResult
+from repro.sql.normalize import bind_expression, normalize_literals
+
+__all__ = ["OptimizerServer", "ServerThread"]
+
+_MAX_BODY = 4 * 1024 * 1024
+
+
+class OptimizerServer:
+    """One optimizer service (or several engines over one cache), served.
+
+    ``engines`` maps additional engine names to services; they are
+    rewired to share the primary's plan cache, subplan library,
+    feedback store, and single-flight table, so an ``engine`` hint
+    changes which search runs on a miss but never forks the cache.
+    All services must front the same catalog.
+    """
+
+    def __init__(
+        self,
+        service: OptimizerService,
+        *,
+        options: Optional[ServerOptions] = None,
+        engines: Optional[Mapping[str, OptimizerService]] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.options = options or ServerOptions()
+        self.host = host
+        self.port = port
+        self.engines: Dict[str, OptimizerService] = {}
+        for name, engine_service in (engines or {}).items():
+            if engine_service.catalog is not service.catalog:
+                raise ServerError(
+                    f"engine {name!r} fronts a different catalog"
+                )
+            # Shared state: one cache, one dedup table, one feedback
+            # store across every engine — the whole point of the
+            # byte-identical plan guarantee.
+            engine_service.cache = service.cache
+            engine_service.subplans = service.subplans
+            engine_service.feedback = service.feedback
+            engine_service.single_flight = service.single_flight
+            self.engines[name] = engine_service
+        self.admission = AdmissionController(self.options)
+        self.registry = PlanRegistry(options=self.options)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.options.workers,
+            thread_name_prefix="repro-server",
+        )
+        self._statements: Dict[str, Tuple[PreparedQuery, Any]] = {}
+        self._statements_lock = threading.Lock()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: set = set()
+        self._connection_tasks: set = set()
+        self._shutdown = asyncio.Event()
+        self._started = time.time()
+        self.requests = 0
+        self.errors = 0
+        self._routes: Dict[
+            Tuple[str, str], Callable[[Mapping[str, Any]], Any]
+        ] = {
+            ("GET", "/health"): self._handle_health,
+            ("GET", "/stats"): self._handle_stats,
+            ("GET", "/plans"): self._handle_plans,
+            ("POST", "/optimize"): self._handle_optimize,
+            ("POST", "/execute"): self._handle_execute,
+            ("POST", "/prepare"): self._handle_prepare,
+            ("POST", "/bind"): self._handle_bind,
+            ("POST", "/batch"): self._handle_batch,
+            ("POST", "/plans/pin"): self._handle_pin,
+            ("POST", "/plans/unpin"): self._handle_unpin,
+            ("POST", "/admin/statistics"): self._handle_statistics,
+            ("POST", "/admin/shutdown"): self._handle_shutdown,
+        }
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting connections (non-blocking)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        sockets = self._server.sockets or ()
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        """Serve until :meth:`shutdown` (or ``/admin/shutdown``)."""
+        if self._server is None:
+            await self.start()
+        await self._shutdown.wait()
+        await self._drain_and_close()
+
+    async def shutdown(self) -> None:
+        """Stop accepting, drain in-flight requests, tear down."""
+        self._shutdown.set()
+        await self._drain_and_close()
+
+    async def _drain_and_close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Graceful drain: admitted optimizations get drain_seconds to
+        # finish; the executor then shuts down without cancelling them
+        # (they hold no loop resources).
+        await self.admission.drain(timeout=self.options.drain_seconds)
+        # Idle keep-alive connections sit in a read; closing their
+        # transports delivers EOF and their handler tasks exit cleanly.
+        for writer in list(self._connections):
+            writer.close()
+        tasks = [t for t in self._connection_tasks if not t.done()]
+        if tasks:
+            _done, pending = await asyncio.wait(tasks, timeout=1.0)
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        self._executor.shutdown(wait=True, cancel_futures=True)
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- connection handling -------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(writer)
+        task = asyncio.current_task()
+        if task is not None:
+            self._connection_tasks.add(task)
+        try:
+            while not self._shutdown.is_set():
+                try:
+                    request = await asyncio.wait_for(
+                        self._read_request(reader),
+                        timeout=self.options.request_timeout_seconds,
+                    )
+                except asyncio.TimeoutError:
+                    break
+                except ServerError as error:
+                    # Unparseable request: answer, then drop the
+                    # connection — framing can no longer be trusted.
+                    self.errors += 1
+                    data = json.dumps({"error": str(error)}).encode("utf-8")
+                    writer.write(
+                        (
+                            f"HTTP/1.1 {error.status} "
+                            f"{_REASONS.get(error.status, 'Bad Request')}\r\n"
+                            f"Content-Type: application/json\r\n"
+                            f"Content-Length: {len(data)}\r\n"
+                            "Connection: close\r\n"
+                            "\r\n"
+                        ).encode("ascii")
+                        + data
+                    )
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                method, path, headers, body = request
+                keep_alive = headers.get("connection", "keep-alive") != "close"
+                status, payload = await self._dispatch(method, path, body)
+                data = json.dumps(payload).encode("utf-8")
+                head = (
+                    f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+                    f"Content-Type: application/json\r\n"
+                    f"Content-Length: {len(data)}\r\n"
+                    f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+                    "\r\n"
+                ).encode("ascii")
+                writer.write(head + data)
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._connections.discard(writer)
+            if task is not None:
+                self._connection_tasks.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, RuntimeError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, Dict[str, str], Mapping[str, Any]]]:
+        """One HTTP/1.1 request off the stream, or None at EOF."""
+        line = await reader.readline()
+        if not line:
+            return None
+        try:
+            method, target, _version = line.decode("ascii").split(None, 2)
+        except ValueError:
+            raise ServerError("malformed request line") from None
+        headers: Dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip().lower()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > _MAX_BODY:
+            raise ServerError("request body too large", status=413)
+        body: Mapping[str, Any] = {}
+        if length:
+            raw_body = await reader.readexactly(length)
+            try:
+                parsed = json.loads(raw_body)
+            except json.JSONDecodeError as error:
+                raise ServerError(f"invalid JSON body: {error}") from None
+            if not isinstance(parsed, Mapping):
+                raise ServerError("request body must be a JSON object")
+            body = parsed
+        path = target.split("?", 1)[0]
+        return method.upper(), path, headers, body
+
+    async def _dispatch(
+        self, method: str, path: str, body: Mapping[str, Any]
+    ) -> Tuple[int, Dict[str, Any]]:
+        self.requests += 1
+        handler = self._routes.get((method, path))
+        if handler is None:
+            if any(route_path == path for _, route_path in self._routes):
+                return 405, {"error": f"method {method} not allowed on {path}"}
+            return 404, {"error": f"no such endpoint: {path}"}
+        try:
+            payload = handler(body)
+            if asyncio.iscoroutine(payload):
+                payload = await payload
+            return 200, payload
+        except ServerError as error:
+            self.errors += 1
+            response = {"error": str(error)}
+            reason = getattr(error, "reason", None)
+            if reason is not None:
+                response["reason"] = reason
+            return error.status, response
+        except ReproError as error:
+            self.errors += 1
+            return 400, {"error": f"{type(error).__name__}: {error}"}
+        except Exception as error:  # pragma: no cover - defensive
+            self.errors += 1
+            return 500, {"error": f"internal error: {error}"}
+
+    # -- shared request plumbing ---------------------------------------
+
+    def _service_for(self, hints: Optional[QueryHints]) -> OptimizerService:
+        if hints is None or hints.engine is None:
+            return self.service
+        engine_service = self.engines.get(hints.engine)
+        if engine_service is None:
+            known = sorted(self.engines)
+            raise ServerError(
+                f"unknown engine {hints.engine!r}; configured: {known}"
+            )
+        return engine_service
+
+    async def _in_thread(self, fn: Callable[[], Any]) -> Any:
+        return await asyncio.get_running_loop().run_in_executor(
+            self._executor, fn
+        )
+
+    async def _resolve(
+        self, service: OptimizerService, sql: str
+    ) -> Tuple[PreparedQuery, str]:
+        """SQL → (prepared query, stable plan-management key)."""
+        prepared = await self._in_thread(lambda: service.prepare(sql))
+        return prepared, stable_key(prepared.expression, prepared.props)
+
+    def _request_budget(
+        self,
+        body: Mapping[str, Any],
+        hints: Optional[QueryHints],
+        started: float,
+    ) -> Optional[ResourceBudget]:
+        """Fold the request deadline's remainder into the run budget."""
+        deadline = body.get("deadline_seconds")
+        budget = parse_budget(body.get("budget"))
+        if budget is None and hints is not None:
+            budget = hints.budget
+        if deadline is None:
+            return budget
+        if not isinstance(deadline, (int, float)) or deadline <= 0:
+            raise ServerError("deadline_seconds must be a positive number")
+        remaining = max(0.05, float(deadline) - (time.monotonic() - started))
+        if budget is None:
+            return ResourceBudget(deadline_seconds=remaining)
+        if budget.deadline_seconds is not None:
+            remaining = min(remaining, budget.deadline_seconds)
+        return budget.replace(deadline_seconds=remaining)
+
+    def _admission_timeout(self, body: Mapping[str, Any]) -> Optional[float]:
+        deadline = body.get("deadline_seconds")
+        if isinstance(deadline, (int, float)) and deadline > 0:
+            return min(float(deadline), self.options.queue_timeout_seconds)
+        return None
+
+    def _guarded(
+        self, served: ServedResult, key: str
+    ) -> Tuple[ServedResult, bool, Optional[Dict[str, Any]]]:
+        """Route a service answer through pin + regression guard.
+
+        Returns ``(to_serve, pinned, guard_info)``.  Fresh non-degraded
+        answers are admitted to the registry; a rollback decision swaps
+        the served plan for the incumbent's.
+        """
+        if served.cached or served.degraded:
+            return served, False, None
+        decision = self.registry.admit(
+            key,
+            served.plan,
+            _total(served.cost),
+            served.required,
+            certificate=served.certificate,
+            statistics_version=self.service.catalog.statistics_version,
+        )
+        guard = {
+            "action": decision.action,
+            "allowed": decision.allowed,
+            "detail": decision.detail,
+        }
+        if decision.rolled_back:
+            served = dataclasses.replace(
+                served, plan=decision.plan, result=None
+            )
+            return served, True, guard
+        return served, False, guard
+
+    # -- endpoints -----------------------------------------------------
+
+    def _handle_health(self, body: Mapping[str, Any]) -> Dict[str, Any]:
+        return {
+            "ok": True,
+            "statistics_version": self.service.catalog.statistics_version,
+            "uptime_seconds": time.time() - self._started,
+            "engines": ["default", *sorted(self.engines)],
+        }
+
+    def _handle_stats(self, body: Mapping[str, Any]) -> Dict[str, Any]:
+        cache = self.service.cache.stats.snapshot()
+        return {
+            "cache": cache.counters(),
+            "cache_entries": len(self.service.cache),
+            "admission": self.admission.counters(),
+            "registry": self.registry.state(),
+            "server": {
+                "requests": self.requests,
+                "errors": self.errors,
+                "prepared_statements": len(self._statements),
+                "inflight_optimizations": self.service.single_flight.inflight(),
+                "uptime_seconds": time.time() - self._started,
+            },
+        }
+
+    def _handle_plans(self, body: Mapping[str, Any]) -> Dict[str, Any]:
+        return self.registry.state()
+
+    async def _handle_optimize(self, body: Mapping[str, Any]) -> Dict[str, Any]:
+        started = time.monotonic()
+        sql = require(body, "sql", str)
+        hints = parse_hints(body)
+        service = self._service_for(hints)
+        prepared, key = await self._resolve(service, sql)
+        pin = self.registry.pinned(key)
+        if pin is not None:
+            # Pinned: served as-is, no optimization, no admission.
+            self.registry.record_pinned_hit(key)
+            served = ServedResult(
+                plan=pin.plan,
+                cost=pin.cost_total,
+                required=pin.required,
+                fingerprint=prepared.exact,
+                cached=True,
+                certificate=pin.certificate,
+                verified=pin.verified,
+            )
+            return served_payload(served, key, pinned=True)
+        budget = self._request_budget(body, hints, started)
+        async with self.admission.slot(self._admission_timeout(body)):
+            served = await self._in_thread(
+                lambda: service.optimize(prepared, budget=budget, hints=hints)
+            )
+        served, pinned, guard = self._guarded(served, key)
+        return served_payload(served, key, pinned=pinned, guard=guard)
+
+    async def _handle_execute(self, body: Mapping[str, Any]) -> Dict[str, Any]:
+        started = time.monotonic()
+        sql = require(body, "sql", str)
+        hints = parse_hints(body)
+        service = self._service_for(hints)
+        prepared, key = await self._resolve(service, sql)
+        pin = self.registry.pinned(key)
+        if pin is not None:
+            # A pinned key executes its pinned plan verbatim.  The run
+            # is uninstrumented on purpose: an operator override is not
+            # evidence about the optimizer's estimates.
+            self.registry.record_pinned_hit(key)
+
+            def run_pinned():
+                from repro.executor import ExecutionStats, execute_plan
+
+                stats = ExecutionStats()
+                rows = execute_plan(
+                    pin.plan, service.catalog, stats, instrument=False
+                )
+                return rows, stats
+
+            async with self.admission.slot(self._admission_timeout(body)):
+                rows, stats = await self._in_thread(run_pinned)
+            served = ServedResult(
+                plan=pin.plan,
+                cost=pin.cost_total,
+                required=pin.required,
+                fingerprint=prepared.exact,
+                cached=True,
+                certificate=pin.certificate,
+                verified=pin.verified,
+            )
+            payload = served_payload(served, key, pinned=True)
+            payload.update(
+                {
+                    "row_count": len(rows),
+                    "rows": rows,
+                    "execution": {
+                        "rows_scanned": stats.rows_scanned,
+                        "rows_emitted": stats.rows_emitted,
+                        "pages_read": stats.pages_read,
+                        "pages_written": stats.pages_written,
+                    },
+                    "max_q_error": 1.0,
+                    "refreshed": False,
+                }
+            )
+            return payload
+        budget = self._request_budget(body, hints, started)
+        async with self.admission.slot(self._admission_timeout(body)):
+            executed = await self._in_thread(
+                lambda: service.execute(
+                    prepared.expression, prepared.props, budget=budget
+                )
+            )
+        served, pinned, guard = self._guarded(executed.served, key)
+        # Fold execution evidence into the incumbent — this is what
+        # arms the regression guard for this key.
+        self.registry.observe(
+            key,
+            executed.served.plan,
+            max_q_error=executed.max_q_error,
+            work=float(executed.stats.rows_scanned + executed.stats.rows_emitted),
+        )
+        payload = executed_payload(executed, key)
+        payload["pinned"] = pinned
+        payload["guard"] = guard
+        if pinned:
+            # Rolled back mid-request: the rows above ran the candidate
+            # once, but the *served plan* is the incumbent's.
+            payload["plan"] = served.plan.pretty(with_cost=False)
+            payload["sexpr"] = served.plan.to_sexpr()
+        return payload
+
+    async def _handle_prepare(self, body: Mapping[str, Any]) -> Dict[str, Any]:
+        sql = require(body, "sql", str)
+        hints = parse_hints(body)
+        service = self._service_for(hints)
+
+        def build():
+            prepared = service.prepare(sql)
+            normalized = normalize_literals(
+                prepared.expression,
+                service.catalog,
+                buckets=service.options.selectivity_buckets,
+            )
+            return prepared, normalized
+
+        prepared, normalized = await self._in_thread(build)
+        statement = "stmt-" + stable_key(
+            normalized.template, prepared.props
+        )[:16]
+        with self._statements_lock:
+            self._statements[statement] = (prepared, normalized)
+        return {
+            "statement": statement,
+            "parameters": dict(normalized.bindings),
+            "parameterized": normalized.is_parameterized,
+            "bucket_key": [list(entry) for entry in normalized.bucket_key],
+        }
+
+    async def _handle_bind(self, body: Mapping[str, Any]) -> Dict[str, Any]:
+        started = time.monotonic()
+        statement = require(body, "statement", str)
+        with self._statements_lock:
+            entry = self._statements.get(statement)
+        if entry is None:
+            raise ServerError(f"unknown statement: {statement!r}", status=404)
+        prepared, normalized = entry
+        values = body.get("parameters") or {}
+        if not isinstance(values, Mapping):
+            raise ServerError("parameters must be an object")
+        unknown = set(values) - set(normalized.bindings)
+        if unknown:
+            raise ServerError(
+                f"unknown parameters {sorted(unknown)}; "
+                f"statement has {sorted(normalized.bindings)}"
+            )
+        # Unbound parameters keep the literals of the prepared text.
+        merged = {**dict(normalized.bindings), **dict(values)}
+        hints = parse_hints(body)
+        service = self._service_for(hints)
+        budget = self._request_budget(body, hints, started)
+
+        def run():
+            bound = bind_expression(normalized.template, merged)
+            key = stable_key(bound, prepared.props)
+            served = service.optimize(
+                bound, prepared.props, budget=budget, hints=hints
+            )
+            return bound, key, served
+
+        async with self.admission.slot(self._admission_timeout(body)):
+            _bound, key, served = await self._in_thread(run)
+        served, pinned, guard = self._guarded(served, key)
+        payload = served_payload(served, key, pinned=pinned, guard=guard)
+        payload["statement"] = statement
+        payload["parameters"] = {
+            name: merged[name] for name in sorted(merged)
+        }
+        return payload
+
+    async def _handle_batch(self, body: Mapping[str, Any]) -> Dict[str, Any]:
+        queries = require(body, "queries", list)
+        if not queries or not all(isinstance(q, str) for q in queries):
+            raise ServerError("queries must be a non-empty list of SQL strings")
+        hints = parse_hints(body)
+        service = self._service_for(hints)
+        deadline = body.get("deadline_seconds")
+        if deadline is not None and (
+            not isinstance(deadline, (int, float)) or deadline <= 0
+        ):
+            raise ServerError("deadline_seconds must be a positive number")
+        def run():
+            prepared = [service.prepare(sql) for sql in queries]
+            batch = service.optimize_many(prepared, deadline_seconds=deadline)
+            keys = [stable_key(p.expression, p.props) for p in prepared]
+            return batch, keys
+
+        async with self.admission.slot(self._admission_timeout(body)):
+            batch, keys = await self._in_thread(run)
+        results = []
+        for key, served in zip(keys, batch.results):
+            served, pinned, guard = self._guarded(served, key)
+            results.append(
+                served_payload(served, key, pinned=pinned, guard=guard)
+            )
+        report = batch.sharing_report
+        return {
+            "results": results,
+            "shared_plans": len(batch.shared_plans),
+            "sharing": (
+                {
+                    "independent_total": report.independent_total,
+                    "shared_total": report.shared_total,
+                    "shared_plans": len(report.shared_plans),
+                }
+                if report is not None and report.shared_plans
+                else None
+            ),
+            "degraded_to_independent": batch.degraded_to_independent,
+            "cache_stats": (
+                batch.cache_stats.counters()
+                if batch.cache_stats is not None
+                else None
+            ),
+        }
+
+    async def _handle_pin(self, body: Mapping[str, Any]) -> Dict[str, Any]:
+        started = time.monotonic()
+        sql = require(body, "sql", str)
+        reason = str(body.get("reason", ""))
+        hints = parse_hints(body)
+        service = self._service_for(hints)
+        prepared, key = await self._resolve(service, sql)
+        budget = self._request_budget(body, hints, started)
+        async with self.admission.slot(self._admission_timeout(body)):
+            served = await self._in_thread(
+                lambda: service.optimize(prepared, budget=budget, hints=hints)
+            )
+        if served.degraded:
+            raise ServerError(
+                "refusing to pin a degraded (budget-tripped) plan", status=409
+            )
+        verified = False
+        if self.options.verify_pins and served.certificate is not None:
+            ok = await self._in_thread(
+                lambda: service.verify_served(
+                    prepared.expression, served.plan, served.certificate
+                )
+            )
+            if ok is False:
+                raise ServerError(
+                    "refusing pin: plan certificate failed verification",
+                    status=409,
+                )
+            verified = bool(ok)
+        pin = self.registry.pin(
+            key,
+            served.plan,
+            _total(served.cost),
+            served.required,
+            certificate=served.certificate,
+            kind="user",
+            verified=verified,
+            statistics_version=service.catalog.statistics_version,
+            reason=reason,
+        )
+        return {
+            "key": key,
+            "pinned": True,
+            "verified": pin.verified,
+            "cost_total": pin.cost_total,
+            "plan": pin.plan.pretty(with_cost=False),
+            "pinned_version": pin.pinned_version,
+        }
+
+    async def _handle_unpin(self, body: Mapping[str, Any]) -> Dict[str, Any]:
+        key = body.get("key")
+        if key is None:
+            sql = require(body, "sql", str)
+            _prepared, key = await self._resolve(self.service, sql)
+        elif not isinstance(key, str):
+            raise ServerError("key must be a string")
+        pin = self.registry.unpin(
+            key, statistics_version=self.service.catalog.statistics_version
+        )
+        if pin is None:
+            raise ServerError(f"no pin for key {key!r}", status=404)
+        return {"key": key, "unpinned": True, "kind": pin.kind}
+
+    async def _handle_statistics(
+        self, body: Mapping[str, Any]
+    ) -> Dict[str, Any]:
+        table = require(body, "table", str)
+        raw = require(body, "statistics", dict)
+        catalog = self.service.catalog
+        if table not in catalog:
+            raise ServerError(f"unknown table: {table!r}", status=404)
+        current = catalog.table(table).statistics
+        columns = dict(current.columns)
+        for name, spec in (raw.get("columns") or {}).items():
+            if not isinstance(spec, Mapping):
+                raise ServerError(f"column {name!r} statistics must be an object")
+            columns[name] = ColumnStatistics(
+                distinct_values=float(
+                    spec.get(
+                        "distinct_values",
+                        getattr(columns.get(name), "distinct_values", 1.0),
+                    )
+                ),
+                min_value=spec.get(
+                    "min_value", getattr(columns.get(name), "min_value", None)
+                ),
+                max_value=spec.get(
+                    "max_value", getattr(columns.get(name), "max_value", None)
+                ),
+            )
+        updated = TableStatistics(
+            row_count=float(raw.get("row_count", current.row_count)),
+            row_width=int(raw.get("row_width", current.row_width)),
+            columns=columns,
+        )
+        await self._in_thread(
+            lambda: catalog.update_statistics(table, updated)
+        )
+        return {
+            "table": table,
+            "row_count": updated.row_count,
+            "table_version": catalog.table_version(table),
+            "statistics_version": catalog.statistics_version,
+        }
+
+    async def _handle_shutdown(self, body: Mapping[str, Any]) -> Dict[str, Any]:
+        # Respond first, then trip the shutdown event: serve_forever()
+        # stops accepting and drains what is in flight.
+        asyncio.get_running_loop().call_soon(self._shutdown.set)
+        return {"ok": True, "draining": self.admission.active}
+
+
+def _total(cost: Any) -> float:
+    total = getattr(cost, "total", None)
+    if callable(total):
+        return float(total())
+    return float(cost)
+
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+class ServerThread:
+    """An :class:`OptimizerServer` on a background event loop.
+
+    The in-process harness used by the tests, the benchmark, and the
+    round-trip example: start it, talk to ``http://host:port`` from
+    any number of plain blocking clients, stop it.
+
+    >>> harness = ServerThread(server)
+    >>> harness.start()
+    >>> client = ServerClient(harness.address)
+    >>> ...
+    >>> harness.stop()
+    """
+
+    def __init__(self, server: OptimizerServer):
+        self.server = server
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._done = threading.Event()
+
+    def start(self, timeout: float = 10.0) -> "ServerThread":
+        """Run the server on a daemon thread; block until it is bound."""
+        self._thread = threading.Thread(
+            target=self._run, name="repro-server-loop", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=timeout):
+            raise ServerError("server failed to start in time", status=500)
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+
+        async def main():
+            await self.server.start()
+            self._ready.set()
+            await self.server.serve_forever()
+
+        try:
+            loop.run_until_complete(main())
+        finally:
+            loop.close()
+            self._done.set()
+            self._ready.set()  # unblock start() on failure
+
+    @property
+    def address(self) -> str:
+        return self.server.address
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Trigger graceful shutdown and join the loop thread."""
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            loop.call_soon_threadsafe(self.server._shutdown.set)
+        self._done.wait(timeout=timeout)
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

@@ -10,6 +10,7 @@ See :mod:`repro.service.service` for the full story and
 from repro.search.sharing import SharedPlan, SharingOptions, SharingReport
 from repro.service.cache import CacheEntry, CacheStats, PlanCache
 from repro.service.fingerprint import Fingerprint, fingerprint, table_dependencies
+from repro.service.singleflight import SingleFlight
 from repro.service.service import (
     BatchResult,
     ExecutedResult,
@@ -33,6 +34,7 @@ __all__ = [
     "PreparedQuery",
     "ServedResult",
     "ServiceOptions",
+    "SingleFlight",
     "SubplanLibrary",
     "SharedPlan",
     "SharingOptions",

@@ -8,10 +8,21 @@ digests to cached plans, with two twists:
   whose tables have changed — no TTLs, no global flushes;
 * every operation is counted in :class:`CacheStats`, mirroring how the
   search engine itself exposes :class:`~repro.search.SearchStats`.
+
+Both are safe under concurrent access: the long-lived server
+(:mod:`repro.server`) runs optimizations on a thread pool against one
+shared cache, so :class:`PlanCache` guards its LRU structure with a
+lock and :class:`CacheStats` mutations go through the atomic
+:meth:`CacheStats.bump`.  A consistent point-in-time copy of the
+counters — what the server's stats endpoint serves — comes from
+:meth:`CacheStats.snapshot`, which freezes the copy against further
+mutation.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
@@ -39,6 +50,11 @@ class CacheStats:
     operators tell fast-because-cached answers from
     fast-because-degraded ones.
 
+    ``shared_waits`` counts answers served by *waiting on another
+    in-flight optimization of the same fingerprint* (per-key
+    single-flight deduplication: one engine run per cold key, every
+    concurrent requester shares its answer).
+
     ``hit_seconds`` accumulates the *service-side* latency of answers
     served from the cache, and ``engine_seconds`` the engine wall-clock
     of fresh runs.  The split exists so batch drivers never double-count:
@@ -53,6 +69,14 @@ class CacheStats:
     ``verify_violations`` every P-diagnosed verification failure (fresh
     or cached), and ``quarantined`` entries (or sharing passes) dropped
     because their certificate no longer checked out.
+
+    Concurrency contract: writers call :meth:`bump` (atomic under an
+    internal lock — a bare ``stats.hits += 1`` from two threads can
+    lose an increment between the read and the write-back); readers
+    wanting a consistent multi-counter view call :meth:`snapshot`,
+    which returns a *frozen* copy — further :meth:`bump` calls on the
+    copy raise, so a snapshot handed to a stats endpoint can never
+    mutate under the response serializer.
     """
 
     lookups: int = 0
@@ -63,11 +87,70 @@ class CacheStats:
     evictions: int = 0
     invalidations: int = 0
     degraded: int = 0
+    shared_waits: int = 0
     verified_hits: int = 0
     verify_violations: int = 0
     quarantined: int = 0
     hit_seconds: float = 0.0
     engine_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+        self._frozen = False
+
+    def bump(self, **deltas: float) -> None:
+        """Atomically add ``deltas`` to the named counters.
+
+        The one sanctioned mutation path: the read-add-write of every
+        named counter happens under one lock acquisition, so concurrent
+        workers never lose increments and multi-counter updates (a hit
+        plus its latency, say) land together.
+        """
+        if self._frozen:
+            raise ServiceError("cannot bump a frozen CacheStats snapshot")
+        with self._lock:
+            for name, delta in deltas.items():
+                setattr(self, name, getattr(self, name) + delta)
+
+    def snapshot(self) -> "CacheStats":
+        """A consistent, *frozen* point-in-time copy of the counters.
+
+        Taken under the same lock :meth:`bump` uses, so no in-flight
+        update is half-visible.  The copy rejects further ``bump``
+        calls — it is a value, not a live view.
+        """
+        with self._lock:
+            copy = CacheStats(**{
+                f.name: getattr(self, f.name) for f in dataclasses.fields(self)
+            })
+        copy._frozen = True
+        return copy
+
+    @property
+    def frozen(self) -> bool:
+        """Whether this is an immutable :meth:`snapshot` copy."""
+        return self._frozen
+
+    def counters(self) -> Dict[str, float]:
+        """The raw counter fields as a dict (no derived metrics)."""
+        with self._lock:
+            return {
+                f.name: getattr(self, f.name) for f in dataclasses.fields(self)
+            }
+
+    def __getstate__(self):
+        # The lock is process-local; pickled stats travel as plain
+        # counters and re-grow a lock (unfrozen) on the other side.
+        state = {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}
+        state["_frozen"] = self._frozen
+        return state
+
+    def __setstate__(self, state):
+        frozen = state.pop("_frozen", False)
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
+        self._lock = threading.Lock()
+        self._frozen = frozen
 
     @property
     def hit_rate(self) -> float:
@@ -78,22 +161,9 @@ class CacheStats:
 
     def as_dict(self) -> Dict[str, float]:
         """The counters as a plain dict (for reports and assertions)."""
-        return {
-            "lookups": self.lookups,
-            "hits": self.hits,
-            "misses": self.misses,
-            "parameterized_hits": self.parameterized_hits,
-            "insertions": self.insertions,
-            "evictions": self.evictions,
-            "invalidations": self.invalidations,
-            "degraded": self.degraded,
-            "verified_hits": self.verified_hits,
-            "verify_violations": self.verify_violations,
-            "quarantined": self.quarantined,
-            "hit_seconds": self.hit_seconds,
-            "engine_seconds": self.engine_seconds,
-            "hit_rate": self.hit_rate,
-        }
+        payload = self.counters()
+        payload["hit_rate"] = self.hit_rate
+        return payload
 
     def __str__(self) -> str:
         return (
@@ -129,6 +199,10 @@ class PlanCache:
 
     ``max_entries`` bounds the cache; inserting beyond it evicts the
     least recently used entry.  Hits refresh recency.
+
+    Thread-safe: every structural operation (lookup, insert, removal,
+    sweep) holds one internal lock, so concurrent server workers see a
+    consistent LRU and never corrupt the underlying ordered dict.
     """
 
     max_entries: int = 512
@@ -138,37 +212,54 @@ class PlanCache:
         if self.max_entries <= 0:
             raise ServiceError("max_entries must be positive")
         self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, fingerprint: Fingerprint) -> bool:
-        return fingerprint.digest in self._entries
+        with self._lock:
+            return fingerprint.digest in self._entries
 
     def get(self, fingerprint: Fingerprint) -> Optional[CacheEntry]:
         """Look up an entry; counts a hit/miss and refreshes recency."""
-        self.stats.lookups += 1
-        entry = self._entries.get(fingerprint.digest)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(fingerprint.digest)
-        if entry.parameterized:
-            self.stats.parameterized_hits += 1
-        else:
-            self.stats.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(fingerprint.digest)
+            if entry is None:
+                self.stats.bump(lookups=1, misses=1)
+                return None
+            self._entries.move_to_end(fingerprint.digest)
+            if entry.parameterized:
+                self.stats.bump(lookups=1, parameterized_hits=1)
+            else:
+                self.stats.bump(lookups=1, hits=1)
+            return entry
+
+    def peek(self, fingerprint: Fingerprint) -> Optional[CacheEntry]:
+        """Look up an entry without counting or refreshing recency.
+
+        The single-flight re-check path: a late leader (whose first
+        lookup missed before another thread populated the entry) probes
+        once more before paying for an engine run.
+        """
+        with self._lock:
+            return self._entries.get(fingerprint.digest)
 
     def put(self, entry: CacheEntry) -> None:
         """Insert (or refresh) an entry, evicting LRU past the bound."""
-        digest = entry.fingerprint.digest
-        if digest in self._entries:
-            self._entries.move_to_end(digest)
-        self._entries[digest] = entry
-        self.stats.insertions += 1
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            digest = entry.fingerprint.digest
+            if digest in self._entries:
+                self._entries.move_to_end(digest)
+            self._entries[digest] = entry
+            self.stats.bump(insertions=1)
+            evicted = 0
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                evicted += 1
+            if evicted:
+                self.stats.bump(evictions=evicted)
 
     def remove(self, fingerprint: Fingerprint) -> bool:
         """Drop one entry by fingerprint (certificate quarantine).
@@ -177,7 +268,8 @@ class PlanCache:
         ``stats.quarantined`` by the caller, not here — removal is also
         used by tests as a plain eviction primitive.
         """
-        return self._entries.pop(fingerprint.digest, None) is not None
+        with self._lock:
+            return self._entries.pop(fingerprint.digest, None) is not None
 
     def purge_stale(self, catalog: Catalog) -> int:
         """Drop every entry whose table versions no longer match.
@@ -188,35 +280,41 @@ class PlanCache:
         comparing the recorded per-table versions with the catalog's
         current ones.  Entries over unchanged tables are untouched.
         """
-        stale = []
-        for digest, entry in self._entries.items():
-            for name, version in zip(
-                entry.fingerprint.tables, entry.fingerprint.versions
-            ):
-                if name not in catalog or catalog.table_version(name) != version:
-                    stale.append(digest)
-                    break
-        for digest in stale:
-            del self._entries[digest]
-        self.stats.invalidations += len(stale)
-        return len(stale)
+        with self._lock:
+            stale = []
+            for digest, entry in self._entries.items():
+                for name, version in zip(
+                    entry.fingerprint.tables, entry.fingerprint.versions
+                ):
+                    if name not in catalog or catalog.table_version(name) != version:
+                        stale.append(digest)
+                        break
+            for digest in stale:
+                del self._entries[digest]
+            if stale:
+                self.stats.bump(invalidations=len(stale))
+            return len(stale)
 
     def invalidate_table(self, name: str) -> int:
         """Drop every entry that reads ``name``; returns how many."""
-        stale = [
-            digest
-            for digest, entry in self._entries.items()
-            if name in entry.fingerprint.tables
-        ]
-        for digest in stale:
-            del self._entries[digest]
-        self.stats.invalidations += len(stale)
-        return len(stale)
+        with self._lock:
+            stale = [
+                digest
+                for digest, entry in self._entries.items()
+                if name in entry.fingerprint.tables
+            ]
+            for digest in stale:
+                del self._entries[digest]
+            if stale:
+                self.stats.bump(invalidations=len(stale))
+            return len(stale)
 
     def clear(self) -> None:
         """Drop everything (counters are kept)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def entries(self) -> Tuple[CacheEntry, ...]:
         """A snapshot of the entries, LRU first."""
-        return tuple(self._entries.values())
+        with self._lock:
+            return tuple(self._entries.values())

@@ -28,6 +28,7 @@ either comparison baseline interchangeably.
 
 from __future__ import annotations
 
+import dataclasses
 import inspect
 import time
 import warnings
@@ -51,9 +52,11 @@ from repro.feedback import (
     refresh_statistics,
 )
 from repro.options import (
+    KERNEL_TIERS,
     BudgetReport,
     OptionsBase,
     OptionsError,
+    QueryHints,
     ResourceBudget,
     check_positive,
 )
@@ -67,6 +70,7 @@ from repro.search.sharing import (
 )
 from repro.service.cache import CacheEntry, CacheStats, PlanCache
 from repro.service.fingerprint import Fingerprint, fingerprint, table_dependencies
+from repro.service.singleflight import SingleFlight
 from repro.sql.normalize import normalize_literals, parameterize_plan
 from repro.verify.certificate import PlanCertificate
 
@@ -480,6 +484,10 @@ class OptimizerService:
             else self.options.selectivity_buckets
         )
         self.feedback = FeedbackStore(buckets=feedback_buckets)
+        # Per-fingerprint deduplication of concurrent cold optimizations:
+        # when the service is shared across threads (repro.server), one
+        # engine run per cold key, every concurrent requester shares it.
+        self.single_flight: SingleFlight[ServedResult] = SingleFlight()
         self._seen_version = self.catalog.statistics_version
         parameters = inspect.signature(optimizer.optimize).parameters
         self._engine_seeds = "preoptimized" in parameters
@@ -566,6 +574,7 @@ class OptimizerService:
         props: Optional[PhysProps] = None,
         *,
         budget: Optional[ResourceBudget] = None,
+        hints: Optional[QueryHints] = None,
     ) -> ServedResult:
         """Serve the cheapest plan for ``query``, from cache when possible.
 
@@ -583,6 +592,20 @@ class OptimizerService:
         budget tripped and it fell back to its anytime plan — is served
         with ``degraded=True`` but neither cached nor harvested, and is
         counted in ``stats.degraded``.
+
+        ``hints`` are per-request :class:`~repro.options.QueryHints`
+        (kernel tier, promise disposition, a hint-level budget) folded
+        into this one engine run; see the class docs.  An explicit
+        ``budget=`` argument outranks ``hints.budget``.
+
+        Concurrent misses of the same fingerprint are **single-flight**
+        deduplicated: the first caller runs the engine, every caller
+        that arrives while that run is in flight waits and shares its
+        answer (counted under ``stats.shared_waits`` and served with
+        ``cached=True`` — from the requester's side it is
+        indistinguishable from a warm hit).  Followers share the
+        leader's answer as-is, so a follower's own ``budget``/``hints``
+        do not shape the shared plan.
         """
         expression, props, keys = self._resolve(query, props)
         started = time.perf_counter()
@@ -599,10 +622,44 @@ class OptimizerService:
                 return served
 
         exact, template_key, normalized = keys
-        result = self._run_engine(expression, props, budget)
-        return self._serve_fresh(
-            exact, template_key, normalized, result, started, expression
-        )
+        if budget is None and hints is not None:
+            budget = hints.budget
+
+        def miss() -> ServedResult:
+            # Late-leader re-check: this thread's lookup missed, but
+            # another flight may have populated the entry before we won
+            # the flight.  peek() is uncounted, so the common cold path
+            # keeps its exact historical counter trail.
+            entry = self.cache.peek(exact)
+            if entry is not None:
+                elapsed = time.perf_counter() - started
+                self.cache.stats.bump(lookups=1, hits=1, hit_seconds=elapsed)
+                return ServedResult(
+                    plan=entry.plan,
+                    cost=entry.cost,
+                    required=entry.required,
+                    fingerprint=exact,
+                    cached=True,
+                    elapsed_seconds=elapsed,
+                    certificate=entry.certificate,
+                )
+            result = self._run_engine(expression, props, budget, hints)
+            return self._serve_fresh(
+                exact, template_key, normalized, result, started, expression
+            )
+
+        served, leader = self.single_flight.do(exact.digest, miss)
+        if not leader:
+            # Shared wait: another request's engine run answered this
+            # one.  Byte-identical plan, no second optimization.
+            self.cache.stats.bump(shared_waits=1)
+            served = dataclasses.replace(
+                served,
+                cached=not served.degraded,
+                elapsed_seconds=time.perf_counter() - started,
+                result=None,
+            )
+        return served
 
     def _lookup(
         self,
@@ -689,14 +746,13 @@ class OptimizerService:
                 # entry and report a miss, so the caller falls through
                 # to a fresh (verified) optimization.
                 self.cache.remove(exact)
-                self.cache.stats.verify_violations += 1
-                self.cache.stats.quarantined += 1
+                self.cache.stats.bump(verify_violations=1, quarantined=1)
                 return None, True
             if ok:
-                self.cache.stats.verified_hits += 1
+                self.cache.stats.bump(verified_hits=1)
                 verified = True
         elapsed = time.perf_counter() - started
-        self.cache.stats.hit_seconds += elapsed
+        self.cache.stats.bump(hit_seconds=elapsed)
         return (
             ServedResult(
                 plan=entry.plan,
@@ -719,7 +775,7 @@ class OptimizerService:
             return None
         plan = bind_plan(entry.plan, normalized.bindings)
         elapsed = time.perf_counter() - started
-        self.cache.stats.hit_seconds += elapsed
+        self.cache.stats.bump(hit_seconds=elapsed)
         return ServedResult(
             plan=plan,
             cost=entry.cost,
@@ -770,11 +826,11 @@ class OptimizerService:
         if self.options.verify_plans and expression is not None:
             ok = self._verify(expression, result.plan, certificate)
             if ok is False:
-                self.cache.stats.verify_violations += 1
+                self.cache.stats.bump(verify_violations=1)
         if result.stats is not None:
-            self.cache.stats.engine_seconds += result.stats.elapsed_seconds
+            self.cache.stats.bump(engine_seconds=result.stats.elapsed_seconds)
         if degraded:
-            self.cache.stats.degraded += 1
+            self.cache.stats.bump(degraded=1)
         elif ok is False:
             # An answer whose own certificate fails the checker is
             # served (the plan may still be fine) but never cached —
@@ -795,6 +851,22 @@ class OptimizerService:
             certificate=certificate,
             verified=bool(ok),
         )
+
+    def verify_served(
+        self,
+        query: LogicalExpression,
+        plan: PhysicalPlan,
+        certificate: Optional[PlanCertificate],
+    ) -> Optional[bool]:
+        """Re-check a plan against its certificate; None when impossible.
+
+        The public face of the independent checker for callers *above*
+        the service — the server uses it to vet a plan before pinning
+        it.  Semantics are exactly :attr:`ServiceOptions.verify_plans`'s
+        per-answer check: True (verified), False (violation), or None
+        (no model spec or no certificate — cannot be checked).
+        """
+        return self._verify(query, plan, certificate)
 
     def _verify(
         self,
@@ -1033,7 +1105,7 @@ class OptimizerService:
         # All outcomes share one SearchStats: account the engine time
         # exactly once, not once per result.
         if outcomes and outcomes[0].stats is not None:
-            self.cache.stats.engine_seconds += outcomes[0].stats.elapsed_seconds
+            self.cache.stats.bump(engine_seconds=outcomes[0].stats.elapsed_seconds)
         elapsed = time.perf_counter() - started
         for index, result in zip(dispatch, outcomes):
             exact, template_key, normalized = resolved[index][2]
@@ -1042,7 +1114,7 @@ class OptimizerService:
             if self.options.verify_plans:
                 ok = self._verify(resolved[index][0], result.plan, certificate)
                 if ok is False:
-                    self.cache.stats.verify_violations += 1
+                    self.cache.stats.bump(verify_violations=1)
             if ok is not False:
                 self._store(exact, template_key, normalized, result, None)
                 self._harvest(result)
@@ -1145,16 +1217,15 @@ class OptimizerService:
                     clean = False
                     break
         if not clean:
-            self.cache.stats.verify_violations += 1
-            self.cache.stats.quarantined += 1
+            self.cache.stats.bump(verify_violations=1, quarantined=1)
             return None, None
         return tuple(consumers), tuple(producers)
 
     def _stats_snapshot(self) -> dict:
-        return dict(vars(self.cache.stats))
+        return self.cache.stats.counters()
 
     def _stats_delta(self, before: dict) -> CacheStats:
-        after = vars(self.cache.stats)
+        after = self.cache.stats.counters()
         return CacheStats(
             **{name: after[name] - value for name, value in before.items()}
         )
@@ -1351,10 +1422,11 @@ class OptimizerService:
         query: LogicalExpression,
         props: PhysProps,
         budget: Optional[ResourceBudget] = None,
+        hints: Optional[QueryHints] = None,
     ) -> OptimizationResult:
         budget = budget if budget is not None else self.options.budget
         kwargs = {}
-        options = self._engine_options(budget)
+        options = self._engine_options(budget, hints)
         if options is not None:
             kwargs["options"] = options
         if self.options.reuse_subplans and self._engine_seeds:
@@ -1367,7 +1439,11 @@ class OptimizerService:
                 )
         return self.optimizer.optimize(query, props, **kwargs)
 
-    def _engine_options(self, budget: Optional[ResourceBudget]):
+    def _engine_options(
+        self,
+        budget: Optional[ResourceBudget],
+        hints: Optional[QueryHints] = None,
+    ):
         """The wrapped engine's options with service overrides folded in.
 
         Returns None when nothing needs overriding (the common case, so
@@ -1375,6 +1451,12 @@ class OptimizerService:
         Every engine options class carries a ``budget`` field;
         certificate recording is switched on only for engines whose
         options expose it.
+
+        Per-request ``hints`` outrank both the service defaults and the
+        engine's construction-time options — an explicit per-query
+        kernel or promise hint is the caller steering *this* run — but
+        a hint naming a knob the engine's options class does not carry
+        (baselines) is silently skipped.
         """
         options = self.optimizer.options
         changed = False
@@ -1394,6 +1476,21 @@ class OptimizerService:
             # baseline engines without a kernel field are left alone.
             options = options.replace(kernel=kernel)
             changed = True
+        if hints is not None:
+            if hints.kernel is not None and hasattr(options, "kernel"):
+                options = options.replace(kernel=hints.kernel)
+                changed = True
+            if hints.promise is not None and hasattr(options, "promise_model"):
+                if hints.promise == "static":
+                    from repro.search.promise import STATIC_PROMISE
+
+                    options = options.replace(promise_model=STATIC_PROMISE)
+                    changed = True
+                elif hints.promise == "none":
+                    if getattr(options, "promise_model") is not None:
+                        options = options.replace(promise_model=None)
+                        changed = True
+                # "service": the explicit default — folding above stands.
         if (
             self.options.verify_plans
             and getattr(options, "certificates", None) is False

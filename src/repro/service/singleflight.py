@@ -1,0 +1,94 @@
+"""Per-key single-flight deduplication of concurrent optimizations.
+
+The long-lived optimizer server (:mod:`repro.server`) runs many
+requests against one shared plan cache.  When M requests for the same
+cold fingerprint arrive together, running the engine M times wastes
+M−1 optimizations that would all produce the same plan (each search is
+deterministic).  :class:`SingleFlight` collapses them: the first
+requester for a key becomes the **leader** and computes; every
+concurrent requester for the same key becomes a **follower** and waits
+on the leader's flight, sharing its answer (or its exception).
+
+The guarantee is *per-key in-flight* deduplication, not caching: once
+the leader finishes, the flight is retired and the next request for
+the key starts fresh (by then the plan cache answers it).  Keys are
+plain strings — the service uses the cache fingerprint digest, so two
+requests deduplicate exactly when they would have hit the same cache
+entry.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Generic, Optional, Tuple, TypeVar
+
+__all__ = ["SingleFlight"]
+
+T = TypeVar("T")
+
+
+class _Flight(Generic[T]):
+    """One in-progress computation: a result slot behind an event."""
+
+    __slots__ = ("done", "value", "error", "waiters")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.value: Optional[T] = None
+        self.error: Optional[BaseException] = None
+        self.waiters = 0
+
+
+class SingleFlight(Generic[T]):
+    """Collapse concurrent calls for the same key into one execution.
+
+    >>> flight = SingleFlight()
+    >>> value, leader = flight.do("key", expensive)   # runs expensive()
+    >>> # concurrently: value, leader = flight.do("key", expensive)
+    >>> # ... waits and returns the same value with leader=False
+
+    The leader's exception propagates to every waiting follower (each
+    gets the *same* exception object), and the flight is always retired
+    afterwards, so a failed key can be retried by the next caller.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._flights: Dict[str, _Flight[T]] = {}
+
+    def inflight(self) -> int:
+        """How many keys currently have a flight in progress."""
+        with self._lock:
+            return len(self._flights)
+
+    def do(self, key: str, fn: Callable[[], T]) -> Tuple[T, bool]:
+        """Run ``fn`` once per concurrent ``key``; share the answer.
+
+        Returns ``(value, leader)``: ``leader`` is True for the caller
+        that actually executed ``fn``, False for callers that waited on
+        an in-flight execution and received its shared value.
+        """
+        with self._lock:
+            flight = self._flights.get(key)
+            leader = flight is None
+            if leader:
+                flight = _Flight()
+                self._flights[key] = flight
+            else:
+                flight.waiters += 1
+        if not leader:
+            # Follower: the leader is (or was) computing; wait it out.
+            flight.done.wait()
+            if flight.error is not None:
+                raise flight.error
+            return flight.value, False  # type: ignore[return-value]
+        try:
+            flight.value = fn()
+            return flight.value, True
+        except BaseException as error:
+            flight.error = error
+            raise
+        finally:
+            with self._lock:
+                self._flights.pop(key, None)
+            flight.done.set()

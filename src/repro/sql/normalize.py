@@ -48,6 +48,7 @@ __all__ = [
     "NormalizedQuery",
     "normalize_literals",
     "parameterize_plan",
+    "bind_expression",
     "selectivity_bucket",
 ]
 
@@ -212,3 +213,30 @@ def parameterize_plan(
         cost=plan.cost,
         is_enforcer=plan.is_enforcer,
     )
+
+
+def bind_expression(
+    template: LogicalExpression, values: Mapping[str, object]
+) -> LogicalExpression:
+    """Substitute literal ``values`` into a parameterized template.
+
+    The logical-expression counterpart of
+    :func:`~repro.dynamic.bind_plan`: every
+    :class:`~repro.dynamic.Parameter` named in ``values`` becomes the
+    given :class:`~repro.algebra.predicates.Literal` constant.  The
+    server's prepared-statement ``bind`` endpoint uses it to turn a
+    stored template back into a concrete query, which then resolves
+    through the ordinary parameterized plan cache.  A parameter missing
+    from ``values`` raises :class:`~repro.errors.PredicateError`.
+    """
+    from repro.dynamic import bind_predicate
+
+    def rewrite(node: LogicalExpression) -> LogicalExpression:
+        args = tuple(
+            bind_predicate(arg, values) if isinstance(arg, Predicate) else arg
+            for arg in node.args
+        )
+        inputs = tuple(rewrite(child) for child in node.inputs)
+        return LogicalExpression(node.operator, args, inputs)
+
+    return rewrite(template)

@@ -48,7 +48,13 @@ def test_results_shape(results):
         "promise_ordering",
         "verify_overhead",
         "kernel_speedup",
+        "server_throughput",
     }
+    server = benches["server_throughput"]
+    assert server["cold_misses"] == 8
+    assert server["cold_shared_waits"] == 7
+    assert server["cold_insertions"] == 1
+    assert server["queries_per_second"] > 0
     kernel = benches["kernel_speedup"]
     assert kernel["plans_identical"] == SMALL.queries_per_size
     assert kernel["costings_delta"] == 0

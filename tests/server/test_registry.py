@@ -1,0 +1,161 @@
+"""Unit tests for the plan registry: pins, evidence, regression guard."""
+
+from __future__ import annotations
+
+from repro.algebra.plans import PhysicalPlan
+from repro.algebra.properties import ANY_PROPS
+from repro.models.relational import get, join
+from repro.options import ServerOptions
+from repro.server import PlanRegistry, stable_key
+from repro.algebra.predicates import eq
+
+
+def plan(table: str = "r") -> PhysicalPlan:
+    return PhysicalPlan("file_scan", (table, table))
+
+
+def other_plan() -> PhysicalPlan:
+    return PhysicalPlan(
+        "merge_join", (eq("r.k", "s.k"),), (plan("r"), plan("s"))
+    )
+
+
+def registry(**overrides) -> PlanRegistry:
+    defaults = dict(guard_threshold=1.5, guard_slack_cap=16.0)
+    defaults.update(overrides)
+    return PlanRegistry(options=ServerOptions(**defaults))
+
+
+def test_stable_key_survives_statistics_versions():
+    # Unlike cache fingerprints, the stable key has no version inputs:
+    # it is a pure function of (expression, props).
+    query = join(get("r"), get("s"), eq("r.k", "s.k"))
+    assert stable_key(query, ANY_PROPS) == stable_key(query, ANY_PROPS)
+    assert stable_key(get("r"), ANY_PROPS) != stable_key(get("s"), ANY_PROPS)
+
+
+def test_pin_unpin_roundtrip():
+    reg = registry()
+    pin = reg.pin("k1", plan(), 10.0, ANY_PROPS, reason="test")
+    assert reg.pinned("k1") is pin
+    assert pin.kind == "user"
+    lifted = reg.unpin("k1")
+    assert lifted is pin
+    assert reg.pinned("k1") is None
+    assert reg.unpin("k1") is None
+    kinds = [event.kind for event in reg.events()]
+    assert kinds == ["pin", "unpin"]
+
+
+def test_first_answer_adopts():
+    reg = registry()
+    decision = reg.admit("k", plan(), 10.0, ANY_PROPS)
+    assert decision.action == "adopt"
+    assert reg.incumbent("k").cost_total == 10.0
+
+
+def test_same_plan_retains_evidence_and_moves_baseline():
+    reg = registry()
+    reg.admit("k", plan(), 10.0, ANY_PROPS)
+    assert reg.observe("k", plan(), max_q_error=3.0)
+    decision = reg.admit("k", plan(), 12.0, ANY_PROPS, statistics_version=5)
+    assert decision.action == "retain"
+    incumbent = reg.incumbent("k")
+    assert incumbent.cost_total == 12.0
+    assert incumbent.observed_q_error == 3.0
+
+
+def test_refresh_without_evidence_is_accepted():
+    reg = registry()
+    reg.admit("k", plan(), 10.0, ANY_PROPS)
+    decision = reg.admit("k", other_plan(), 1000.0, ANY_PROPS)
+    assert decision.action == "refresh"
+    assert reg.incumbent("k").cost_total == 1000.0
+
+
+def test_regression_rolls_back_and_pins_incumbent():
+    reg = registry()
+    reg.admit("k", plan(), 10.0, ANY_PROPS)
+    reg.observe("k", plan(), max_q_error=1.0)
+    # allowance = 10 * 1.5 * 1.0 = 15; a 100-cost refresh regresses.
+    decision = reg.admit("k", other_plan(), 100.0, ANY_PROPS)
+    assert decision.action == "rollback"
+    assert decision.plan == plan()
+    assert decision.cost_total == 10.0
+    assert decision.allowed == 15.0
+    pinned = reg.pinned("k")
+    assert pinned is not None and pinned.kind == "rollback"
+    assert reg.quarantined("k").cost_total == 100.0
+    assert reg.counters()["rollbacks"] == 1
+    assert any(event.kind == "rollback" for event in reg.events())
+    # The incumbent still stands.
+    assert reg.incumbent("k").cost_total == 10.0
+
+
+def test_observed_q_error_widens_the_allowance():
+    reg = registry()
+    reg.admit("k", plan(), 10.0, ANY_PROPS)
+    # Estimates were observed off by 8x: genuine drift territory.
+    reg.observe("k", plan(), max_q_error=8.0)
+    # allowance = 10 * 1.5 * 8 = 120 — a 100-cost refresh is honest.
+    decision = reg.admit("k", other_plan(), 100.0, ANY_PROPS)
+    assert decision.action == "refresh"
+    # Evidence resets for the new incumbent.
+    assert reg.incumbent("k").observed_q_error is None
+
+
+def test_slack_is_capped():
+    reg = registry(guard_slack_cap=4.0)
+    reg.admit("k", plan(), 10.0, ANY_PROPS)
+    reg.observe("k", plan(), max_q_error=1000.0)
+    # allowance = 10 * 1.5 * min(1000, 4) = 60 < 100 → rollback.
+    decision = reg.admit("k", other_plan(), 100.0, ANY_PROPS)
+    assert decision.action == "rollback"
+
+
+def test_guard_off_always_adopts():
+    reg = registry(guard_plans=False)
+    reg.admit("k", plan(), 10.0, ANY_PROPS)
+    reg.observe("k", plan(), max_q_error=1.0)
+    decision = reg.admit("k", other_plan(), 10_000.0, ANY_PROPS)
+    assert decision.action == "adopt"
+
+
+def test_observe_ignores_foreign_plans():
+    reg = registry()
+    reg.admit("k", plan(), 10.0, ANY_PROPS)
+    assert not reg.observe("k", other_plan(), max_q_error=9.0)
+    assert reg.incumbent("k").observed_q_error is None
+    assert not reg.observe("unknown", plan(), max_q_error=9.0)
+
+
+def test_worst_q_error_wins():
+    reg = registry()
+    reg.admit("k", plan(), 10.0, ANY_PROPS)
+    reg.observe("k", plan(), max_q_error=4.0)
+    reg.observe("k", plan(), max_q_error=2.0)
+    assert reg.incumbent("k").observed_q_error == 4.0
+
+
+def test_unpin_clears_quarantine():
+    reg = registry()
+    reg.admit("k", plan(), 10.0, ANY_PROPS)
+    reg.observe("k", plan(), max_q_error=1.0)
+    reg.admit("k", other_plan(), 100.0, ANY_PROPS)
+    assert reg.quarantined("k") is not None
+    reg.unpin("k")
+    assert reg.quarantined("k") is None
+
+
+def test_state_is_json_ready():
+    import json
+
+    reg = registry()
+    reg.admit("k", plan(), 10.0, ANY_PROPS)
+    reg.observe("k", plan(), max_q_error=1.0)
+    reg.admit("k", other_plan(), 100.0, ANY_PROPS)
+    state = reg.state()
+    encoded = json.loads(json.dumps(state))
+    assert encoded["counters"]["rollbacks"] == 1
+    assert encoded["pins"][0]["kind"] == "rollback"
+    assert encoded["quarantined"][0]["cost_total"] == 100.0

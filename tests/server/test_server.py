@@ -1,0 +1,272 @@
+"""End-to-end tests over the wire: optimize, prepare/bind, pins, guard."""
+
+from __future__ import annotations
+
+import http.client
+from urllib.parse import urlsplit
+
+import pytest
+
+from repro.generator.generate import generate_optimizer
+from repro.models.relational import relational_model
+from repro.options import ServerOptions
+from repro.search.tasks import TaskBasedOptimizer
+from repro.server import ClientError, OptimizerServer, ServerClient, ServerThread
+from repro.service import OptimizerService, ServiceOptions
+
+from tests.server.conftest import (
+    CHAIN_SQL,
+    PAIR_SQL,
+    corrupt_join_keys,
+)
+
+POINT_SQL = "SELECT * FROM r WHERE r.k = 7"
+
+
+# ------------------------------------------------------------ plumbing
+
+
+def test_health(client):
+    health = client.health()
+    assert health["ok"] is True
+    assert "default" in health["engines"]
+    assert health["statistics_version"] >= 0
+
+
+def test_unknown_endpoint_is_404(client):
+    with pytest.raises(ClientError) as caught:
+        client.request("GET", "/nope")
+    assert caught.value.status == 404
+
+
+def test_wrong_method_is_405(client):
+    with pytest.raises(ClientError) as caught:
+        client.request("GET", "/optimize")
+    assert caught.value.status == 405
+
+
+def test_missing_field_is_400(client):
+    with pytest.raises(ClientError) as caught:
+        client.request("POST", "/optimize", {"not_sql": 1})
+    assert caught.value.status == 400
+
+
+def test_malformed_json_is_400(harness):
+    parts = urlsplit(harness.address)
+    connection = http.client.HTTPConnection(
+        parts.hostname, parts.port, timeout=10.0
+    )
+    try:
+        connection.request(
+            "POST",
+            "/optimize",
+            body=b"{not json",
+            headers={"Content-Type": "application/json"},
+        )
+        response = connection.getresponse()
+        response.read()
+        assert response.status == 400
+    finally:
+        connection.close()
+
+
+def test_bad_sql_is_400(client):
+    with pytest.raises(ClientError) as caught:
+        client.optimize("SELECT * FROM nowhere")
+    assert caught.value.status == 400
+
+
+# ----------------------------------------------------- optimize / hints
+
+
+def test_cold_then_warm_optimize(client):
+    cold = client.optimize(CHAIN_SQL)
+    assert not cold["cached"]
+    assert not cold["degraded"]
+    assert cold["cost_total"] > 0
+    assert cold["verified"] is True  # verify_plans=True in the fixture
+    warm = client.optimize(CHAIN_SQL)
+    assert warm["cached"]
+    assert warm["sexpr"] == cold["sexpr"]
+    assert warm["key"] == cold["key"]
+
+
+def test_kernel_and_promise_hints_keep_the_plan(client):
+    baseline = client.optimize(CHAIN_SQL)
+    specialized = client.optimize(PAIR_SQL, kernel="specialized")
+    static = client.optimize(PAIR_SQL, promise="static")
+    assert specialized["cost_total"] > 0
+    assert static["sexpr"] == specialized["sexpr"]
+    assert baseline["sexpr"] != specialized["sexpr"]  # different queries
+
+
+def test_bad_kernel_hint_is_400(client):
+    with pytest.raises(ClientError) as caught:
+        client.optimize(CHAIN_SQL, kernel="imaginary")
+    assert caught.value.status == 400
+
+
+def test_unknown_engine_hint_is_400(client):
+    with pytest.raises(ClientError) as caught:
+        client.optimize(CHAIN_SQL, engine="imaginary")
+    assert caught.value.status == 400
+
+
+def test_engine_hint_routes_to_shared_cache(scenario):
+    """A task-engine request hits the plan the default engine cached."""
+    primary = OptimizerService(
+        generate_optimizer(relational_model(), scenario.catalog),
+        options=ServiceOptions(verify_plans=True),
+    )
+    task = OptimizerService(
+        TaskBasedOptimizer(relational_model(), scenario.catalog),
+        options=ServiceOptions(verify_plans=True),
+    )
+    server = OptimizerServer(
+        primary,
+        options=ServerOptions(max_concurrent=8, workers=8),
+        engines={"task": task},
+    )
+    with ServerThread(server) as harness:
+        with ServerClient(harness.address) as client:
+            cold = client.optimize(CHAIN_SQL)
+            assert not cold["cached"]
+            via_task = client.optimize(CHAIN_SQL, engine="task")
+            assert via_task["cached"]  # both engines share one cache
+            assert via_task["sexpr"] == cold["sexpr"]
+
+
+# ------------------------------------------------------- prepare / bind
+
+
+def test_prepare_bind_roundtrip(client):
+    prepared = client.prepare(POINT_SQL)
+    assert prepared["statement"].startswith("stmt-")
+    assert prepared["parameterized"]
+    assert prepared["parameters"] == {"p0": 7}
+
+    first = client.bind(prepared["statement"], {"p0": 9})
+    assert not first["cached"]
+    assert first["parameters"] == {"p0": 9}
+    # A different equality literal shares the selectivity bucket, so the
+    # second bind is a parameterized template hit — no engine run.
+    second = client.bind(prepared["statement"], {"p0": 11})
+    assert second["cached"] and second["parameterized"]
+    assert second["sexpr"] != first["sexpr"]  # literals differ
+    assert second["cost_total"] == first["cost_total"]
+
+    # Unbound parameters fall back to the prepared literals.
+    default = client.bind(prepared["statement"])
+    assert default["parameters"] == {"p0": 7}
+
+
+def test_bind_unknown_statement_is_404(client):
+    with pytest.raises(ClientError) as caught:
+        client.bind("stmt-doesnotexist", {"p0": 1})
+    assert caught.value.status == 404
+
+
+def test_bind_unknown_parameter_is_400(client):
+    prepared = client.prepare(POINT_SQL)
+    with pytest.raises(ClientError) as caught:
+        client.bind(prepared["statement"], {"p9": 1})
+    assert caught.value.status == 400
+
+
+# --------------------------------------------------------------- batch
+
+
+def test_batch_then_cached_batch(client):
+    first = client.batch([CHAIN_SQL, PAIR_SQL])
+    assert len(first["results"]) == 2
+    assert all(r["cost_total"] > 0 for r in first["results"])
+    again = client.batch([CHAIN_SQL, PAIR_SQL])
+    assert all(r["cached"] for r in again["results"])
+    for before, after in zip(first["results"], again["results"]):
+        assert after["sexpr"] == before["sexpr"]
+
+
+# ------------------------------------------------------ pinning / guard
+
+
+def test_pin_survives_statistics_bump_until_unpinned(client):
+    cold = client.optimize(CHAIN_SQL)
+    pin = client.pin(CHAIN_SQL, reason="latency SLO")
+    assert pin["pinned"] and pin["verified"]
+
+    before = client.health()["statistics_version"]
+    bumped = client.update_statistics(
+        "t", {"columns": {"t.v": {"distinct_values": 123.0}}}
+    )
+    assert bumped["statistics_version"] > before
+
+    served = client.optimize(CHAIN_SQL)
+    assert served["pinned"]
+    assert served["sexpr"] == cold["sexpr"]  # the pin, not a re-optimization
+
+    lifted = client.unpin(sql=CHAIN_SQL)
+    assert lifted["unpinned"] and lifted["kind"] == "user"
+    fresh = client.optimize(CHAIN_SQL)
+    assert not fresh["pinned"]
+
+    registry = client.plans()
+    assert registry["counters"]["pinned_hits"] >= 1
+    assert [e["kind"] for e in registry["events"]].count("pin") >= 1
+
+
+def test_unpin_without_pin_is_404(client):
+    with pytest.raises(ClientError) as caught:
+        client.unpin(sql=CHAIN_SQL)
+    assert caught.value.status == 404
+
+
+def test_pin_refuses_degraded_plan(client):
+    with pytest.raises(ClientError) as caught:
+        client.pin(CHAIN_SQL, budget={"max_costings": 1})
+    assert caught.value.status == 409
+
+
+def test_regression_guard_rolls_back_seeded_refresh(client):
+    """The acceptance scenario: a statistics lie must not evict a good plan."""
+    executed = client.execute(CHAIN_SQL)  # adopt + observe real q-error
+    assert executed["max_q_error"] is not None
+    incumbent_sexpr = executed["sexpr"]
+
+    corrupt_join_keys(client)
+
+    served = client.optimize(CHAIN_SQL)
+    assert served["guard"] is not None
+    assert served["guard"]["action"] == "rollback"
+    assert served["pinned"]
+    assert served["sexpr"] == incumbent_sexpr  # incumbent still served
+
+    stats = client.stats()
+    registry = stats["registry"]
+    assert registry["counters"]["rollbacks"] == 1
+    assert any(e["kind"] == "rollback" for e in registry["events"])
+    assert registry["quarantined"], "candidate plan was not quarantined"
+    worst = registry["quarantined"][0]
+    assert worst["cost_total"] > worst["allowed"]
+
+    # Follow-up requests serve the rollback pin without re-optimizing.
+    again = client.optimize(CHAIN_SQL)
+    assert again["pinned"]
+    assert again["sexpr"] == incumbent_sexpr
+    assert [p["kind"] for p in registry["pins"]] == ["rollback"]
+
+
+# --------------------------------------------------------------- stats
+
+
+def test_stats_shape_and_verification_clean(client):
+    client.optimize(CHAIN_SQL)
+    client.optimize(CHAIN_SQL)
+    stats = client.stats()
+    assert set(stats) == {
+        "cache", "cache_entries", "admission", "registry", "server",
+    }
+    assert stats["cache"]["hits"] >= 1
+    assert stats["cache"]["verify_violations"] == 0
+    assert stats["cache_entries"] >= 1
+    assert stats["server"]["requests"] >= 3
+    assert stats["admission"]["admitted"] >= 1

@@ -116,3 +116,66 @@ def test_hit_rate(catalog):
     cache.get(entry_for(catalog, "t1").fingerprint)
     assert cache.stats.hit_rate == pytest.approx(0.5)
     assert cache.stats.as_dict()["hits"] == 1
+
+
+# ------------------------------------------------- CacheStats threading
+
+
+def test_stats_bump_is_exact_under_contention():
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.service import CacheStats
+
+    stats = CacheStats()
+    threads, per_thread = 8, 2_000
+
+    def hammer():
+        for _ in range(per_thread):
+            stats.bump(lookups=1, hits=1, hit_seconds=0.001)
+
+    with ThreadPoolExecutor(max_workers=threads) as pool:
+        for future in [pool.submit(hammer) for _ in range(threads)]:
+            future.result()
+
+    assert stats.lookups == threads * per_thread
+    assert stats.hits == threads * per_thread
+    assert stats.hit_seconds == pytest.approx(threads * per_thread * 0.001)
+
+
+def test_stats_snapshot_is_frozen():
+    from repro.service import CacheStats
+
+    stats = CacheStats()
+    stats.bump(lookups=2, hits=1)
+    frozen = stats.snapshot()
+    assert frozen.frozen and not stats.frozen
+    with pytest.raises(ServiceError):
+        frozen.bump(lookups=1)
+    # The live object keeps counting; the snapshot does not move.
+    stats.bump(lookups=1)
+    assert stats.lookups == 3
+    assert frozen.lookups == 2
+
+
+def test_stats_snapshot_never_tears():
+    """Paired counters bumped atomically stay paired in every snapshot."""
+    import threading as _threading
+
+    from repro.service import CacheStats
+
+    stats = CacheStats()
+    stop = _threading.Event()
+
+    def writer():
+        while not stop.is_set():
+            stats.bump(lookups=1, misses=1)
+
+    thread = _threading.Thread(target=writer)
+    thread.start()
+    try:
+        for _ in range(300):
+            view = stats.snapshot()
+            assert view.lookups == view.misses
+    finally:
+        stop.set()
+        thread.join()
